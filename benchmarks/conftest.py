@@ -1,0 +1,49 @@
+"""Shared infrastructure for the benchmark suite.
+
+Every benchmark module regenerates one table or figure of the paper
+(see DESIGN.md's per-experiment index) and *prints* the regenerated
+artefact so that ``pytest benchmarks/ --benchmark-only | tee …``
+captures it.  Results are also written to ``benchmarks/results/``.
+
+Budgets are scaled down from the paper's 30-minute runs; override via
+environment variables:
+
+* ``REPRO_BENCH_BUDGET``  — per-graph enumeration budget in seconds
+  (default 1.0);
+* ``REPRO_BENCH_SCALE``   — fraction of each dataset family to run
+  (default 0.06, ≥1 graph per family);
+* ``REPRO_BENCH_RESULTS`` — hard cap on results per graph (default 500).
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+
+import pytest
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+BUDGET = float(os.environ.get("REPRO_BENCH_BUDGET", "1.0"))
+SCALE = float(os.environ.get("REPRO_BENCH_SCALE", "0.06"))
+MAX_RESULTS = int(os.environ.get("REPRO_BENCH_RESULTS", "500"))
+
+
+@pytest.fixture
+def report(request):
+    """Print a benchmark artefact through capture and save it to disk."""
+    RESULTS_DIR.mkdir(exist_ok=True)
+
+    def emit(text: str) -> None:
+        banner = f"\n===== {request.node.name} =====\n"
+        payload = banner + text + "\n"
+        out_path = RESULTS_DIR / f"{request.node.name}.txt"
+        out_path.write_text(payload, encoding="utf-8")
+        capman = request.config.pluginmanager.getplugin("capturemanager")
+        if capman is not None:
+            with capman.global_and_fixture_disabled():
+                print(payload, flush=True)
+        else:
+            print(payload, flush=True)
+
+    return emit

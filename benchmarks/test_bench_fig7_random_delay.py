@@ -1,0 +1,44 @@
+"""E2 — paper Figure 7: average delay on Erdős–Rényi G(n, p) graphs.
+
+Regenerates Figures 7a/7b: average delay vs n for p ∈ {0.3, 0.5, 0.7}
+under both triangulation back-ends.  Expected shape (Section 6.2.2):
+delay increases with n, denser graphs are slower, and LB-Triang is
+slower per result than MCS-M.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from conftest import BUDGET, MAX_RESULTS
+from repro.experiments.figures import fig7_delay_by_size
+from repro.experiments.render import ascii_table
+from repro.workloads.random_graphs import PAPER_DENSITIES, random_sweep
+
+NODE_COUNTS = (30, 50, 70)
+
+
+def _run(triangulator: str):
+    sweep = random_sweep(node_counts=NODE_COUNTS, densities=PAPER_DENSITIES)
+    return fig7_delay_by_size(
+        sweep, triangulator, time_budget=BUDGET, max_results=MAX_RESULTS
+    )
+
+
+@pytest.mark.parametrize("triangulator", ["lb_triang", "mcs_m"])
+def test_fig7_delay_vs_n(benchmark, report, triangulator):
+    series = benchmark.pedantic(_run, args=(triangulator,), rounds=1, iterations=1)
+    rows = [
+        [str(n), f"{p:.1f}", f"{delay:.4f}"]
+        for n, p, delay in sorted(series, key=lambda row: (row[1], row[0]))
+    ]
+    table = ascii_table(["n", "p", "avg delay (s)"], rows)
+    # Check the monotone-in-density trend on the largest n.
+    largest = max(NODE_COUNTS)
+    by_density = {p: d for n, p, d in series if n == largest}
+    shape = (
+        f"expected shape: delay grows with n and with p "
+        f"(at n={largest}: {', '.join(f'p={p}: {by_density[p]:.3f}s' for p in sorted(by_density))})"
+    )
+    report(f"Figure 7 ({triangulator}), budget {BUDGET}s/graph\n{table}\n{shape}")
+    assert len(series) == len(NODE_COUNTS) * len(PAPER_DENSITIES)

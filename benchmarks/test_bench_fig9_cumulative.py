@@ -1,0 +1,47 @@
+"""E4 — paper Figure 9: cumulative result counts over time (case study).
+
+Regenerates the Section 6.4 case-study series on a Promedas-like
+network: cumulative number of (a) all minimal triangulations, (b)
+those of the minimum observed width, and (c) those at least as good as
+the first result.  Expected shape: the growth rate of new
+triangulations tapers off over time (incremental polynomial time
+rather than polynomial delay).
+"""
+
+from __future__ import annotations
+
+from conftest import BUDGET
+from repro.experiments.figures import fig9_cumulative_results
+from repro.experiments.render import ascii_table, sparkline
+from repro.experiments.runner import run_enumeration
+from repro.workloads.pgm import promedas_like
+
+CASE_STUDY_BUDGET = max(BUDGET * 5, 5.0)
+
+
+def _run():
+    graph = promedas_like(num_diseases=40, num_findings=70, seed=11)
+    return run_enumeration(
+        graph, triangulator="mcs_m", time_budget=CASE_STUDY_BUDGET, name="case_study"
+    )
+
+
+def test_fig9_cumulative_counts(benchmark, report):
+    trace = benchmark.pedantic(_run, rounds=1, iterations=1)
+    series = fig9_cumulative_results(trace, bins=12)
+    rows = [
+        [f"{t:.2f}", str(all_count), str(min_w), str(leq_first)]
+        for t, all_count, min_w, leq_first in series
+    ]
+    table = ascii_table(["t (s)", "all results", "min-width", "<=w1"], rows)
+    growth = [row[1] for row in series]
+    first_half = growth[len(growth) // 2] - growth[0]
+    second_half = growth[-1] - growth[len(growth) // 2]
+    report(
+        f"Figure 9 (Promedas-like case study, {CASE_STUDY_BUDGET:.0f}s budget)\n"
+        + table
+        + f"\ncumulative growth |{sparkline([row[1] for row in series], width=48)}|"
+        + f"\nexpected shape: growth tapers (first half {first_half}, "
+        f"second half {second_half} new results)"
+    )
+    assert trace.count > 0

@@ -1,0 +1,46 @@
+"""E6 — paper Table 1: width statistics per dataset × triangulator.
+
+Regenerates Table 1: for each PGM dataset family and each of MCS-M /
+LB-Triang, the number of triangulations generated in the budget, the
+best width, the number (and share) of results at least as good as the
+first, and the average/maximum relative width improvement.  Expected
+shape (Section 6.3): MCS-M generates roughly twice as many
+triangulations; LB-Triang's triangulations are usually of better
+quality; both improve upon the first (heuristic-only) result.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from conftest import BUDGET, MAX_RESULTS, SCALE
+from repro.experiments.tables import quality_table, render_quality_table
+from repro.workloads.pgm import pgm_suites
+
+
+def _run(triangulator: str):
+    suites = pgm_suites(scale=SCALE)
+    return quality_table(
+        suites,
+        triangulator,
+        measure="width",
+        time_budget=BUDGET,
+        max_results=MAX_RESULTS,
+    )
+
+
+@pytest.mark.parametrize("triangulator", ["mcs_m", "lb_triang"])
+def test_table1_width_statistics(benchmark, report, triangulator):
+    rows = benchmark.pedantic(_run, args=(triangulator,), rounds=1, iterations=1)
+    table = render_quality_table(rows, "width")
+    paper = (
+        "paper (30min, MCS-M): Promedas #trng 11064.5 / min-w 25.8 ; "
+        "ObjDet 100349.9 / 6.1 ; Grids 40319.8 / 18.4\n"
+        "paper (30min, LB-Triang): Promedas 4220.7 / 18.6 ; "
+        "ObjDet 33295.4 / 5.8 ; Grids 13881.3 / 24.5"
+    )
+    report(
+        f"Table 1 — width ({triangulator}), budget {BUDGET}s/graph, "
+        f"scale {SCALE}\n{table}\n{paper}"
+    )
+    assert all(row.avg_count >= 1 for row in rows)

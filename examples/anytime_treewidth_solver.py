@@ -1,0 +1,61 @@
+"""A PACE-style anytime treewidth solver built on the enumeration.
+
+Run with ``python examples/anytime_treewidth_solver.py [file.gr]``.
+
+Combines three pieces of the library into a practical tool:
+
+1. cheap treewidth lower bounds (degeneracy, MMD+, greedy clique);
+2. the cost-guided best-first enumeration of minimal triangulations
+   (every graph's treewidth is realised by *some* minimal
+   triangulation, so the search space is complete);
+3. the PACE ``.td`` writer for the certificate.
+
+When the best width found matches the lower bound the answer is
+provably exact — on many structured graphs that happens within
+milliseconds; otherwise the tool reports the best upper bound found
+within the budget, anytime-style.
+"""
+
+from __future__ import annotations
+
+import sys
+import time
+
+from repro.core.bounds import (
+    clique_lower_bound,
+    degeneracy_lower_bound,
+    mmd_plus_lower_bound,
+)
+from repro.core.ranked import anytime_treewidth
+from repro.decomposition.io import write_pace_td
+from repro.graph.generators import grid_graph
+from repro.graph.io import read_pace_graph
+
+
+def main() -> None:
+    if len(sys.argv) > 1:
+        graph = read_pace_graph(sys.argv[1])
+        print(f"loaded {sys.argv[1]}: {graph.summary()}")
+    else:
+        graph = grid_graph(4, 5)
+        print(f"demo input: 4x5 grid ({graph.summary()})")
+
+    print("lower bounds:")
+    print(f"  degeneracy : {degeneracy_lower_bound(graph)}")
+    print(f"  MMD+       : {mmd_plus_lower_bound(graph)}")
+    print(f"  clique     : {clique_lower_bound(graph)}")
+
+    start = time.monotonic()
+    width, best, optimal = anytime_treewidth(graph, time_budget=15.0)
+    elapsed = time.monotonic() - start
+    verdict = "EXACT (matches lower bound or search exhausted)" if optimal else "upper bound"
+    print(f"\ntreewidth = {width}  [{verdict}]  in {elapsed:.2f}s")
+    print(f"fill of the certificate triangulation: {best.fill}")
+
+    out = "solution.td"
+    write_pace_td(best.tree_decomposition(), graph, out)
+    print(f"certificate written to {out} (PACE format)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,69 @@
+"""End-to-end exact inference: enumerate decompositions, pick, calibrate.
+
+Run with ``python examples/exact_inference_pipeline.py``.
+
+The full pipeline the paper enables for probabilistic graphical
+models: build a Markov network, enumerate proper tree decompositions
+of its primal graph for a small budget, select the one minimising the
+*total junction-tree table volume* (not just the width!), and run
+sum-product calibration on it.  The partition function is verified to
+be identical across decompositions — only the cost changes.
+"""
+
+from __future__ import annotations
+
+import itertools
+import time
+
+from repro.core.enumerate import enumerate_minimal_triangulations
+from repro.decomposition.metrics import log_table_volume, summary
+from repro.graph.generators import grid_graph
+from repro.inference import MarkovNetwork, calibrate
+
+
+def main() -> None:
+    graph = grid_graph(3, 4)
+    model = MarkovNetwork.random(graph, seed=23, domain_size=3)
+    print(f"Markov network on {graph.summary()}, ternary variables")
+
+    candidates = []
+    start = time.monotonic()
+    for triangulation in itertools.islice(
+        enumerate_minimal_triangulations(graph, triangulator="lb_triang"), 40
+    ):
+        decomposition = triangulation.tree_decomposition()
+        candidates.append(
+            (log_table_volume(decomposition, 3), decomposition, triangulation)
+        )
+    elapsed = time.monotonic() - start
+    print(f"enumerated {len(candidates)} decompositions in {elapsed:.2f}s")
+
+    candidates.sort(key=lambda item: item[0])
+    best_volume, best, __ = candidates[0]
+    worst_volume, worst, __ = candidates[-1]
+    print(f"table volume: best 2^{best_volume:.2f}, worst 2^{worst_volume:.2f} "
+          f"({2 ** (worst_volume - best_volume):.1f}x difference)")
+    print("best decomposition metrics:", summary(best, graph, 3))
+
+    z_values = []
+    for label, decomposition in (("best", best), ("worst", worst)):
+        start = time.monotonic()
+        result = calibrate(model, decomposition)
+        elapsed = time.monotonic() - start
+        z_values.append(result.partition_function)
+        print(
+            f"{label}: Z={result.partition_function:.6e} "
+            f"max table={result.max_table_entries} "
+            f"total tables={result.total_table_entries} "
+            f"time={elapsed * 1000:.1f}ms"
+        )
+    spread = abs(z_values[0] - z_values[1]) / z_values[0]
+    print(f"partition functions agree to relative error {spread:.2e}")
+
+    variable = graph.nodes()[0]
+    marginal = calibrate(model, best).normalized_marginal(variable)
+    print(f"marginal of {variable}: {[round(p, 4) for p in marginal]}")
+
+
+if __name__ == "__main__":
+    main()

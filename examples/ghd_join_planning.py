@@ -1,0 +1,80 @@
+"""GHD-based join planning: same width, very different plans.
+
+Run with ``python examples/ghd_join_planning.py``.
+
+The database story of the paper (and of Kalinsky et al.): the primal
+graph of a join query has many proper tree decompositions, they all
+compute the same answer, and — even at equal width — they differ
+substantially in intermediate-result sizes.  This example builds a
+5-cycle join query with skewed synthetic relations, enumerates its
+generalized hypertree decompositions through the library, evaluates
+the full join under each with the Yannakakis-style engine, and ranks
+the plans by their measured maximum intermediate size.
+"""
+
+from __future__ import annotations
+
+from repro.db import EvaluationStatistics, Relation, evaluate_naive, evaluate_with_ghd
+from repro.hypergraph import Hypergraph, enumerate_ghds
+
+
+def build_query() -> tuple[Hypergraph, dict[str, Relation]]:
+    hypergraph = Hypergraph(
+        {
+            "R": ("a", "b"),
+            "S": ("b", "c"),
+            "T": ("c", "d"),
+            "U": ("d", "e"),
+            "V": ("e", "a"),
+        }
+    )
+    # Skewed relations: R is large, the others small — plans that
+    # materialise R-heavy bags early pay for it.
+    instance = {
+        "R": Relation.random(("a", "b"), 300, 25, seed=41),
+        "S": Relation.random(("b", "c"), 60, 25, seed=42),
+        "T": Relation.random(("c", "d"), 60, 25, seed=43),
+        "U": Relation.random(("d", "e"), 60, 25, seed=44),
+        "V": Relation.random(("e", "a"), 60, 25, seed=45),
+    }
+    return hypergraph, instance
+
+
+def main() -> None:
+    hypergraph, instance = build_query()
+    print("query: 5-cycle join R(a,b) S(b,c) T(c,d) U(d,e) V(e,a)")
+    print("sizes:", {name: len(rel) for name, rel in instance.items()})
+
+    naive_stats = EvaluationStatistics()
+    expected = evaluate_naive(hypergraph, instance, naive_stats)
+    print(
+        f"naive fold join: {len(expected)} answers, "
+        f"max intermediate {naive_stats.max_intermediate}"
+    )
+
+    plans = []
+    for ghd in enumerate_ghds(hypergraph):
+        stats = EvaluationStatistics()
+        result = evaluate_with_ghd(hypergraph, instance, ghd, stats)
+        assert result == expected.project(result.attributes)
+        plans.append((stats.max_intermediate, stats.total_intermediate, ghd))
+
+    plans.sort(key=lambda plan: plan[0])
+    print(f"\n{len(plans)} GHD plans, all width "
+          f"{plans[0][2].width}, all returning the same answer:")
+    for max_intermediate, total, ghd in plans:
+        bags = [
+            "{" + ",".join(sorted(map(str, bag))) + "}"
+            for bag in ghd.decomposition.bags
+        ]
+        print(
+            f"  max-int {max_intermediate:6d}  total {total:7d}  "
+            f"bags {' '.join(bags)}"
+        )
+    best, worst = plans[0][0], plans[-1][0]
+    print(f"\nbest plan beats worst by {worst / best:.2f}x on max "
+          "intermediate size — same width, same answer")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,50 @@
+"""Junction-tree inference: shrink the width of a Markov network.
+
+Run with ``python examples/probabilistic_inference.py``.
+
+Exact inference in a probabilistic graphical model is exponential in
+the width of the junction tree used, so every saved unit of width is a
+constant-factor speedup of the whole inference workload.  This example
+takes an object-detection-style Markov Random Field, runs the anytime
+enumeration for a few seconds with both triangulation back-ends, and
+reports the width/fill improvements over the plain heuristics — the
+paper's Section 6.3 measurement in miniature.
+"""
+
+from __future__ import annotations
+
+from repro.experiments import run_enumeration
+from repro.workloads.pgm import object_detection_like
+
+
+def main() -> None:
+    graph = object_detection_like(seed=7)
+    print(f"object-detection MRF: {graph.summary()}")
+
+    for triangulator in ("mcs_m", "lb_triang"):
+        trace = run_enumeration(
+            graph,
+            triangulator=triangulator,
+            time_budget=5.0,
+            name="objdetect",
+        )
+        print(f"\n{triangulator} (5s anytime budget):")
+        print(f"  triangulations generated : {trace.count}")
+        print(f"  width  first -> best     : {trace.first_width} -> {trace.min_width}")
+        print(f"  fill   first -> best     : {trace.first_fill} -> {trace.min_fill}")
+        print(
+            "  results at least as good as the plain heuristic: "
+            f"{trace.num_at_most_first_width} by width, "
+            f"{trace.num_at_most_first_fill} by fill"
+        )
+        saved = trace.first_width - trace.min_width
+        if saved > 0:
+            # A table over k binary variables has 2^k entries.
+            print(
+                f"  junction-tree speedup for binary variables: ~2^{saved} = "
+                f"{2 ** saved}x smaller largest table"
+            )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,42 @@
+"""Quickstart: enumerate the minimal triangulations of a small graph.
+
+Run with ``python examples/quickstart.py``.
+
+Builds the 4-cycle plus a pendant node, enumerates its minimal
+triangulations and proper tree decompositions, and shows the
+correspondence between the two (paper Sections 4 and 5).
+"""
+
+from repro import (
+    Graph,
+    enumerate_minimal_triangulations,
+    enumerate_proper_tree_decompositions,
+    is_chordal,
+)
+
+
+def main() -> None:
+    # A 4-cycle a-b-c-d plus a pendant node e attached to a.
+    graph = Graph(edges=[("a", "b"), ("b", "c"), ("c", "d"), ("d", "a"), ("a", "e")])
+    print(f"input: {graph.summary()}, chordal: {is_chordal(graph)}")
+
+    print("\nminimal triangulations:")
+    for triangulation in enumerate_minimal_triangulations(graph):
+        print(
+            f"  fill={list(triangulation.fill_edges)}  "
+            f"width={triangulation.width}  fill-size={triangulation.fill}  "
+            f"minimal={triangulation.is_minimal()}"
+        )
+
+    print("\nproper tree decompositions (one per bag-equivalence class):")
+    for decomposition in enumerate_proper_tree_decompositions(graph, per_class=True):
+        bags = [sorted(bag) for bag in decomposition.bags]
+        print(f"  bags={bags}  width={decomposition.width}")
+
+    print("\nall proper tree decompositions (every clique tree):")
+    count = sum(1 for __ in enumerate_proper_tree_decompositions(graph))
+    print(f"  total: {count}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,23 @@
+"""Exhaustive baselines: brute-force oracles and the DunceCap-style planner."""
+
+from repro.baselines.brute_force import (
+    brute_force_maximal_cliques,
+    brute_force_maximal_independent_sets,
+    brute_force_maximal_parallel_families,
+    brute_force_minimal_separators,
+    brute_force_minimal_triangulations,
+)
+from repro.baselines.duncecap import (
+    count_duncecap_decompositions,
+    duncecap_tree_decompositions,
+)
+
+__all__ = [
+    "brute_force_minimal_separators",
+    "brute_force_minimal_triangulations",
+    "brute_force_maximal_cliques",
+    "brute_force_maximal_independent_sets",
+    "brute_force_maximal_parallel_families",
+    "duncecap_tree_decompositions",
+    "count_duncecap_decompositions",
+]

@@ -1,0 +1,171 @@
+"""A DunceCap-style exhaustive decomposition enumerator (system S24).
+
+The paper compares against the DunceCap plan enumerator (Tu & Ré,
+SIGMOD 2015), which exhaustively enumerates generalized hypertree
+decompositions of small join queries by top-down recursion: pick a
+root bag, split the remainder into connected components, and recurse
+into each component with the component's neighbourhood as the
+*interface* that must be contained in the child's root bag.  The
+original system is closed-source; this module implements the same
+search over tree-decomposition *bag trees*, which is the part the
+paper's comparison exercises (the paper reports DunceCap being 3–4
+orders of magnitude slower than the SGR enumeration on small TPC-H
+queries and not terminating on Q7/Q9 within two hours).
+
+The search is exponential in the number of candidate bags, so callers
+must bound the bag size.  To avoid rediscovering one tree from many
+roots, each root bag is required to contain the smallest not-yet-fixed
+node — the canonical-choice rule DunceCap-style planners use.  Two
+decompositions are considered equal when they have the same bag
+multiset and the same bag-content tree edges.
+"""
+
+from __future__ import annotations
+
+import itertools
+from collections.abc import Iterator
+
+from repro.decomposition.tree_decomposition import TreeDecomposition
+from repro.errors import EnumerationBudgetExceeded
+from repro.graph.components import components_without
+from repro.graph.graph import Graph, Node, _sort_nodes
+
+__all__ = ["duncecap_tree_decompositions", "count_duncecap_decompositions"]
+
+
+def duncecap_tree_decompositions(
+    graph: Graph,
+    max_bag_size: int,
+    max_results: int | None = None,
+) -> Iterator[TreeDecomposition]:
+    """Exhaustively enumerate bag trees with bags of size ≤ ``max_bag_size``.
+
+    Every produced object is a valid tree decomposition of ``graph``
+    whose bags all have at most ``max_bag_size`` nodes.  This is
+    intentionally brute force — it is the *slow baseline* of
+    experiment E9 in DESIGN.md.
+
+    Parameters
+    ----------
+    max_results:
+        Optional hard stop; raises
+        :class:`~repro.errors.EnumerationBudgetExceeded` when reached,
+        so benchmark runs cannot run away.
+    """
+    if max_bag_size < 1:
+        raise ValueError("max_bag_size must be at least 1")
+    nodes = frozenset(graph.node_set())
+    if not nodes:
+        yield TreeDecomposition.build([frozenset()], [])
+        return
+
+    produced = 0
+    seen: set[tuple] = set()
+    for bags, edges in _decompose(graph, nodes, frozenset(), max_bag_size):
+        key = _canonical_key(bags, edges)
+        if key in seen:
+            continue
+        seen.add(key)
+        yield TreeDecomposition.build(bags, edges)
+        produced += 1
+        if max_results is not None and produced >= max_results:
+            raise EnumerationBudgetExceeded(
+                f"DunceCap baseline produced {produced} decompositions; "
+                "raise max_results to continue"
+            )
+
+
+def count_duncecap_decompositions(graph: Graph, max_bag_size: int) -> int:
+    """Count the bag trees produced by :func:`duncecap_tree_decompositions`."""
+    return sum(1 for __ in duncecap_tree_decompositions(graph, max_bag_size))
+
+
+def _bag_key(bag: frozenset[Node]) -> tuple:
+    return tuple(sorted(map(repr, bag)))
+
+
+def _canonical_key(
+    bags: list[frozenset[Node]], edges: list[tuple[int, int]]
+) -> tuple:
+    bag_part = tuple(sorted(map(_bag_key, bags)))
+    edge_part = tuple(
+        sorted(
+            tuple(sorted((_bag_key(bags[a]), _bag_key(bags[b]))))
+            for a, b in edges
+        )
+    )
+    return bag_part, edge_part
+
+
+def _decompose(
+    graph: Graph,
+    region: frozenset[Node],
+    interface: frozenset[Node],
+    max_bag_size: int,
+) -> Iterator[tuple[list[frozenset[Node]], list[tuple[int, int]]]]:
+    """Yield (bags, edges) trees decomposing ``region`` given ``interface``.
+
+    The interface is the set of region nodes shared with the parent
+    bag; it must be fully contained in the root bag of this subtree so
+    the running-intersection property holds.
+    """
+    for bag in _candidate_bags(graph, region, interface, max_bag_size):
+        components = components_without(graph.subgraph(region), bag)
+        if not components:
+            if region - bag:
+                continue
+            yield [bag], []
+            continue
+        child_specs = []
+        for component in components:
+            child_interface = frozenset(
+                graph.neighborhood_of_set(component) & bag
+            )
+            child_specs.append(
+                (frozenset(component | child_interface), child_interface)
+            )
+        child_options = [
+            list(_decompose(graph, child_region, child_interface, max_bag_size))
+            for child_region, child_interface in child_specs
+        ]
+        if any(not options for options in child_options):
+            continue
+        for combo in itertools.product(*child_options):
+            bags: list[frozenset[Node]] = [bag]
+            edges: list[tuple[int, int]] = []
+            for child_bags, child_edges in combo:
+                offset = len(bags)
+                bags.extend(child_bags)
+                edges.append((0, offset))
+                edges.extend((a + offset, b + offset) for a, b in child_edges)
+            yield bags, edges
+
+
+def _candidate_bags(
+    graph: Graph,
+    region: frozenset[Node],
+    interface: frozenset[Node],
+    max_bag_size: int,
+) -> Iterator[frozenset[Node]]:
+    """Enumerate root-bag candidates: interface plus the anchor node.
+
+    The bag must contain the whole interface and the smallest free node
+    of the region (the canonical-choice rule), padded with any further
+    free nodes up to ``max_bag_size``.
+    """
+    free = _sort_nodes(region - interface)
+    base = set(interface)
+    if len(base) > max_bag_size:
+        return
+    if not free:
+        yield frozenset(base)
+        return
+    anchor = free[0]
+    others = [node for node in free if node != anchor]
+    base.add(anchor)
+    if len(base) > max_bag_size:
+        return
+    room = max_bag_size - len(base)
+    for size in range(0, min(room, len(others)) + 1):
+        for extra in itertools.combinations(others, size):
+            yield frozenset(base | set(extra))

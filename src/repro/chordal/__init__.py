@@ -1,0 +1,78 @@
+"""Chordal-graph theory substrate: recognition, cliques, separators, heuristics."""
+
+from repro.chordal.atoms import atoms, clique_minimal_separators
+from repro.chordal.chordal_separators import minimal_separators_of_chordal
+from repro.chordal.lexm import lex_m
+from repro.chordal.cliques import CliqueForest, maximal_cliques, mcs_clique_forest
+from repro.chordal.minimal_separators import (
+    all_minimal_separators,
+    are_crossing,
+    are_parallel,
+    count_minimal_separators,
+    is_minimal_separator,
+    is_pairwise_parallel,
+    minimal_separators,
+)
+from repro.chordal.peo import (
+    elimination_fill_in,
+    is_chordal,
+    is_perfect_elimination_ordering,
+    lex_bfs,
+    maximum_cardinality_search,
+    monotone_adjacencies,
+    peo_or_none,
+    require_chordal,
+    width_of_peo,
+)
+from repro.chordal.sandwich import (
+    is_minimal_triangulation,
+    minimal_triangulation_sandwich,
+)
+from repro.chordal.triangulate import (
+    Triangulator,
+    available_triangulators,
+    elimination_game_triangulation,
+    get_triangulator,
+    lb_triang,
+    mcs_m,
+    min_degree_order,
+    min_fill_order,
+    register_triangulator,
+)
+
+__all__ = [
+    "atoms",
+    "clique_minimal_separators",
+    "CliqueForest",
+    "maximal_cliques",
+    "mcs_clique_forest",
+    "minimal_separators",
+    "all_minimal_separators",
+    "count_minimal_separators",
+    "are_crossing",
+    "are_parallel",
+    "is_minimal_separator",
+    "is_pairwise_parallel",
+    "minimal_separators_of_chordal",
+    "is_chordal",
+    "is_perfect_elimination_ordering",
+    "lex_bfs",
+    "maximum_cardinality_search",
+    "monotone_adjacencies",
+    "peo_or_none",
+    "require_chordal",
+    "elimination_fill_in",
+    "width_of_peo",
+    "is_minimal_triangulation",
+    "minimal_triangulation_sandwich",
+    "Triangulator",
+    "available_triangulators",
+    "get_triangulator",
+    "register_triangulator",
+    "elimination_game_triangulation",
+    "lb_triang",
+    "mcs_m",
+    "lex_m",
+    "min_degree_order",
+    "min_fill_order",
+]

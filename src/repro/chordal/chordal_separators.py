@@ -1,0 +1,39 @@
+"""Minimal separators of a chordal graph in (near-)linear time (S9).
+
+Kumar and Madhavan showed that the minimal separators of a chordal
+graph can be computed in linear time; the paper's ``Extend`` uses this
+as its final step (``ExtractMinSeps``).  We realise the same bound via
+the clique forest: by the classical clique-tree theorem, the minimal
+separators of a connected chordal graph are exactly the labels
+``K_i ∩ K_j`` of the clique-tree edges, and the MCS construction of
+:func:`repro.chordal.cliques.mcs_clique_forest` produces those labels
+directly.
+
+By the paper's definitions the empty set is additionally a minimal
+separator of every *disconnected* graph, so it is included in that
+case, keeping this function consistent with the general-purpose
+enumerator in :mod:`repro.chordal.minimal_separators`.
+"""
+
+from __future__ import annotations
+
+from repro.chordal.cliques import mcs_clique_forest
+from repro.graph.graph import Graph, Node
+
+__all__ = ["minimal_separators_of_chordal"]
+
+
+def minimal_separators_of_chordal(graph: Graph) -> set[frozenset[Node]]:
+    """Return ``MinSep(graph)`` for a chordal ``graph``.
+
+    Raises :class:`~repro.errors.NotChordalError` on non-chordal input.
+    A chordal graph has strictly fewer minimal separators than nodes
+    (Rose), which is what makes the sets returned here small enough to
+    serve as SGR independent sets.
+    """
+    forest = mcs_clique_forest(graph)
+    separators = {sep for sep in forest.separators if sep is not None}
+    component_roots = sum(1 for p in forest.parent if p is None)
+    if component_roots > 1:
+        separators.add(frozenset())
+    return separators

@@ -1,0 +1,109 @@
+"""LEX-M: minimal triangulation by lexicographic search (extension).
+
+LEX-M (Rose–Tarjan–Lueker 1976) is the historical ancestor of MCS-M
+and the third classic member of the pluggable ``Triangulate`` family:
+vertices carry *lexicographic labels* instead of integer weights, are
+numbered from n down to 1 by largest label, and a vertex u is updated
+(label extended, fill edge added) when it is reachable from the chosen
+vertex v through unnumbered vertices whose labels are all strictly
+smaller than u's.  The output is a minimal triangulation together with
+a minimal elimination ordering, exactly like MCS-M — but the two
+algorithms explore different orderings, so plugging LEX-M into
+``Extend`` diversifies the enumeration differently.
+
+Registered in the triangulator registry as ``"lex_m"``.
+"""
+
+from __future__ import annotations
+
+import heapq
+
+from repro.graph.graph import Graph, Node, _sort_nodes, edge_key, sort_edges
+
+__all__ = ["lex_m"]
+
+
+def _key(node: Node) -> tuple[str, str]:
+    return (type(node).__name__, repr(node))
+
+
+def lex_m(graph: Graph) -> tuple[list[tuple[Node, Node]], list[Node]]:
+    """Run LEX-M; return ``(fill_edges, minimal_elimination_ordering)``.
+
+    ``graph + fill`` is a minimal triangulation of ``graph`` and the
+    returned ordering (eliminated-first first) is a perfect elimination
+    ordering of it.
+    """
+    adj = graph._adj  # noqa: SLF001
+    labels: dict[Node, tuple[int, ...]] = {node: () for node in adj}
+    unnumbered: set[Node] = set(adj)
+    fill: list[tuple[Node, Node]] = []
+    reverse_order: list[Node] = []
+    n = len(adj)
+
+    for number in range(n, 0, -1):
+        v = max(
+            _sort_nodes(unnumbered),
+            key=lambda node: labels[node],
+        )
+        unnumbered.discard(v)
+        reverse_order.append(v)
+        reachable = _lexm_reachable(adj, labels, unnumbered, v)
+        for u in reachable:
+            labels[u] = labels[u] + (number,)
+            if u not in adj[v]:
+                fill.append(edge_key(u, v))
+
+    reverse_order.reverse()
+    return sort_edges(fill), reverse_order
+
+
+def _lexm_reachable(
+    adj: dict[Node, set[Node]],
+    labels: dict[Node, tuple[int, ...]],
+    unnumbered: set[Node],
+    v: Node,
+) -> list[Node]:
+    """Vertices u reachable from v through strictly smaller-labelled paths.
+
+    Minimax Dijkstra over lexicographic labels: ``key(u)`` is the
+    minimum over v→u paths of the maximum internal label (``None``
+    playing −∞ for direct edges); u qualifies iff ``key(u) < label(u)``.
+    """
+    best: dict[Node, tuple[int, ...] | None] = {}
+    counter = 0
+    heap: list[tuple[tuple[int, ...], int, Node]] = []
+    for u in adj[v]:
+        if u in unnumbered:
+            best[u] = None
+            heapq.heappush(heap, ((), counter, u))
+            counter += 1
+    while heap:
+        key_tuple, __, u = heapq.heappop(heap)
+        current = best.get(u, ())
+        normalised = () if current is None else key_tuple
+        if current is not None and key_tuple != current:
+            continue
+        through = max(
+            key_tuple if current is not None else (),
+            labels[u],
+        )
+        for x in adj[u]:
+            if x not in unnumbered or x == v:
+                continue
+            existing = best.get(x, _MISSING)
+            if existing is _MISSING or (
+                existing is not None and through < existing
+            ):
+                best[x] = through
+                heapq.heappush(heap, (through, counter, x))
+                counter += 1
+    result = []
+    for u, key_value in best.items():
+        threshold = labels[u]
+        if key_value is None or key_value < threshold:
+            result.append(u)
+    return result
+
+
+_MISSING = object()

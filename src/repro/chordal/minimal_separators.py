@@ -1,0 +1,138 @@
+"""Minimal separators: enumeration and the crossing relation (S7–S8).
+
+This module provides the two access algorithms of the separator-graph
+SGR (paper Section 3.1.1):
+
+* :func:`minimal_separators` — ``Ams_V``: a polynomial-delay generator
+  of all minimal separators, the variation of Berry–Bordat–Cogis shown
+  in the paper's Figure 2.  Separators close to single-node
+  neighbourhoods seed a queue; popping a separator S and removing
+  ``S ∪ N(x)`` for each ``x ∈ S`` reveals new separators as component
+  neighbourhoods.  The delay between results is O(|V|³).
+* :func:`are_crossing` — ``Ams_E``: S crosses T iff removing S leaves
+  nodes of T in at least two connected components (equivalently, S is
+  a (u, v)-separator for some u, v ∈ T).  The relation is symmetric
+  (Parra–Scheffler / Kloks–Kratsch–Spinrad).
+
+Conventions
+-----------
+For a *disconnected* graph the empty set is, by the paper's
+definitions, a minimal (u, v)-separator for u and v in different
+components; the enumerator therefore yields ``frozenset()`` exactly
+once for disconnected inputs.  The empty separator crosses nothing.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from collections.abc import Iterable, Iterator
+
+from repro.graph.components import components_without, full_components
+from repro.graph.graph import Graph, Node, _sort_nodes
+
+__all__ = [
+    "minimal_separators",
+    "all_minimal_separators",
+    "are_crossing",
+    "are_parallel",
+    "is_minimal_separator",
+    "is_pairwise_parallel",
+    "count_minimal_separators",
+]
+
+Separator = frozenset[Node]
+
+
+def minimal_separators(graph: Graph) -> Iterator[Separator]:
+    """Enumerate ``MinSep(graph)`` with polynomial delay (paper Figure 2).
+
+    Yields each minimal separator exactly once, as a frozenset.  The
+    generator is lazy: consuming k results costs O(k · |V|³) in the
+    worst case regardless of |MinSep|, which is what makes it usable as
+    the node iterator of the separator-graph SGR.
+    """
+    adj = graph._adj  # noqa: SLF001
+    if not adj:
+        return
+
+    queue: deque[Separator] = deque()
+    seen: set[Separator] = set()
+
+    def discover(separator: Separator) -> None:
+        if separator not in seen:
+            seen.add(separator)
+            queue.append(separator)
+
+    # Seeds: neighbourhoods of the components of g \ N[v] for every v.
+    for v in _sort_nodes(adj.keys()):
+        closed = adj[v] | {v}
+        for component in components_without(graph, closed):
+            discover(frozenset(graph.neighborhood_of_set(component)))
+
+    # The empty set is a minimal separator iff the graph is disconnected,
+    # in which case it already appeared as a seed (a foreign component
+    # has an empty neighbourhood).  A connected graph never seeds it.
+    while queue:
+        separator = queue.popleft()
+        for x in _sort_nodes(separator):
+            removed = separator | adj[x]
+            for component in components_without(graph, removed):
+                discover(frozenset(graph.neighborhood_of_set(component)))
+        yield separator
+
+
+def all_minimal_separators(graph: Graph) -> set[Separator]:
+    """Return ``MinSep(graph)`` as a set (drains :func:`minimal_separators`)."""
+    return set(minimal_separators(graph))
+
+
+def count_minimal_separators(graph: Graph) -> int:
+    """Return ``|MinSep(graph)|``."""
+    return sum(1 for __ in minimal_separators(graph))
+
+
+def are_crossing(graph: Graph, s: Iterable[Node], t: Iterable[Node]) -> bool:
+    """Return whether minimal separators S and T cross (``S ♮ T``).
+
+    S crosses T iff S is a (u, v)-separator for some u, v ∈ T, i.e.
+    the nodes of ``T \\ S`` meet at least two connected components of
+    ``g \\ S``.  Symmetric for minimal separators.
+    """
+    s_set = frozenset(s)
+    t_set = frozenset(t)
+    remainder = t_set - s_set
+    if not remainder:
+        return False
+    touched = 0
+    for component in components_without(graph, s_set):
+        if component & remainder:
+            touched += 1
+            if touched >= 2:
+                return True
+    return False
+
+
+def are_parallel(graph: Graph, s: Iterable[Node], t: Iterable[Node]) -> bool:
+    """Return whether S and T are parallel (non-crossing)."""
+    return not are_crossing(graph, s, t)
+
+
+def is_pairwise_parallel(graph: Graph, separators: Iterable[Iterable[Node]]) -> bool:
+    """Return whether every two separators in the collection are parallel."""
+    sets = [frozenset(sep) for sep in separators]
+    for i, s in enumerate(sets):
+        for t in sets[i + 1 :]:
+            if are_crossing(graph, s, t):
+                return False
+    return True
+
+
+def is_minimal_separator(graph: Graph, candidate: Iterable[Node]) -> bool:
+    """Return whether ``candidate`` is a minimal separator of ``graph``.
+
+    Uses the classical characterisation: S is a minimal separator iff
+    ``g \\ S`` has at least two *full* components (components C with
+    ``N(C) = S``).  The empty set qualifies exactly when the graph is
+    disconnected.
+    """
+    return len(full_components(graph, candidate)) >= 2

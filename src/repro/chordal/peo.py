@@ -1,0 +1,227 @@
+"""Chordality recognition via perfect elimination orderings (system S5).
+
+A *perfect elimination ordering* (PEO) of a graph is an ordering
+``v_1, …, v_n`` of its nodes such that for every ``v_i``, the later
+neighbours ``madj(v_i) = N(v_i) ∩ {v_{i+1}, …, v_n}`` form a clique.
+A graph is chordal iff it admits a PEO (Fulkerson–Gross / Rose).
+
+This module provides:
+
+* :func:`maximum_cardinality_search` — Tarjan–Yannakakis MCS; the
+  reverse of the visit order is a PEO iff the graph is chordal;
+* :func:`lex_bfs` — lexicographic BFS, an alternative linear-time
+  search with the same property, used for cross-checking;
+* :func:`is_perfect_elimination_ordering` — the classic linear-time
+  verification (Rose–Tarjan–Lueker / Golumbic);
+* :func:`is_chordal` — MCS followed by PEO verification;
+* :func:`elimination_fill_in` / :func:`monotone_adjacencies` — the
+  *elimination game* bookkeeping shared by the triangulation
+  heuristics in :mod:`repro.chordal.triangulate`.
+"""
+
+from __future__ import annotations
+
+import heapq
+from collections.abc import Sequence
+
+from repro.errors import NotChordalError
+from repro.graph.graph import Graph, Node, _sort_nodes, edge_key
+
+__all__ = [
+    "maximum_cardinality_search",
+    "lex_bfs",
+    "is_perfect_elimination_ordering",
+    "is_chordal",
+    "peo_or_none",
+    "require_chordal",
+    "monotone_adjacencies",
+    "elimination_fill_in",
+    "width_of_peo",
+]
+
+
+def maximum_cardinality_search(graph: Graph, first: Node | None = None) -> list[Node]:
+    """Return the MCS *visit order* (first visited node first).
+
+    MCS repeatedly visits an unvisited node with the maximum number of
+    already-visited neighbours, breaking ties by node order for
+    determinism.  The **reverse** of the returned list is a perfect
+    elimination ordering iff ``graph`` is chordal.
+
+    Parameters
+    ----------
+    first:
+        Optional start node (visited first).  Varying the start node
+        yields different PEOs of the same chordal graph.
+    """
+    adj = graph._adj  # noqa: SLF001 - hot path
+    if first is not None and first not in adj:
+        raise KeyError(first)
+    weights: dict[Node, int] = {node: 0 for node in adj}
+    if first is not None:
+        weights[first] = 1  # forces `first` to be picked first
+    visited: set[Node] = set()
+    order: list[Node] = []
+    # A lazy max-heap over (-weight, sort_key, node); stale entries are
+    # skipped on pop.  sort_key makes tie-breaking deterministic.
+    heap: list[tuple[int, tuple[str, str], Node]] = []
+    for node in _sort_nodes(adj.keys()):
+        heapq.heappush(heap, (-weights[node], _key(node), node))
+    while len(order) < len(adj):
+        weight, __, node = heapq.heappop(heap)
+        if node in visited or -weight != weights[node]:
+            continue
+        visited.add(node)
+        order.append(node)
+        for neigh in adj[node]:
+            if neigh not in visited:
+                weights[neigh] += 1
+                heapq.heappush(heap, (-weights[neigh], _key(neigh), neigh))
+    return order
+
+
+def _key(node: Node) -> tuple[str, str]:
+    return (type(node).__name__, repr(node))
+
+
+def lex_bfs(graph: Graph) -> list[Node]:
+    """Return the Lex-BFS visit order (first visited node first).
+
+    Implemented with partition refinement over a list of buckets.  As
+    with MCS, the reverse of the visit order is a PEO iff the graph is
+    chordal.
+    """
+    adj = graph._adj  # noqa: SLF001
+    if not adj:
+        return []
+    buckets: list[list[Node]] = [_sort_nodes(adj.keys())]
+    order: list[Node] = []
+    while buckets:
+        head = buckets[0]
+        node = head.pop(0)
+        if not head:
+            buckets.pop(0)
+        order.append(node)
+        neighbours = adj[node]
+        new_buckets: list[list[Node]] = []
+        for bucket in buckets:
+            inside = [candidate for candidate in bucket if candidate in neighbours]
+            outside = [candidate for candidate in bucket if candidate not in neighbours]
+            if inside:
+                new_buckets.append(inside)
+            if outside:
+                new_buckets.append(outside)
+        buckets = new_buckets
+    return order
+
+
+def is_perfect_elimination_ordering(graph: Graph, order: Sequence[Node]) -> bool:
+    """Return whether ``order`` is a perfect elimination ordering.
+
+    Uses the Rose–Tarjan–Lueker test: for each node ``v`` let ``p(v)``
+    be its earliest later neighbour (its *parent*); the ordering is a
+    PEO iff for every ``v``, ``madj(v) \\ {p(v)} ⊆ madj(p(v))``.  This
+    avoids the quadratic all-pairs clique check.
+    """
+    adj = graph._adj  # noqa: SLF001
+    if set(order) != set(adj) or len(order) != len(adj):
+        raise ValueError("order must be a permutation of the node set")
+    position = {node: i for i, node in enumerate(order)}
+    madj: dict[Node, set[Node]] = {
+        node: {neigh for neigh in adj[node] if position[neigh] > position[node]}
+        for node in order
+    }
+    for node in order:
+        later = madj[node]
+        if not later:
+            continue
+        parent = min(later, key=position.__getitem__)
+        if not (later - {parent}) <= madj[parent]:
+            return False
+    return True
+
+
+def is_chordal(graph: Graph) -> bool:
+    """Return whether ``graph`` is chordal (no induced cycle of length > 3)."""
+    return peo_or_none(graph) is not None
+
+
+def peo_or_none(graph: Graph) -> list[Node] | None:
+    """Return a PEO of ``graph``, or ``None`` if the graph is not chordal."""
+    order = maximum_cardinality_search(graph)
+    order.reverse()
+    if is_perfect_elimination_ordering(graph, order):
+        return order
+    return None
+
+
+def require_chordal(graph: Graph) -> list[Node]:
+    """Return a PEO of ``graph``; raise :class:`NotChordalError` otherwise."""
+    peo = peo_or_none(graph)
+    if peo is None:
+        raise NotChordalError(f"{graph.summary()} is not chordal")
+    return peo
+
+
+def monotone_adjacencies(
+    graph: Graph, order: Sequence[Node]
+) -> dict[Node, frozenset[Node]]:
+    """Return ``madj(v)`` (later neighbours of v) for every node of ``order``."""
+    position = {node: i for i, node in enumerate(order)}
+    adj = graph._adj  # noqa: SLF001
+    return {
+        node: frozenset(
+            neigh for neigh in adj[node] if position[neigh] > position[node]
+        )
+        for node in order
+    }
+
+
+def elimination_fill_in(
+    graph: Graph, order: Sequence[Node]
+) -> list[tuple[Node, Node]]:
+    """Play the *elimination game* along ``order`` and return the fill.
+
+    Nodes are eliminated in the given order; eliminating a node
+    saturates its not-yet-eliminated neighbourhood.  The returned list
+    holds the added (fill) edges as canonical tuples, in elimination
+    order.  ``graph`` is not modified.  The filled graph
+    ``graph + fill`` is always a (not necessarily minimal)
+    triangulation, and ``order`` is a PEO of it.
+    """
+    if set(order) != graph.node_set() or len(order) != graph.num_nodes:
+        raise ValueError("order must be a permutation of the node set")
+    position = {node: i for i, node in enumerate(order)}
+    # Work adjacency restricted to not-yet-eliminated ("later") nodes.
+    later_adj: dict[Node, set[Node]] = {
+        node: {neigh for neigh in graph.neighbors(node) if position[neigh] > position[node]}
+        for node in order
+    }
+    fill: list[tuple[Node, Node]] = []
+    # For the saturation step we need, for each eliminated node, its
+    # *current* higher neighbourhood, which grows as fill accumulates.
+    current: dict[Node, set[Node]] = later_adj
+    for node in order:
+        higher = _sort_nodes(current[node])
+        for i, u in enumerate(higher):
+            for v in higher[i + 1 :]:
+                if position[u] < position[v]:
+                    low, high = u, v
+                else:
+                    low, high = v, u
+                if high not in current[low]:
+                    current[low].add(high)
+                    fill.append(edge_key(u, v))
+    return fill
+
+
+def width_of_peo(graph: Graph, peo: Sequence[Node]) -> int:
+    """Return the width (max clique size − 1) of a chordal graph via a PEO.
+
+    For a chordal graph with PEO ``peo``, every maximal clique is of the
+    form ``{v} ∪ madj(v)``, so the width is ``max |madj(v)|``.
+    """
+    if not peo:
+        return -1
+    madj = monotone_adjacencies(graph, peo)
+    return max(len(later) for later in madj.values())

@@ -1,0 +1,132 @@
+"""The minimal triangulation sandwich problem (system S11).
+
+Given a graph ``g`` and an arbitrary triangulation ``h`` of it, find a
+*minimal* triangulation ``h'`` with ``E(g) ⊆ E(h') ⊆ E(h)``.  This is
+the ``MinTriSandwich`` subroutine of the paper's ``Extend`` (Figure 3);
+it is only exercised when the plugged-in ``Triangulate`` heuristic does
+not already guarantee minimality (e.g. the elimination game or the
+trivial complete-graph triangulation).
+
+The implementation follows the classic Rose–Tarjan–Lueker exchange
+lemma: a triangulation is minimal iff no *single* fill edge can be
+removed without breaking chordality, and greedily removing removable
+fill edges one at a time always terminates in a minimal triangulation.
+Candidate edges are rescanned after every successful removal because a
+removal can turn a previously necessary edge removable — but never the
+other way round within one pass, which keeps the loop quadratic in the
+number of fill edges.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable
+
+from repro.chordal.peo import is_chordal, require_chordal
+from repro.errors import NotATriangulationError
+from repro.graph.graph import Graph, Node, edge_key, sort_edges
+
+__all__ = ["minimal_triangulation_sandwich", "is_minimal_triangulation"]
+
+
+def minimal_triangulation_sandwich(
+    graph: Graph,
+    triangulation: Graph | Iterable[tuple[Node, Node]],
+) -> tuple[Graph, list[tuple[Node, Node]]]:
+    """Shrink ``triangulation`` to a minimal triangulation of ``graph``.
+
+    Parameters
+    ----------
+    graph:
+        The base graph g.
+    triangulation:
+        Either a chordal supergraph h of g on the same node set, or the
+        iterable of fill edges ``E(h) \\ E(g)``.
+
+    Returns
+    -------
+    (minimal, fill):
+        The minimal triangulation as a new graph, and its sorted fill
+        edges.
+
+    Raises
+    ------
+    NotATriangulationError
+        If ``triangulation`` is not a chordal supergraph of ``graph``
+        on the same node set.
+    """
+    filled, fill_edges = _as_filled(graph, triangulation)
+    require_chordal_triangulation(graph, filled)
+
+    candidates = sort_edges(fill_edges)
+    changed = True
+    while changed:
+        changed = False
+        survivors: list[tuple[Node, Node]] = []
+        for u, v in candidates:
+            filled.remove_edge(u, v)
+            if is_chordal(filled):
+                changed = True
+            else:
+                filled.add_edge(u, v)
+                survivors.append((u, v))
+        candidates = survivors
+    return filled, candidates
+
+
+def is_minimal_triangulation(graph: Graph, triangulation: Graph) -> bool:
+    """Return whether ``triangulation`` is a *minimal* triangulation of ``graph``.
+
+    Checks that it is a chordal supergraph on the same node set and
+    that removing any single fill edge breaks chordality (the
+    Rose–Tarjan–Lueker characterisation of minimality).
+    """
+    if triangulation.node_set() != graph.node_set():
+        return False
+    if not graph.edge_set() <= triangulation.edge_set():
+        return False
+    if not is_chordal(triangulation):
+        return False
+    work = triangulation.copy()
+    for edge in triangulation.edge_set() - graph.edge_set():
+        u, v = tuple(edge)
+        work.remove_edge(u, v)
+        chordal_without = is_chordal(work)
+        work.add_edge(u, v)
+        if chordal_without:
+            return False
+    return True
+
+
+def _as_filled(
+    graph: Graph,
+    triangulation: Graph | Iterable[tuple[Node, Node]],
+) -> tuple[Graph, list[tuple[Node, Node]]]:
+    if isinstance(triangulation, Graph):
+        if triangulation.node_set() != graph.node_set():
+            raise NotATriangulationError(
+                "triangulation must have the same node set as the base graph"
+            )
+        if not graph.edge_set() <= triangulation.edge_set():
+            raise NotATriangulationError(
+                "triangulation must be a supergraph of the base graph"
+            )
+        fill = [
+            edge_key(*edge)
+            for edge in (triangulation.edge_set() - graph.edge_set())
+        ]
+        return triangulation.copy(), fill
+    filled = graph.copy()
+    fill = []
+    for u, v in triangulation:
+        if not filled.has_edge(u, v):
+            filled.add_edge(u, v)
+            fill.append(edge_key(u, v))
+    return filled, fill
+
+
+def require_chordal_triangulation(graph: Graph, filled: Graph) -> None:
+    """Raise :class:`NotATriangulationError` unless ``filled`` triangulates ``graph``."""
+    try:
+        require_chordal(filled)
+    except Exception as exc:  # NotChordalError
+        raise NotATriangulationError(str(exc)) from exc

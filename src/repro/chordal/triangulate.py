@@ -1,0 +1,397 @@
+"""Triangulation algorithms (system S10): the pluggable ``Triangulate`` box.
+
+The paper's ``Extend`` procedure (Figure 3) accepts *any* polynomial
+time triangulation heuristic.  This module implements the two
+algorithms used in the paper's experiments plus the classic
+elimination-game baselines:
+
+* :func:`mcs_m` — **MCS-M** (Berry–Blair–Heggernes 2002): Maximum
+  Cardinality Search extended with a weighted-path rule; produces a
+  *minimal* triangulation together with its minimal elimination
+  ordering.
+* :func:`lb_triang` — **LB-Triang** (Berry–Bordat–Heggernes–Simonet–
+  Villanger 2006): processes vertices in an arbitrary (possibly
+  dynamically chosen) order, making each vertex *LB-simplicial* by
+  saturating the neighbourhoods of the components of ``H \\ N_H[v]``;
+  produces a *minimal* triangulation for every ordering.
+* :func:`elimination_game_triangulation` — the textbook elimination
+  game with *min-fill*, *min-degree* or *natural* orderings; **not**
+  guaranteed minimal, which exercises the ``MinTriSandwich`` path of
+  ``Extend``.
+
+All functions leave the input graph untouched and return the fill as a
+sorted list of canonical edges; :class:`Triangulator` packages a
+heuristic with its minimality guarantee for use by
+:mod:`repro.core.extend`.
+"""
+
+from __future__ import annotations
+
+import heapq
+from collections.abc import Callable, Sequence
+from dataclasses import dataclass
+
+from repro.chordal.peo import elimination_fill_in
+from repro.graph.components import components_without
+from repro.graph.graph import Graph, Node, _sort_nodes, edge_key, sort_edges
+
+__all__ = [
+    "mcs_m",
+    "lb_triang",
+    "min_fill_order",
+    "min_degree_order",
+    "elimination_game_triangulation",
+    "Triangulator",
+    "get_triangulator",
+    "available_triangulators",
+    "register_triangulator",
+]
+
+
+def _key(node: Node) -> tuple[str, str]:
+    return (type(node).__name__, repr(node))
+
+
+# ----------------------------------------------------------------------
+# MCS-M
+# ----------------------------------------------------------------------
+
+
+def mcs_m(graph: Graph, first: Node | None = None) -> tuple[list[tuple[Node, Node]], list[Node]]:
+    """Run MCS-M; return ``(fill_edges, minimal_elimination_ordering)``.
+
+    MCS-M numbers vertices from n down to 1.  At each step it picks an
+    unnumbered vertex ``v`` of maximum weight and finds the set S of
+    unnumbered vertices ``u`` reachable from ``v`` through unnumbered
+    paths whose *internal* vertices all have weight strictly smaller
+    than ``w(u)``; every such ``u`` gains weight 1, and ``{u, v}``
+    becomes a fill edge if not already an edge.  ``graph + fill`` is a
+    minimal triangulation and the returned ordering (eliminated-first
+    first) is a minimal elimination ordering of it.
+
+    Parameters
+    ----------
+    first:
+        Optional vertex forced to receive the highest number (be chosen
+        first); varying it diversifies the produced triangulation.
+    """
+    adj = graph._adj  # noqa: SLF001
+    weights: dict[Node, int] = {node: 0 for node in adj}
+    if first is not None:
+        if first not in adj:
+            raise KeyError(first)
+        weights[first] = 1
+    unnumbered: set[Node] = set(adj)
+    heap: list[tuple[int, tuple[str, str], Node]] = [
+        (-weights[node], _key(node), node) for node in _sort_nodes(adj.keys())
+    ]
+    heapq.heapify(heap)
+    fill: list[tuple[Node, Node]] = []
+    reverse_order: list[Node] = []
+
+    while unnumbered:
+        while True:
+            weight, __, v = heapq.heappop(heap)
+            if v in unnumbered and -weight == weights[v]:
+                break
+        unnumbered.discard(v)
+        reverse_order.append(v)
+        reachable = _mcs_m_reachable(adj, weights, unnumbered, v)
+        for u in reachable:
+            weights[u] += 1
+            heapq.heappush(heap, (-weights[u], _key(u), u))
+            if u not in adj[v]:
+                fill.append(edge_key(u, v))
+
+    reverse_order.reverse()
+    fill = sort_edges(fill)
+    return fill, reverse_order
+
+
+def _mcs_m_reachable(
+    adj: dict[Node, set[Node]],
+    weights: dict[Node, int],
+    unnumbered: set[Node],
+    v: Node,
+) -> list[Node]:
+    """Return the MCS-M update set S for vertex ``v``.
+
+    ``u ∈ S`` iff there is a path from v to u through unnumbered
+    vertices whose internal vertices all have weight < w(u).  Computed
+    with a minimax Dijkstra: ``key(u)`` is the minimum over paths of
+    the maximum internal weight (−1 when a direct edge exists); then
+    ``u ∈ S ⟺ key(u) < w(u)``.
+    """
+    key: dict[Node, int] = {}
+    heap: list[tuple[int, tuple[str, str], Node]] = []
+    for u in adj[v]:
+        if u in unnumbered:
+            key[u] = -1
+            heapq.heappush(heap, (-1, _key(u), u))
+    while heap:
+        k, __, u = heapq.heappop(heap)
+        if k != key.get(u):
+            continue
+        # Expand through u: u becomes an internal vertex.
+        through = max(k, weights[u])
+        for x in adj[u]:
+            if x not in unnumbered or x == v:
+                continue
+            if through < key.get(x, _INF):
+                key[x] = through
+                heapq.heappush(heap, (through, _key(x), x))
+    return [u for u, k in key.items() if k < weights[u]]
+
+
+_INF = float("inf")
+
+
+# ----------------------------------------------------------------------
+# LB-Triang
+# ----------------------------------------------------------------------
+
+
+def lb_triang(
+    graph: Graph,
+    order: Sequence[Node] | None = None,
+    heuristic: str = "min_fill",
+) -> list[tuple[Node, Node]]:
+    """Run LB-Triang; return the fill edges of a minimal triangulation.
+
+    Vertices are processed once each, either in the explicit ``order``
+    or chosen dynamically by ``heuristic``:
+
+    * ``"min_fill"`` — next vertex minimises the number of missing
+      edges in its current neighbourhood (the heuristic used in the
+      paper's experiments);
+    * ``"min_degree"`` — next vertex has minimum current degree;
+    * ``"natural"`` — sorted node order.
+
+    Processing v saturates ``N_H(C)`` for every connected component C
+    of ``H \\ N_H[v]`` (H is the evolving filled graph), which makes v
+    LB-simplicial; by Berry et al.'s confluence theorem the final H is
+    a minimal triangulation for every ordering.
+    """
+    filled = graph.copy()
+    remaining = set(filled.node_set())
+    explicit = list(order) if order is not None else None
+    if explicit is not None and (
+        set(explicit) != remaining or len(explicit) != len(remaining)
+    ):
+        raise ValueError("order must be a permutation of the node set")
+    if explicit is None and heuristic not in {"min_fill", "min_degree", "natural"}:
+        raise ValueError(f"unknown LB-Triang heuristic {heuristic!r}")
+    fill: list[tuple[Node, Node]] = []
+    # Fill-deficiency cache for the dynamic min-fill heuristic: an entry
+    # goes stale only when the node's neighbourhood or the edges inside
+    # it change, i.e. for the endpoints of an added edge and for their
+    # common neighbours.
+    deficiency: dict[Node, int] = {}
+    step = 0
+    while remaining:
+        if explicit is not None:
+            v = explicit[step]
+            step += 1
+        else:
+            v = _pick_dynamic(filled, remaining, heuristic, deficiency)
+        remaining.discard(v)
+        closed = filled.adjacency(v) | {v}
+        added_this_step: list[tuple[Node, Node]] = []
+        for component in components_without(filled, closed):
+            separator = filled.neighborhood_of_set(component)
+            added_this_step.extend(filled.saturate(separator))
+        fill.extend(added_this_step)
+        if explicit is None and heuristic == "min_fill":
+            adj = filled._adj  # noqa: SLF001
+            for a, b in added_this_step:
+                deficiency.pop(a, None)
+                deficiency.pop(b, None)
+                for common in adj[a] & adj[b]:
+                    deficiency.pop(common, None)
+    return sort_edges(fill)
+
+
+def _pick_dynamic(
+    filled: Graph,
+    remaining: set[Node],
+    heuristic: str,
+    deficiency: dict[Node, int],
+) -> Node:
+    candidates = _sort_nodes(remaining)
+    if heuristic == "natural":
+        return candidates[0]
+    if heuristic == "min_degree":
+        return min(candidates, key=lambda node: (filled.degree(node), _key(node)))
+    best: Node | None = None
+    best_score: tuple[int, tuple[str, str]] | None = None
+    for node in candidates:
+        score = deficiency.get(node)
+        if score is None:
+            score = len(filled.missing_edges(filled.adjacency(node)))
+            deficiency[node] = score
+        ranked = (score, _key(node))
+        if best_score is None or ranked < best_score:
+            best, best_score = node, ranked
+    assert best is not None
+    return best
+
+
+# ----------------------------------------------------------------------
+# Elimination-game heuristics (not necessarily minimal)
+# ----------------------------------------------------------------------
+
+
+def min_fill_order(graph: Graph) -> list[Node]:
+    """Return a min-fill elimination ordering (greedy, recomputed each step)."""
+    work = graph.copy()
+    order: list[Node] = []
+    while work.num_nodes:
+        node = min(
+            work.nodes(),
+            key=lambda v: (len(work.missing_edges(work.adjacency(v))), _key(v)),
+        )
+        order.append(node)
+        work.saturate(work.adjacency(node))
+        work.remove_node(node)
+    return order
+
+
+def min_degree_order(graph: Graph) -> list[Node]:
+    """Return a min-degree elimination ordering (greedy)."""
+    work = graph.copy()
+    order: list[Node] = []
+    while work.num_nodes:
+        node = min(work.nodes(), key=lambda v: (work.degree(v), _key(v)))
+        order.append(node)
+        work.saturate(work.adjacency(node))
+        work.remove_node(node)
+    return order
+
+
+def elimination_game_triangulation(
+    graph: Graph, ordering: str | Sequence[Node] = "min_fill"
+) -> list[tuple[Node, Node]]:
+    """Triangulate via the elimination game; return the fill edges.
+
+    ``ordering`` may be ``"min_fill"``, ``"min_degree"``, ``"natural"``
+    or an explicit node sequence.  The result is a triangulation but is
+    **not** guaranteed minimal — callers that need minimality must pass
+    it through :func:`repro.chordal.sandwich.minimal_triangulation_sandwich`.
+    """
+    if isinstance(ordering, str):
+        if ordering == "min_fill":
+            order = min_fill_order(graph)
+        elif ordering == "min_degree":
+            order = min_degree_order(graph)
+        elif ordering == "natural":
+            order = graph.nodes()
+        else:
+            raise ValueError(f"unknown ordering {ordering!r}")
+    else:
+        order = list(ordering)
+    return elimination_fill_in(graph, order)
+
+
+# ----------------------------------------------------------------------
+# Triangulator registry
+# ----------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class Triangulator:
+    """A named triangulation heuristic with its minimality guarantee.
+
+    ``fill`` maps a graph to the list of fill edges of a triangulation
+    of it; ``guarantees_minimal`` tells ``Extend`` whether the sandwich
+    step can be skipped (it is skipped for MCS-M and LB-Triang, exactly
+    as in the paper's experiments).
+    """
+
+    name: str
+    fill: Callable[[Graph], list[tuple[Node, Node]]]
+    guarantees_minimal: bool
+
+    def triangulate(self, graph: Graph) -> tuple[Graph, list[tuple[Node, Node]]]:
+        """Return ``(filled graph, fill edges)`` for ``graph``."""
+        fill_edges = self.fill(graph)
+        filled = graph.copy()
+        filled.add_edges(fill_edges)
+        return filled, fill_edges
+
+
+_REGISTRY: dict[str, Triangulator] = {}
+
+
+def register_triangulator(triangulator: Triangulator) -> None:
+    """Register a custom heuristic under ``triangulator.name``."""
+    _REGISTRY[triangulator.name] = triangulator
+
+
+def get_triangulator(name: str | Triangulator) -> Triangulator:
+    """Resolve ``name`` to a :class:`Triangulator` (identity on instances)."""
+    if isinstance(name, Triangulator):
+        return name
+    try:
+        return _REGISTRY[name]
+    except KeyError:
+        known = ", ".join(sorted(_REGISTRY))
+        raise ValueError(f"unknown triangulator {name!r} (known: {known})") from None
+
+
+def available_triangulators() -> list[str]:
+    """Return the names of all registered heuristics."""
+    return sorted(_REGISTRY)
+
+
+register_triangulator(
+    Triangulator("mcs_m", lambda g: mcs_m(g)[0], guarantees_minimal=True)
+)
+register_triangulator(
+    Triangulator("lb_triang", lambda g: lb_triang(g), guarantees_minimal=True)
+)
+register_triangulator(
+    Triangulator(
+        "lb_triang_min_degree",
+        lambda g: lb_triang(g, heuristic="min_degree"),
+        guarantees_minimal=True,
+    )
+)
+register_triangulator(
+    Triangulator(
+        "min_fill",
+        lambda g: elimination_game_triangulation(g, "min_fill"),
+        guarantees_minimal=False,
+    )
+)
+register_triangulator(
+    Triangulator(
+        "min_degree",
+        lambda g: elimination_game_triangulation(g, "min_degree"),
+        guarantees_minimal=False,
+    )
+)
+register_triangulator(
+    Triangulator(
+        "natural",
+        lambda g: elimination_game_triangulation(g, "natural"),
+        guarantees_minimal=False,
+    )
+)
+register_triangulator(
+    Triangulator(
+        "complete",
+        lambda g: g.missing_edges(),
+        guarantees_minimal=False,
+    )
+)
+
+
+def _lex_m_fill(graph: Graph) -> list[tuple[Node, Node]]:
+    from repro.chordal.lexm import lex_m
+
+    return lex_m(graph)[0]
+
+
+register_triangulator(
+    Triangulator("lex_m", _lex_m_fill, guarantees_minimal=True)
+)

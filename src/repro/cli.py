@@ -1,0 +1,310 @@
+"""Command-line interface (``python -m repro``).
+
+Subcommands:
+
+* ``enumerate`` — stream the minimal triangulations of a graph file,
+  optionally exporting the best tree decomposition in PACE ``.td``
+  format;
+* ``separators`` — stream the minimal separators;
+* ``stats``      — structural summary (size, chordality, atoms,
+  separator count);
+* ``tpch``       — run the TPC-H query experiment table.
+
+Graph files are auto-detected by extension or forced with ``--format``:
+``edgelist`` (``u v`` lines), ``dimacs`` (``p edge``), ``pace``
+(``p tw``) or ``uai`` (UAI model preamble → primal graph).
+"""
+
+from __future__ import annotations
+
+import argparse
+import itertools
+import sys
+import time
+from pathlib import Path
+
+from repro.chordal.atoms import atoms
+from repro.chordal.minimal_separators import minimal_separators
+from repro.chordal.peo import is_chordal
+from repro.chordal.triangulate import available_triangulators
+from repro.core.enumerate import enumerate_minimal_triangulations
+from repro.decomposition.io import write_pace_td
+from repro.graph.graph import Graph
+from repro.graph.io import (
+    read_dimacs,
+    read_edge_list,
+    read_pace_graph,
+    read_uai_model,
+)
+
+__all__ = ["main", "build_parser", "load_graph"]
+
+_READERS = {
+    "edgelist": read_edge_list,
+    "dimacs": read_dimacs,
+    "pace": read_pace_graph,
+    "uai": read_uai_model,
+}
+
+_EXTENSIONS = {
+    ".edges": "edgelist",
+    ".edgelist": "edgelist",
+    ".txt": "edgelist",
+    ".col": "dimacs",
+    ".dimacs": "dimacs",
+    ".gr": "pace",
+    ".uai": "uai",
+}
+
+
+def load_graph(path: str, fmt: str | None = None) -> Graph:
+    """Load a graph file, inferring the format from the extension."""
+    if fmt is None:
+        fmt = _EXTENSIONS.get(Path(path).suffix.lower())
+        if fmt is None:
+            raise ValueError(
+                f"cannot infer format from {path!r}; pass --format"
+            )
+    try:
+        reader = _READERS[fmt]
+    except KeyError:
+        raise ValueError(
+            f"unknown format {fmt!r}; choose from {sorted(_READERS)}"
+        ) from None
+    return reader(path)
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Construct the argument parser (exposed for testing and docs)."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Enumerate minimal triangulations and proper tree "
+        "decompositions (Carmeli et al., PODS 2017).",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    def add_graph_arguments(p: argparse.ArgumentParser) -> None:
+        p.add_argument("graph", help="path to the input graph file")
+        p.add_argument(
+            "--format",
+            choices=sorted(_READERS),
+            help="input format (default: by file extension)",
+        )
+
+    enum = sub.add_parser(
+        "enumerate", help="enumerate minimal triangulations"
+    )
+    add_graph_arguments(enum)
+    enum.add_argument(
+        "--triangulator",
+        default="mcs_m",
+        choices=available_triangulators(),
+        help="heuristic plugged into Extend (default: mcs_m)",
+    )
+    enum.add_argument(
+        "--budget", type=float, default=None, help="wall-clock budget in seconds"
+    )
+    enum.add_argument(
+        "--max-results", type=int, default=None, help="stop after this many results"
+    )
+    enum.add_argument(
+        "--decompose",
+        default="components",
+        choices=("none", "components", "atoms"),
+        help="split the input before enumerating (default: components)",
+    )
+    enum.add_argument(
+        "--show-fill",
+        action="store_true",
+        help="print the fill edges of every triangulation",
+    )
+    enum.add_argument(
+        "--td-out",
+        default=None,
+        help="write the best-width tree decomposition here (PACE .td)",
+    )
+
+    seps = sub.add_parser("separators", help="enumerate minimal separators")
+    add_graph_arguments(seps)
+    seps.add_argument(
+        "--limit", type=int, default=None, help="stop after this many separators"
+    )
+
+    stats = sub.add_parser("stats", help="structural summary of a graph")
+    add_graph_arguments(stats)
+    stats.add_argument(
+        "--separator-cap",
+        type=int,
+        default=10_000,
+        help="cap on the separator count (default 10000)",
+    )
+
+    tpch = sub.add_parser("tpch", help="run the TPC-H query experiment")
+    tpch.add_argument(
+        "--cap", type=int, default=2000, help="per-query result cap (default 2000)"
+    )
+
+    tw = sub.add_parser(
+        "treewidth",
+        help="anytime treewidth: best-first search with a lower-bound stop",
+    )
+    add_graph_arguments(tw)
+    tw.add_argument(
+        "--budget", type=float, default=None, help="wall-clock budget in seconds"
+    )
+    tw.add_argument(
+        "--max-results",
+        type=int,
+        default=None,
+        help="cap on examined triangulations",
+    )
+    tw.add_argument(
+        "--td-out",
+        default=None,
+        help="write the best tree decomposition here (PACE .td)",
+    )
+
+    rep = sub.add_parser(
+        "report", help="regenerate all experiment artefacts in one run"
+    )
+    rep.add_argument(
+        "--budget", type=float, default=1.0, help="per-graph budget in seconds"
+    )
+    rep.add_argument(
+        "--scale", type=float, default=0.06, help="dataset scale fraction"
+    )
+    return parser
+
+
+def _command_enumerate(args: argparse.Namespace) -> int:
+    graph = load_graph(args.graph, args.format)
+    print(f"{graph.summary()}; chordal: {is_chordal(graph)}")
+    best = None
+    count = 0
+    start = time.monotonic()
+    for t in enumerate_minimal_triangulations(
+        graph, triangulator=args.triangulator, decompose=args.decompose
+    ):
+        count += 1
+        elapsed = time.monotonic() - start
+        line = f"[{elapsed:8.3f}s] #{count} width={t.width} fill={t.fill}"
+        if args.show_fill:
+            line += f" edges={list(t.fill_edges)}"
+        print(line)
+        if best is None or t.width < best.width:
+            best = t
+        if args.max_results is not None and count >= args.max_results:
+            print(f"stopping: reached --max-results {args.max_results}")
+            break
+        if args.budget is not None and elapsed >= args.budget:
+            print(f"stopping: exhausted --budget {args.budget}s")
+            break
+    else:
+        print("enumeration complete")
+    print(f"{count} minimal triangulations; best width {best.width}")
+    if args.td_out is not None:
+        decomposition = best.tree_decomposition()
+        write_pace_td(decomposition, graph, args.td_out)
+        print(f"wrote best tree decomposition to {args.td_out}")
+    return 0
+
+
+def _command_separators(args: argparse.Namespace) -> int:
+    graph = load_graph(args.graph, args.format)
+    iterator = minimal_separators(graph)
+    if args.limit is not None:
+        iterator = itertools.islice(iterator, args.limit)
+    count = 0
+    for separator in iterator:
+        count += 1
+        print(" ".join(str(v) for v in sorted(separator, key=repr)))
+    print(f"# {count} minimal separators", file=sys.stderr)
+    return 0
+
+
+def _command_stats(args: argparse.Namespace) -> int:
+    graph = load_graph(args.graph, args.format)
+    chordal = is_chordal(graph)
+    print(f"nodes:    {graph.num_nodes}")
+    print(f"edges:    {graph.num_edges}")
+    print(f"chordal:  {'yes' if chordal else 'no'}")
+    graph_atoms = atoms(graph)
+    print(f"atoms:    {len(graph_atoms)} (sizes: "
+          f"{sorted((len(a) for a in graph_atoms), reverse=True)[:10]})")
+    capped = list(
+        itertools.islice(minimal_separators(graph), args.separator_cap + 1)
+    )
+    if len(capped) > args.separator_cap:
+        print(f"minseps:  > {args.separator_cap} (capped)")
+    else:
+        print(f"minseps:  {len(capped)}")
+    return 0
+
+
+def _command_tpch(args: argparse.Namespace) -> int:
+    from repro.workloads.tpch import tpch_suite
+
+    print("query  n   m   chordal  #mintri  time(s)")
+    for name, graph in tpch_suite():
+        start = time.monotonic()
+        count = 0
+        for __ in enumerate_minimal_triangulations(graph):
+            count += 1
+            if count >= args.cap:
+                break
+        elapsed = time.monotonic() - start
+        print(
+            f"{name:<6} {graph.num_nodes:<3} {graph.num_edges:<3} "
+            f"{'yes' if is_chordal(graph) else 'no':<8} {count:<8} {elapsed:.2f}"
+        )
+    return 0
+
+
+def _command_treewidth(args: argparse.Namespace) -> int:
+    from repro.core.bounds import treewidth_lower_bound
+    from repro.core.ranked import anytime_treewidth
+
+    graph = load_graph(args.graph, args.format)
+    lower = treewidth_lower_bound(graph)
+    print(f"{graph.summary()}; lower bound {lower}")
+    width, best, optimal = anytime_treewidth(
+        graph, time_budget=args.budget, max_results=args.max_results
+    )
+    certainty = "exact" if optimal else "upper bound"
+    print(f"treewidth {certainty}: {width}")
+    if args.td_out is not None:
+        write_pace_td(best.tree_decomposition(), graph, args.td_out)
+        print(f"wrote tree decomposition to {args.td_out}")
+    return 0
+
+
+def _command_report(args: argparse.Namespace) -> int:
+    from repro.experiments.report import full_report
+
+    print(full_report(budget=args.budget, scale=args.scale))
+    return 0
+
+
+_COMMANDS = {
+    "enumerate": _command_enumerate,
+    "separators": _command_separators,
+    "stats": _command_stats,
+    "tpch": _command_tpch,
+    "treewidth": _command_treewidth,
+    "report": _command_report,
+}
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        return _COMMANDS[args.command](args)
+    except (ValueError, OSError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via __main__
+    sys.exit(main())

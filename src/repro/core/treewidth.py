@@ -1,0 +1,175 @@
+"""Exact treewidth and minimum fill-in for small graphs (system S18).
+
+These exponential-time references are used by the test-suite and the
+quality experiments as ground truth: both measures are minimised by
+*some* elimination ordering, and the elimination game depends only on
+the *set* of already-eliminated vertices, not their order — which
+yields a Held–Karp style dynamic program over vertex subsets.
+
+For an eliminated set S and a vertex v ∉ S:
+
+* ``reach(S, v)`` — the neighbours of v in the partially filled graph:
+  vertices outside S ∪ {v} adjacent to v or connected to it through S;
+* the width cost of eliminating v next is ``|reach(S, v)|``;
+* the fill cost is the number of pairs in ``reach(S, v)`` not yet
+  connected in the filled graph (u, w connected iff ``w ∈ reach(S, u)``).
+
+Treewidth minimises the maximum width cost along the ordering; minimum
+fill-in minimises the total fill cost.  Complexity is O*(2^n), so both
+functions refuse graphs above an explicit node bound.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from functools import lru_cache
+
+from repro.graph.graph import Graph, Node
+
+__all__ = ["treewidth_exact", "min_fill_in_exact"]
+
+_DEFAULT_TW_LIMIT = 18
+_DEFAULT_FILL_LIMIT = 13
+
+
+def treewidth_exact(graph: Graph, max_nodes: int = _DEFAULT_TW_LIMIT) -> int:
+    """Return the exact treewidth of ``graph`` (DP over vertex subsets).
+
+    Raises
+    ------
+    ValueError
+        If the graph has more than ``max_nodes`` nodes (the DP visits
+        2^n subsets).
+    """
+    nodes = graph.nodes()
+    n = len(nodes)
+    if n > max_nodes:
+        raise ValueError(
+            f"treewidth_exact is exponential; {n} nodes exceeds the "
+            f"limit of {max_nodes}"
+        )
+    if n == 0:
+        return -1
+    index = {node: i for i, node in enumerate(nodes)}
+    adjacency = [
+        sum(1 << index[neigh] for neigh in graph.neighbors(node)) for node in nodes
+    ]
+    full = (1 << n) - 1
+
+    @lru_cache(maxsize=None)
+    def reach_mask(eliminated: int, v: int) -> int:
+        """Bitmask of reach(S, v): current neighbours of v after S."""
+        seen = 1 << v
+        frontier = deque([v])
+        reached = 0
+        while frontier:
+            u = frontier.popleft()
+            candidates = adjacency[u] & ~seen
+            seen |= candidates
+            reached |= candidates & ~eliminated
+            # Only eliminated vertices conduct reachability further.
+            through = candidates & eliminated
+            while through:
+                low = through & -through
+                frontier.append(low.bit_length() - 1)
+                through &= through - 1
+        return reached
+
+    @lru_cache(maxsize=None)
+    def best_width(eliminated: int) -> int:
+        if eliminated == full:
+            return -1
+        best = n  # upper bound: width ≤ n - 1 always
+        remaining = full & ~eliminated
+        mask = remaining
+        while mask:
+            low = mask & -mask
+            v = low.bit_length() - 1
+            mask &= mask - 1
+            cost = reach_mask(eliminated, v).bit_count()
+            if cost >= best:
+                continue  # cannot improve the max along this branch
+            tail = best_width(eliminated | low)
+            best = min(best, max(cost, tail))
+        return best
+
+    result = best_width(0)
+    best_width.cache_clear()
+    reach_mask.cache_clear()
+    return result
+
+
+def min_fill_in_exact(graph: Graph, max_nodes: int = _DEFAULT_FILL_LIMIT) -> int:
+    """Return the exact minimum fill-in (minimum triangulation size).
+
+    Raises
+    ------
+    ValueError
+        If the graph has more than ``max_nodes`` nodes.
+    """
+    nodes = graph.nodes()
+    n = len(nodes)
+    if n > max_nodes:
+        raise ValueError(
+            f"min_fill_in_exact is exponential; {n} nodes exceeds the "
+            f"limit of {max_nodes}"
+        )
+    if n == 0:
+        return 0
+    index = {node: i for i, node in enumerate(nodes)}
+    adjacency = [
+        sum(1 << index[neigh] for neigh in graph.neighbors(node)) for node in nodes
+    ]
+    full = (1 << n) - 1
+
+    @lru_cache(maxsize=None)
+    def reach_mask(eliminated: int, v: int) -> int:
+        seen = 1 << v
+        frontier = deque([v])
+        reached = 0
+        while frontier:
+            u = frontier.popleft()
+            candidates = adjacency[u] & ~seen
+            seen |= candidates
+            reached |= candidates & ~eliminated
+            through = candidates & eliminated
+            while through:
+                low = through & -through
+                frontier.append(low.bit_length() - 1)
+                through &= through - 1
+        return reached
+
+    def fill_cost(eliminated: int, v: int) -> int:
+        neighbourhood = reach_mask(eliminated, v)
+        cost = 0
+        mask = neighbourhood
+        while mask:
+            low = mask & -mask
+            u = low.bit_length() - 1
+            mask &= mask - 1
+            # Pairs (u, w) with w later in the mask and not connected.
+            missing = mask & ~reach_mask(eliminated, u) & ~adjacency[u]
+            cost += missing.bit_count()
+        return cost
+
+    @lru_cache(maxsize=None)
+    def best_fill(eliminated: int) -> int:
+        if eliminated == full:
+            return 0
+        best: int | None = None
+        remaining = full & ~eliminated
+        mask = remaining
+        while mask:
+            low = mask & -mask
+            v = low.bit_length() - 1
+            mask &= mask - 1
+            total = fill_cost(eliminated, v) + best_fill(eliminated | low)
+            if best is None or total < best:
+                best = total
+        assert best is not None
+        return best
+
+    result = best_fill(0)
+    best_fill.cache_clear()
+    reach_mask.cache_clear()
+    return result

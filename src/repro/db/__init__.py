@@ -1,0 +1,18 @@
+"""Join evaluation over tree decompositions (application substrate)."""
+
+from repro.db.evaluate import (
+    EvaluationStatistics,
+    evaluate_naive,
+    evaluate_with_ghd,
+)
+from repro.db.relation import Relation, fold_join, natural_join, semijoin
+
+__all__ = [
+    "Relation",
+    "natural_join",
+    "semijoin",
+    "fold_join",
+    "EvaluationStatistics",
+    "evaluate_naive",
+    "evaluate_with_ghd",
+]

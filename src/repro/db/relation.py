@@ -1,0 +1,188 @@
+"""In-memory relations for join evaluation (extension substrate).
+
+The paper's database motivation: a (multi)join query's evaluation plan
+is a (generalized hyper)tree decomposition, and same-width
+decompositions can differ by orders of magnitude in intermediate-result
+size.  This module supplies the relational algebra needed to *measure*
+that: named-attribute relations with natural join, projection,
+selection and semijoin.
+
+Rows are stored as tuples aligned with the attribute order; attribute
+names are the query variables (matching
+:class:`~repro.hypergraph.hypergraph.Hypergraph` scopes).
+"""
+
+from __future__ import annotations
+
+import itertools
+import random
+from collections.abc import Callable, Iterable, Mapping, Sequence
+
+__all__ = ["Relation", "natural_join", "semijoin", "fold_join"]
+
+Row = tuple
+
+
+class Relation:
+    """An immutable named-attribute relation.
+
+    Parameters
+    ----------
+    attributes:
+        Ordered, duplicate-free attribute names.
+    rows:
+        Iterable of tuples of matching arity.
+    """
+
+    __slots__ = ("attributes", "rows")
+
+    def __init__(self, attributes: Sequence[str], rows: Iterable[Row]) -> None:
+        self.attributes: tuple[str, ...] = tuple(attributes)
+        if len(set(self.attributes)) != len(self.attributes):
+            raise ValueError("duplicate attribute names")
+        frozen = frozenset(tuple(row) for row in rows)
+        for row in frozen:
+            if len(row) != len(self.attributes):
+                raise ValueError(
+                    f"row {row!r} has arity {len(row)}, expected "
+                    f"{len(self.attributes)}"
+                )
+        self.rows: frozenset[Row] = frozen
+
+    # ------------------------------------------------------------------
+    # Construction helpers
+    # ------------------------------------------------------------------
+
+    @classmethod
+    def empty(cls, attributes: Sequence[str]) -> "Relation":
+        """A relation with no rows."""
+        return cls(attributes, ())
+
+    @classmethod
+    def unit(cls) -> "Relation":
+        """The attribute-free relation with one (empty) row — the join unit."""
+        return cls((), ((),))
+
+    @classmethod
+    def random(
+        cls,
+        attributes: Sequence[str],
+        num_rows: int,
+        domain: int,
+        seed: int,
+    ) -> "Relation":
+        """A random relation with values drawn from ``range(domain)``."""
+        rng = random.Random(seed)
+        rows = {
+            tuple(rng.randrange(domain) for __ in attributes)
+            for __ in range(num_rows)
+        }
+        return cls(attributes, rows)
+
+    # ------------------------------------------------------------------
+    # Basics
+    # ------------------------------------------------------------------
+
+    @property
+    def arity(self) -> int:
+        return len(self.attributes)
+
+    def __len__(self) -> int:
+        return len(self.rows)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Relation):
+            return NotImplemented
+        if set(self.attributes) != set(other.attributes):
+            return False
+        return self.rows == other.reordered(self.attributes).rows
+
+    def __hash__(self) -> int:
+        canonical = tuple(sorted(self.attributes))
+        return hash((canonical, self.reordered(canonical).rows))
+
+    def __repr__(self) -> str:
+        return f"Relation(attributes={self.attributes!r}, rows={len(self.rows)})"
+
+    # ------------------------------------------------------------------
+    # Algebra
+    # ------------------------------------------------------------------
+
+    def reordered(self, attributes: Sequence[str]) -> "Relation":
+        """The same relation with columns permuted to ``attributes``."""
+        target = tuple(attributes)
+        if set(target) != set(self.attributes) or len(target) != self.arity:
+            raise ValueError("reordering must permute the existing attributes")
+        index = [self.attributes.index(a) for a in target]
+        return Relation(target, (tuple(row[i] for i in index) for row in self.rows))
+
+    def project(self, attributes: Sequence[str]) -> "Relation":
+        """Projection (with duplicate elimination)."""
+        target = tuple(attributes)
+        unknown = set(target) - set(self.attributes)
+        if unknown:
+            raise ValueError(f"unknown attributes {sorted(unknown)}")
+        index = [self.attributes.index(a) for a in target]
+        return Relation(target, {tuple(row[i] for i in index) for row in self.rows})
+
+    def select(self, predicate: Callable[[Mapping[str, object]], bool]) -> "Relation":
+        """Filter rows by a predicate over an attribute → value mapping."""
+        kept = [
+            row
+            for row in self.rows
+            if predicate(dict(zip(self.attributes, row)))
+        ]
+        return Relation(self.attributes, kept)
+
+    def rename(self, mapping: Mapping[str, str]) -> "Relation":
+        """Rename attributes through ``mapping`` (missing keys unchanged)."""
+        renamed = tuple(mapping.get(a, a) for a in self.attributes)
+        return Relation(renamed, self.rows)
+
+
+def natural_join(left: Relation, right: Relation) -> Relation:
+    """The natural join (hash join on the shared attributes)."""
+    shared = [a for a in left.attributes if a in right.attributes]
+    right_only = [a for a in right.attributes if a not in left.attributes]
+    output = left.attributes + tuple(right_only)
+
+    left_key = [left.attributes.index(a) for a in shared]
+    right_key = [right.attributes.index(a) for a in shared]
+    right_rest = [right.attributes.index(a) for a in right_only]
+
+    buckets: dict[Row, list[Row]] = {}
+    for row in right.rows:
+        buckets.setdefault(tuple(row[i] for i in right_key), []).append(row)
+
+    rows = []
+    for row in left.rows:
+        key = tuple(row[i] for i in left_key)
+        for match in buckets.get(key, ()):
+            rows.append(row + tuple(match[i] for i in right_rest))
+    return Relation(output, rows)
+
+
+def semijoin(left: Relation, right: Relation) -> Relation:
+    """Rows of ``left`` that join with at least one row of ``right``."""
+    shared = [a for a in left.attributes if a in right.attributes]
+    if not shared:
+        return left if right.rows else Relation.empty(left.attributes)
+    right_keys = {
+        tuple(row[right.attributes.index(a)] for a in shared)
+        for row in right.rows
+    }
+    left_index = [left.attributes.index(a) for a in shared]
+    kept = [
+        row
+        for row in left.rows
+        if tuple(row[i] for i in left_index) in right_keys
+    ]
+    return Relation(left.attributes, kept)
+
+
+def fold_join(relations: Iterable[Relation]) -> Relation:
+    """Left-to-right natural join of all relations (the naive plan)."""
+    result = Relation.unit()
+    for relation in relations:
+        result = natural_join(result, relation)
+    return result

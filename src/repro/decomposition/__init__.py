@@ -1,0 +1,50 @@
+"""Tree decompositions: data type, clique trees, proper-TD enumeration."""
+
+from repro.decomposition.clique_tree import clique_graph, clique_tree
+from repro.decomposition.io import parse_pace_td, read_pace_td, write_pace_td
+from repro.decomposition.metrics import (
+    adhesion_sizes,
+    adhesion_skew,
+    caching_score,
+    log_table_volume,
+    max_adhesion,
+)
+from repro.decomposition.nice import (
+    NiceTreeDecomposition,
+    make_nice,
+    max_weight_independent_set,
+)
+from repro.decomposition.proper import (
+    enumerate_proper_tree_decompositions,
+    tree_decompositions_of_triangulation,
+)
+from repro.decomposition.spanning_trees import (
+    enumerate_maximum_spanning_trees,
+    enumerate_spanning_trees,
+    maximum_spanning_tree,
+    maximum_spanning_weight,
+)
+from repro.decomposition.tree_decomposition import TreeDecomposition
+
+__all__ = [
+    "TreeDecomposition",
+    "clique_tree",
+    "clique_graph",
+    "write_pace_td",
+    "read_pace_td",
+    "parse_pace_td",
+    "adhesion_sizes",
+    "adhesion_skew",
+    "caching_score",
+    "log_table_volume",
+    "max_adhesion",
+    "NiceTreeDecomposition",
+    "make_nice",
+    "max_weight_independent_set",
+    "enumerate_proper_tree_decompositions",
+    "tree_decompositions_of_triangulation",
+    "enumerate_maximum_spanning_trees",
+    "enumerate_spanning_trees",
+    "maximum_spanning_tree",
+    "maximum_spanning_weight",
+]

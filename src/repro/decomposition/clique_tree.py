@@ -1,0 +1,68 @@
+"""Clique trees of chordal graphs as tree decompositions (system S20).
+
+Jordan's characterisation (paper Theorem 2.3 and Section 5): a chordal
+graph has a tree decomposition whose bags are its cliques, and the tree
+decompositions over the maximal-clique bags are exactly the
+maximum-weight spanning trees of the *clique graph* (cliques as nodes,
+edge weight = intersection size).  :func:`clique_tree` returns the
+canonical one produced by the MCS clique-forest construction;
+:func:`clique_graph` exposes the weighted clique graph used by the
+spanning-tree enumeration of proper tree decompositions.
+"""
+
+from __future__ import annotations
+
+from repro.chordal.cliques import mcs_clique_forest
+from repro.decomposition.tree_decomposition import TreeDecomposition
+from repro.graph.graph import Graph, Node
+
+__all__ = ["clique_tree", "clique_graph"]
+
+
+def clique_tree(graph: Graph) -> TreeDecomposition:
+    """Return a clique tree of a chordal ``graph`` as a tree decomposition.
+
+    Bags are the maximal cliques; the tree edges come from the MCS
+    clique forest.  For a *disconnected* chordal graph the component
+    clique trees are linked through zero-overlap edges (root to
+    previous root) so the result is a single tree, which is what a tree
+    decomposition requires.
+
+    Raises :class:`~repro.errors.NotChordalError` on non-chordal input.
+    """
+    forest = mcs_clique_forest(graph)
+    if not forest.cliques:
+        return TreeDecomposition.build([frozenset()], [])
+    edges: list[tuple[int, int]] = []
+    roots: list[int] = []
+    for i, parent in enumerate(forest.parent):
+        if parent is None:
+            roots.append(i)
+        else:
+            edges.append((i, parent))
+    for previous_root, root in zip(roots, roots[1:]):
+        edges.append((previous_root, root))
+    return TreeDecomposition.build(forest.cliques, edges)
+
+
+def clique_graph(
+    graph: Graph,
+) -> tuple[list[frozenset[Node]], list[tuple[int, int, int]]]:
+    """Return the weighted clique graph of a chordal ``graph``.
+
+    Returns ``(cliques, weighted_edges)`` where each weighted edge is
+    ``(i, j, |cliques[i] ∩ cliques[j]|)`` for every pair of maximal
+    cliques with a non-empty intersection.  By Jordan's theorem, the
+    valid clique trees are exactly the maximum-weight spanning trees of
+    this graph (plus arbitrary linking of components when the input is
+    disconnected).
+    """
+    forest = mcs_clique_forest(graph)
+    cliques = list(forest.cliques)
+    edges: list[tuple[int, int, int]] = []
+    for i in range(len(cliques)):
+        for j in range(i + 1, len(cliques)):
+            weight = len(cliques[i] & cliques[j])
+            if weight > 0:
+                edges.append((i, j, weight))
+    return cliques, edges

@@ -1,0 +1,121 @@
+"""Tree decomposition serialisation in the PACE ``.td`` format (extension).
+
+The PACE challenge exchange format for tree decompositions::
+
+    c optional comments
+    s td <num_bags> <max_bag_size> <num_graph_nodes>
+    b <bag_id> <v1> <v2> ...
+    <bag_id_a> <bag_id_b>          (tree edges)
+
+Bags are 1-indexed; graph nodes are assumed to be 1..n ints (use
+:meth:`~repro.graph.graph.Graph.relabeled` or the mapping returned by
+:func:`write_pace_td` for arbitrary node names).
+"""
+
+from __future__ import annotations
+
+import io
+from pathlib import Path
+from typing import TextIO
+
+from repro.decomposition.tree_decomposition import TreeDecomposition
+from repro.errors import ParseError
+from repro.graph.graph import Graph, Node, _sort_nodes
+
+__all__ = ["write_pace_td", "read_pace_td", "parse_pace_td"]
+
+
+def write_pace_td(
+    decomposition: TreeDecomposition,
+    graph: Graph,
+    target: str | Path | TextIO,
+) -> dict[Node, int]:
+    """Write ``decomposition`` in PACE ``.td`` format.
+
+    Graph nodes are relabelled to 1..n in sorted order; the mapping is
+    returned so callers can translate back.
+    """
+    nodes = _sort_nodes(graph.node_set())
+    index = {node: i + 1 for i, node in enumerate(nodes)}
+    max_bag = max((len(bag) for bag in decomposition.bags), default=0)
+    lines = [
+        f"s td {decomposition.num_bags} {max_bag} {len(nodes)}",
+    ]
+    for bag_id, bag in enumerate(decomposition.bags, start=1):
+        members = " ".join(str(index[v]) for v in _sort_nodes(bag))
+        lines.append(f"b {bag_id}{' ' + members if members else ''}")
+    for a, b in decomposition.tree_edges:
+        lines.append(f"{a + 1} {b + 1}")
+    text = "\n".join(lines) + "\n"
+    if isinstance(target, (str, Path)):
+        Path(target).write_text(text, encoding="utf-8")
+    else:
+        target.write(text)
+    return index
+
+
+def parse_pace_td(text: str) -> TreeDecomposition:
+    """Parse a PACE ``.td`` document; see :func:`read_pace_td`."""
+    return read_pace_td(io.StringIO(text))
+
+
+def read_pace_td(source: str | Path | TextIO) -> TreeDecomposition:
+    """Read a tree decomposition in PACE ``.td`` format.
+
+    Bags come back as frozensets of 1-based int node ids.
+    """
+    if isinstance(source, (str, Path)):
+        stream = open(source, "r", encoding="utf-8")
+        should_close = True
+    else:
+        stream, should_close = source, False
+
+    declared_bags: int | None = None
+    bags: dict[int, frozenset[int]] = {}
+    edges: list[tuple[int, int]] = []
+    try:
+        for line_number, raw_line in enumerate(stream, start=1):
+            line = raw_line.strip()
+            if not line or line.startswith("c"):
+                continue
+            tokens = line.split()
+            if tokens[0] == "s":
+                if declared_bags is not None:
+                    raise ParseError("duplicate solution line", line_number)
+                if len(tokens) != 5 or tokens[1] != "td":
+                    raise ParseError("malformed 's td' line", line_number)
+                try:
+                    declared_bags = int(tokens[2])
+                except ValueError:
+                    raise ParseError("non-integer bag count", line_number) from None
+            elif tokens[0] == "b":
+                if declared_bags is None:
+                    raise ParseError("bag before solution line", line_number)
+                try:
+                    bag_id = int(tokens[1])
+                    members = frozenset(int(t) for t in tokens[2:])
+                except (ValueError, IndexError):
+                    raise ParseError("malformed bag line", line_number) from None
+                if bag_id in bags:
+                    raise ParseError(f"duplicate bag {bag_id}", line_number)
+                bags[bag_id] = members
+            else:
+                if len(tokens) != 2:
+                    raise ParseError("malformed tree-edge line", line_number)
+                try:
+                    a, b = int(tokens[0]), int(tokens[1])
+                except ValueError:
+                    raise ParseError("non-integer bag id", line_number) from None
+                edges.append((a - 1, b - 1))
+    finally:
+        if should_close:
+            stream.close()
+
+    if declared_bags is None:
+        raise ParseError("missing solution line")
+    if set(bags) != set(range(1, declared_bags + 1)):
+        raise ParseError(
+            f"expected bags 1..{declared_bags}, got {sorted(bags)}"
+        )
+    ordered = [bags[i] for i in range(1, declared_bags + 1)]
+    return TreeDecomposition.build(ordered, edges)

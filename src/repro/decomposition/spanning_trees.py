@@ -1,0 +1,220 @@
+"""Enumerating all maximum-weight spanning trees (system S21).
+
+The proper tree decompositions inside one bag-equivalence class are
+exactly the maximum-weight spanning trees of the clique graph (paper
+Section 5, after Jordan's characterisation), so we need to enumerate
+*all* of them with polynomial delay.
+
+The enumeration uses the matroid structure of maximum spanning trees:
+
+1. process distinct edge weights in descending order; after weight w,
+   the connected components of the subgraph of edges with weight ≥ w
+   are the same for *every* maximum spanning tree (greedy exchange
+   property);
+2. therefore a maximum spanning tree decomposes into independent
+   *stage* choices: for each weight w, a maximal spanning forest of the
+   multigraph M_w whose nodes are the components formed by strictly
+   heavier edges and whose edges are the weight-w edges that are not
+   self-loops in that contraction;
+3. all spanning trees of a connected multigraph are enumerated by the
+   classical deletion/contraction recursion (include a chosen edge and
+   contract, or delete it when the graph stays connected), which has
+   polynomial delay;
+4. the stage choices are combined through a restartable cartesian
+   product, keeping the overall delay polynomial.
+
+Edges are identified by their index in the input list, so parallel
+edges and weight ties are handled exactly.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable, Iterator, Sequence
+from typing import TypeVar
+
+__all__ = [
+    "maximum_spanning_tree",
+    "maximum_spanning_weight",
+    "enumerate_spanning_trees",
+    "enumerate_maximum_spanning_trees",
+]
+
+T = TypeVar("T")
+
+WeightedEdge = tuple[int, int, int]  # (u, v, weight); nodes are 0..n-1
+
+
+class _UnionFind:
+    def __init__(self, size: int) -> None:
+        self.parent = list(range(size))
+
+    def find(self, x: int) -> int:
+        root = x
+        while self.parent[root] != root:
+            root = self.parent[root]
+        while self.parent[x] != root:
+            self.parent[x], x = root, self.parent[x]
+        return root
+
+    def union(self, a: int, b: int) -> bool:
+        ra, rb = self.find(a), self.find(b)
+        if ra == rb:
+            return False
+        self.parent[rb] = ra
+        return True
+
+
+def maximum_spanning_tree(
+    num_nodes: int, edges: Sequence[WeightedEdge]
+) -> list[int]:
+    """Return edge indices of one maximum spanning forest (Kruskal).
+
+    Spans every connected component; for a connected graph this is a
+    maximum spanning tree.
+    """
+    order = sorted(range(len(edges)), key=lambda i: -edges[i][2])
+    uf = _UnionFind(num_nodes)
+    chosen: list[int] = []
+    for index in order:
+        u, v, __ = edges[index]
+        if uf.union(u, v):
+            chosen.append(index)
+    return sorted(chosen)
+
+
+def maximum_spanning_weight(num_nodes: int, edges: Sequence[WeightedEdge]) -> int:
+    """Return the total weight of a maximum spanning forest."""
+    return sum(edges[i][2] for i in maximum_spanning_tree(num_nodes, edges))
+
+
+def enumerate_spanning_trees(
+    num_nodes: int, edges: Sequence[tuple[int, int]]
+) -> Iterator[frozenset[int]]:
+    """Enumerate all spanning forests of a multigraph, as edge-index sets.
+
+    For a connected input these are the spanning trees.  Deletion /
+    contraction recursion with a connectivity test before each
+    deletion branch gives polynomial delay.
+    """
+    live_edges = [(u, v, i) for i, (u, v) in enumerate(edges)]
+    yield from _span_forests(num_nodes, live_edges)
+
+
+def _span_forests(
+    num_nodes: int, edges: list[tuple[int, int, int]]
+) -> Iterator[frozenset[int]]:
+    # Work on a multigraph given as (u, v, original_index) triples over
+    # nodes 0..num_nodes-1; nodes may be isolated (their own component).
+    components = _component_count(num_nodes, edges)
+    target = num_nodes - components  # forest size to produce
+    yield from _span_rec(num_nodes, edges, frozenset(), target)
+
+
+def _span_rec(
+    num_nodes: int,
+    edges: list[tuple[int, int, int]],
+    chosen: frozenset[int],
+    remaining: int,
+) -> Iterator[frozenset[int]]:
+    if remaining == 0:
+        yield chosen
+        return
+    # Pick the first non-self-loop edge and branch.
+    pivot = None
+    for index, (u, v, original) in enumerate(edges):
+        if u != v:
+            pivot = index
+            break
+    if pivot is None:
+        return
+    u, v, original = edges[pivot]
+
+    # Branch 1: include the edge — contract v into u.
+    contracted = []
+    for a, b, orig in edges[pivot + 1 :]:
+        a2 = u if a == v else a
+        b2 = u if b == v else b
+        if a2 != b2:
+            contracted.append((a2, b2, orig))
+    yield from _span_rec(num_nodes, contracted, chosen | {original}, remaining - 1)
+
+    # Branch 2: exclude the edge — only if connectivity is preserved
+    # (i.e. the component count does not grow).
+    rest = edges[:pivot] + edges[pivot + 1 :]
+    if _component_count(num_nodes, rest) == _component_count(num_nodes, edges):
+        yield from _span_rec(num_nodes, rest, chosen, remaining)
+
+
+def _component_count(num_nodes: int, edges: list[tuple[int, int, int]]) -> int:
+    uf = _UnionFind(num_nodes)
+    merges = 0
+    for u, v, __ in edges:
+        if u != v and uf.union(u, v):
+            merges += 1
+    return num_nodes - merges
+
+
+def enumerate_maximum_spanning_trees(
+    num_nodes: int, edges: Sequence[WeightedEdge]
+) -> Iterator[frozenset[int]]:
+    """Enumerate all maximum-weight spanning forests, as edge-index sets.
+
+    For a connected input these are exactly the maximum spanning trees.
+    Every result has the weight of :func:`maximum_spanning_weight`, and
+    every such forest is produced exactly once.
+    """
+    if num_nodes <= 0:
+        yield frozenset()
+        return
+    weights = sorted({w for __, __, w in edges}, reverse=True)
+
+    # Stage structure: after processing weight w, nodes collapse into
+    # the components of the "weight ≥ w" subgraph — identical for every
+    # maximum spanning forest.
+    stage_factories: list[Callable[[], Iterator[frozenset[int]]]] = []
+    uf = _UnionFind(num_nodes)
+    for w in weights:
+        stage_edge_list = [
+            (uf.find(u), uf.find(v), index)
+            for index, (u, v, weight) in enumerate(edges)
+            if weight == w
+        ]
+        stage_edge_list = [(u, v, i) for u, v, i in stage_edge_list if u != v]
+        if stage_edge_list:
+            nodes = sorted(
+                {u for u, __, __ in stage_edge_list}
+                | {v for __, v, __ in stage_edge_list}
+            )
+            relabel = {node: i for i, node in enumerate(nodes)}
+            local_edges = [
+                (relabel[u], relabel[v], orig) for u, v, orig in stage_edge_list
+            ]
+            stage_factories.append(
+                _make_stage_factory(len(nodes), local_edges)
+            )
+        # Commit the contraction for the next stage.
+        for u, v, __ in stage_edge_list:
+            uf.union(u, v)
+
+    yield from _restartable_product(stage_factories, frozenset())
+
+
+def _make_stage_factory(
+    num_nodes: int, local_edges: list[tuple[int, int, int]]
+) -> Callable[[], Iterator[frozenset[int]]]:
+    def factory() -> Iterator[frozenset[int]]:
+        return _span_forests(num_nodes, list(local_edges))
+
+    return factory
+
+
+def _restartable_product(
+    factories: list[Callable[[], Iterator[frozenset[int]]]],
+    accumulated: frozenset[int],
+) -> Iterator[frozenset[int]]:
+    if not factories:
+        yield accumulated
+        return
+    head, tail = factories[0], factories[1:]
+    for choice in head():
+        yield from _restartable_product(tail, accumulated | choice)

@@ -1,0 +1,240 @@
+"""Tree decompositions: data type, validation, subsumption, properness (S19).
+
+A tree decomposition of g is a tree t plus a bag function β mapping
+tree nodes to sets of graph nodes, satisfying (paper Section 2.4):
+
+1. node coverage — every node of g appears in some bag;
+2. edge coverage — every edge of g is inside some bag;
+3. the junction-tree (running-intersection) property.
+
+Section 5 of the paper defines the *proper* tree decompositions — the
+ones not *strictly subsumed* by any other — and proves they are, up to
+bag-equivalence, in bijection with the minimal triangulations.  This
+module implements the full vocabulary: validity checking, width/fill,
+``saturate(g, d)``, the ⊑ refinement relation, strict subsumption, and
+an exact properness test (valid + saturation is a minimal
+triangulation + bags are exactly its maximal cliques, which Lemma 5.6
+and Lemma 5.7 show to be equivalent to properness).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Mapping
+from dataclasses import dataclass
+
+from repro.errors import InvalidTreeDecompositionError
+from repro.graph.graph import Graph, Node
+
+__all__ = ["TreeDecomposition"]
+
+BagId = int
+
+
+@dataclass(frozen=True)
+class TreeDecomposition:
+    """An immutable tree decomposition.
+
+    Attributes
+    ----------
+    bags:
+        Tuple of bags; the tree node ids are the tuple indices.
+    tree_edges:
+        The edges of the decomposition tree, as (smaller, larger) index
+        pairs.  A decomposition with a single bag has no edges.
+    """
+
+    bags: tuple[frozenset[Node], ...]
+    tree_edges: tuple[tuple[BagId, BagId], ...]
+
+    @classmethod
+    def build(
+        cls,
+        bags: Iterable[Iterable[Node]],
+        tree_edges: Iterable[tuple[BagId, BagId]] = (),
+    ) -> "TreeDecomposition":
+        """Normalise and construct (bags to frozensets, edges canonical)."""
+        bag_tuple = tuple(frozenset(bag) for bag in bags)
+        edge_tuple = tuple(
+            sorted((min(a, b), max(a, b)) for a, b in tree_edges)
+        )
+        return cls(bag_tuple, edge_tuple)
+
+    # ------------------------------------------------------------------
+    # Basic shape
+    # ------------------------------------------------------------------
+
+    @property
+    def num_bags(self) -> int:
+        """Number of tree nodes."""
+        return len(self.bags)
+
+    @property
+    def width(self) -> int:
+        """Largest bag size minus one."""
+        if not self.bags:
+            return -1
+        return max(len(bag) for bag in self.bags) - 1
+
+    def bag_multiset(self) -> tuple[frozenset[Node], ...]:
+        """The bags as a sorted multiset (for ≡b comparisons)."""
+        return tuple(sorted(self.bags, key=lambda bag: sorted(map(repr, bag))))
+
+    def bag_set(self) -> frozenset[frozenset[Node]]:
+        """The distinct bags (``bags(d)`` of the paper)."""
+        return frozenset(self.bags)
+
+    def neighbors(self) -> Mapping[BagId, list[BagId]]:
+        """Adjacency of the decomposition tree."""
+        adjacency: dict[BagId, list[BagId]] = {i: [] for i in range(len(self.bags))}
+        for a, b in self.tree_edges:
+            adjacency[a].append(b)
+            adjacency[b].append(a)
+        return adjacency
+
+    # ------------------------------------------------------------------
+    # Validity
+    # ------------------------------------------------------------------
+
+    def is_tree(self) -> bool:
+        """Return whether the underlying structure is a tree."""
+        n = len(self.bags)
+        if n == 0:
+            return len(self.tree_edges) == 0
+        if len(self.tree_edges) != n - 1:
+            return False
+        seen = {0}
+        stack = [0]
+        adjacency = self.neighbors()
+        while stack:
+            node = stack.pop()
+            for neigh in adjacency[node]:
+                if neigh not in seen:
+                    seen.add(neigh)
+                    stack.append(neigh)
+        return len(seen) == n
+
+    def validate(self, graph: Graph) -> None:
+        """Raise :class:`InvalidTreeDecompositionError` unless valid for ``graph``.
+
+        Checks tree shape, node coverage, edge coverage, and the
+        junction-tree property (via connectedness of every node's bag
+        subtree, which is equivalent).
+        """
+        if not self.is_tree():
+            raise InvalidTreeDecompositionError("underlying structure is not a tree")
+        covered: set[Node] = set()
+        for bag in self.bags:
+            covered |= bag
+        missing_nodes = graph.node_set() - covered
+        if missing_nodes:
+            raise InvalidTreeDecompositionError(
+                f"nodes not covered by any bag: {sorted(map(repr, missing_nodes))}"
+            )
+        extraneous = covered - graph.node_set()
+        if extraneous:
+            raise InvalidTreeDecompositionError(
+                f"bags mention unknown nodes: {sorted(map(repr, extraneous))}"
+            )
+        for u, v in graph.edges():
+            if not any(u in bag and v in bag for bag in self.bags):
+                raise InvalidTreeDecompositionError(
+                    f"edge ({u!r}, {v!r}) not covered by any bag"
+                )
+        self._validate_junction_property()
+
+    def is_valid(self, graph: Graph) -> bool:
+        """Boolean form of :meth:`validate`."""
+        try:
+            self.validate(graph)
+        except InvalidTreeDecompositionError:
+            return False
+        return True
+
+    def _validate_junction_property(self) -> None:
+        adjacency = self.neighbors()
+        nodes: set[Node] = set()
+        for bag in self.bags:
+            nodes |= bag
+        for node in nodes:
+            holders = [i for i, bag in enumerate(self.bags) if node in bag]
+            if not holders:
+                continue
+            # The bags containing `node` must induce a connected subtree.
+            seen = {holders[0]}
+            stack = [holders[0]]
+            holder_set = set(holders)
+            while stack:
+                current = stack.pop()
+                for neigh in adjacency[current]:
+                    if neigh in holder_set and neigh not in seen:
+                        seen.add(neigh)
+                        stack.append(neigh)
+            if seen != holder_set:
+                raise InvalidTreeDecompositionError(
+                    f"bags containing {node!r} do not form a connected subtree"
+                )
+
+    # ------------------------------------------------------------------
+    # Saturation, subsumption, properness (paper Section 5)
+    # ------------------------------------------------------------------
+
+    def saturate(self, graph: Graph) -> Graph:
+        """Return ``saturate(g, d)``: g with every bag saturated.
+
+        Always a triangulation of g when d is a valid tree
+        decomposition (paper Proposition 5.5).
+        """
+        return graph.saturated(self.bags)
+
+    def fill(self, graph: Graph) -> int:
+        """Number of edges added by :meth:`saturate` (the fill measure)."""
+        return self.saturate(graph).num_edges - graph.num_edges
+
+    def refines(self, other: "TreeDecomposition") -> bool:
+        """Return whether ``self ⊑ other``: every bag fits in a bag of other."""
+        return all(
+            any(bag <= other_bag for other_bag in other.bags) for bag in self.bags
+        )
+
+    def strictly_subsumes(self, other: "TreeDecomposition") -> bool:
+        """Return whether ``self`` strictly subsumes ``other``.
+
+        That is: ``self ⊑ other`` and some bag occurs more often in
+        ``other`` than in ``self`` (multiset non-containment).
+        """
+        if not self.refines(other):
+            return False
+        own_counts: dict[frozenset[Node], int] = {}
+        for bag in self.bags:
+            own_counts[bag] = own_counts.get(bag, 0) + 1
+        other_counts: dict[frozenset[Node], int] = {}
+        for bag in other.bags:
+            other_counts[bag] = other_counts.get(bag, 0) + 1
+        return any(
+            count > own_counts.get(bag, 0) for bag, count in other_counts.items()
+        )
+
+    def is_proper(self, graph: Graph) -> bool:
+        """Return whether this is a *proper* tree decomposition of ``graph``.
+
+        By the paper's Section 5 (Lemmas 5.6 and 5.7) a valid tree
+        decomposition d is proper iff ``h = saturate(g, d)`` is a
+        *minimal* triangulation of g and ``bags(d)`` is exactly
+        ``MaxClq(h)`` with no repeated bag.
+        """
+        from repro.chordal.cliques import maximal_cliques
+        from repro.chordal.sandwich import is_minimal_triangulation
+
+        if not self.is_valid(graph):
+            return False
+        if len(set(self.bags)) != len(self.bags):
+            return False
+        saturated = self.saturate(graph)
+        if not is_minimal_triangulation(graph, saturated):
+            return False
+        return self.bag_set() == frozenset(maximal_cliques(saturated))
+
+    def __repr__(self) -> str:
+        return (
+            f"TreeDecomposition(num_bags={self.num_bags}, width={self.width})"
+        )

@@ -1,0 +1,84 @@
+"""Exception hierarchy for the :mod:`repro` library.
+
+All errors raised deliberately by the library derive from
+:class:`ReproError`, so callers can catch one base class.  The
+sub-classes are grouped by the subsystem that raises them.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the :mod:`repro` library."""
+
+
+class GraphError(ReproError):
+    """Base class for errors raised by the graph substrate."""
+
+
+class NodeNotFoundError(GraphError, KeyError):
+    """A node was referenced that is not present in the graph."""
+
+    def __init__(self, node: object) -> None:
+        super().__init__(f"node {node!r} is not in the graph")
+        self.node = node
+
+
+class EdgeNotFoundError(GraphError, KeyError):
+    """An edge was referenced that is not present in the graph."""
+
+    def __init__(self, u: object, v: object) -> None:
+        super().__init__(f"edge {{{u!r}, {v!r}}} is not in the graph")
+        self.edge = (u, v)
+
+
+class SelfLoopError(GraphError, ValueError):
+    """An edge with identical endpoints was supplied.
+
+    The graphs in this library model the undirected, simple graphs of
+    the paper; self loops are meaningless for separators and
+    triangulations and are rejected at the boundary.
+    """
+
+    def __init__(self, node: object) -> None:
+        super().__init__(f"self loops are not allowed (node {node!r})")
+        self.node = node
+
+
+class NotChordalError(ReproError, ValueError):
+    """An operation that requires a chordal graph received a non-chordal one."""
+
+
+class NotATriangulationError(ReproError, ValueError):
+    """A graph supplied as a triangulation does not triangulate the base graph."""
+
+
+class NotASeparatorError(ReproError, ValueError):
+    """A vertex set supplied as a minimal separator is not one."""
+
+
+class NotAnIndependentSetError(ReproError, ValueError):
+    """A node set supplied as an independent set of an SGR is not independent."""
+
+
+class InvalidTreeDecompositionError(ReproError, ValueError):
+    """A tree decomposition violates one of its three defining properties."""
+
+
+class ParseError(ReproError, ValueError):
+    """A graph file could not be parsed."""
+
+    def __init__(self, message: str, line_number: int | None = None) -> None:
+        if line_number is not None:
+            message = f"line {line_number}: {message}"
+        super().__init__(message)
+        self.line_number = line_number
+
+
+class EnumerationBudgetExceeded(ReproError):
+    """An enumeration exceeded its configured safety budget.
+
+    Raised only when the caller opted into a hard budget (for example a
+    maximum number of produced answers in an exhaustive baseline); the
+    incremental-polynomial-time enumerators themselves never raise this.
+    """

@@ -1,0 +1,32 @@
+"""Experiment harness: timed runs, tables 1–2 and figures 6–10 of the paper."""
+
+from repro.experiments.figures import (
+    DelayPoint,
+    fig6_delay_by_edges,
+    fig7_delay_by_size,
+    fig8_printing_modes,
+    fig9_cumulative_results,
+    fig10_quality_over_time,
+)
+from repro.experiments.render import ascii_table, sparkline
+from repro.experiments.report import full_report
+from repro.experiments.runner import EnumerationTrace, ResultRecord, run_enumeration
+from repro.experiments.tables import QualityRow, quality_table, render_quality_table
+
+__all__ = [
+    "run_enumeration",
+    "EnumerationTrace",
+    "ResultRecord",
+    "QualityRow",
+    "quality_table",
+    "render_quality_table",
+    "DelayPoint",
+    "fig6_delay_by_edges",
+    "fig7_delay_by_size",
+    "fig8_printing_modes",
+    "fig9_cumulative_results",
+    "fig10_quality_over_time",
+    "ascii_table",
+    "full_report",
+    "sparkline",
+]

@@ -1,0 +1,134 @@
+"""Figure data builders (part of S26; paper Figures 6–10).
+
+Each function regenerates the data series behind one figure of the
+paper's Section 6; the benchmark modules print them as aligned tables
+(this is a terminal reproduction — the *series* are the artefact, the
+plotting is left to the reader).
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+
+from repro.core.enumerate import enumerate_minimal_triangulations
+from repro.experiments.runner import EnumerationTrace, run_enumeration
+from repro.graph.graph import Graph
+
+__all__ = [
+    "DelayPoint",
+    "fig6_delay_by_edges",
+    "fig7_delay_by_size",
+    "fig8_printing_modes",
+    "fig9_cumulative_results",
+    "fig10_quality_over_time",
+]
+
+
+@dataclass(frozen=True)
+class DelayPoint:
+    """One scatter point of Figures 6/7: a graph and its average delay."""
+
+    dataset: str
+    name: str
+    num_nodes: int
+    num_edges: int
+    count: int
+    average_delay: float
+    completed: bool
+
+
+def fig6_delay_by_edges(
+    suites: dict[str, list[tuple[str, Graph]]],
+    triangulator: str,
+    time_budget: float,
+    max_results: int | None = None,
+) -> list[DelayPoint]:
+    """Figure 6: average delay vs #edges over the PGM suites.
+
+    One point per graph; the paper plots the same scatter in log scale,
+    one panel per triangulation algorithm.
+    """
+    points = []
+    for dataset, instances in suites.items():
+        for name, graph in instances:
+            trace = run_enumeration(
+                graph,
+                triangulator=triangulator,
+                time_budget=time_budget,
+                max_results=max_results,
+                name=name,
+            )
+            points.append(
+                DelayPoint(
+                    dataset=dataset,
+                    name=name,
+                    num_nodes=graph.num_nodes,
+                    num_edges=graph.num_edges,
+                    count=trace.count,
+                    average_delay=trace.average_delay,
+                    completed=trace.completed,
+                )
+            )
+    return points
+
+
+def fig7_delay_by_size(
+    sweep: list[tuple[str, Graph, int, float]],
+    triangulator: str,
+    time_budget: float,
+    max_results: int | None = None,
+) -> list[tuple[int, float, float]]:
+    """Figure 7: (n, p, average delay) for the G(n, p) sweep."""
+    series = []
+    for name, graph, n, p in sweep:
+        trace = run_enumeration(
+            graph,
+            triangulator=triangulator,
+            time_budget=time_budget,
+            max_results=max_results,
+            name=name,
+        )
+        series.append((n, p, trace.average_delay))
+    return series
+
+
+def fig8_printing_modes(
+    graph: Graph,
+    triangulator: str = "mcs_m",
+    time_budget: float | None = None,
+    max_results: int | None = None,
+) -> dict[str, EnumerationTrace]:
+    """Figure 8: the same enumeration under UG and UP printing.
+
+    UG (upon generation) prints in bursts; UP (upon pop) is steadier;
+    both finish at the same time with the same result set.
+    """
+    return {
+        mode: run_enumeration(
+            graph,
+            triangulator=triangulator,
+            time_budget=time_budget,
+            max_results=max_results,
+            mode=mode,
+            name=f"fig8_{mode}",
+        )
+        for mode in ("UG", "UP")
+    }
+
+
+def fig9_cumulative_results(
+    trace: EnumerationTrace, bins: int = 30
+) -> list[tuple[float, int, int, int]]:
+    """Figure 9: cumulative (all, min-width, ≤w1) result counts over time."""
+    return trace.cumulative_counts(bins=bins)
+
+
+def fig10_quality_over_time(
+    trace: EnumerationTrace,
+) -> dict[str, list[tuple[float, int]]]:
+    """Figure 10: running minimum width and fill over time."""
+    return {
+        "width": trace.running_minimum("width"),
+        "fill": trace.running_minimum("fill"),
+    }

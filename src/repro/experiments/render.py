@@ -1,0 +1,45 @@
+"""Plain-text rendering helpers for benchmark output (part of S26)."""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+__all__ = ["ascii_table", "sparkline"]
+
+
+def ascii_table(headers: Sequence[str], rows: Sequence[Sequence[str]]) -> str:
+    """Render an aligned fixed-width table with a header rule."""
+    table = [list(map(str, headers))] + [list(map(str, row)) for row in rows]
+    widths = [
+        max(len(row[col]) for row in table) for col in range(len(headers))
+    ]
+    lines = []
+    header_line = "  ".join(
+        cell.ljust(width) for cell, width in zip(table[0], widths)
+    )
+    lines.append(header_line)
+    lines.append("  ".join("-" * width for width in widths))
+    for row in table[1:]:
+        lines.append(
+            "  ".join(cell.ljust(width) for cell, width in zip(row, widths))
+        )
+    return "\n".join(lines)
+
+
+_BLOCKS = " .:-=+*#%@"
+
+
+def sparkline(values: Sequence[float], width: int = 60) -> str:
+    """Render a crude one-line chart of ``values`` (terminal figures)."""
+    if not values:
+        return ""
+    resampled = []
+    for i in range(width):
+        position = i * (len(values) - 1) / max(width - 1, 1)
+        resampled.append(values[int(round(position))])
+    low, high = min(resampled), max(resampled)
+    span = (high - low) or 1.0
+    return "".join(
+        _BLOCKS[int((value - low) / span * (len(_BLOCKS) - 1))]
+        for value in resampled
+    )

@@ -1,0 +1,117 @@
+"""One-shot consolidated experiment report (part of S26).
+
+``full_report`` regenerates a compact version of every paper artefact
+(Tables 1–2, Figures 6–10 series, TPC-H table) in a single run with a
+configurable budget and renders it as plain text — the same content
+the individual benchmarks print, bundled for quick inspection:
+
+>>> from repro.experiments.report import full_report
+>>> print(full_report(budget=0.5, scale=0.03))         # doctest: +SKIP
+"""
+
+from __future__ import annotations
+
+import io
+import time
+
+from repro.experiments.figures import (
+    fig8_printing_modes,
+    fig9_cumulative_results,
+    fig10_quality_over_time,
+)
+from repro.experiments.render import ascii_table
+from repro.experiments.runner import run_enumeration
+from repro.experiments.tables import quality_table, render_quality_table
+from repro.workloads.pgm import pgm_suites, promedas_like
+from repro.workloads.random_graphs import random_sweep
+from repro.workloads.tpch import tpch_suite
+
+__all__ = ["full_report"]
+
+
+def full_report(
+    budget: float = 1.0,
+    scale: float = 0.06,
+    max_results: int = 300,
+    tpch_cap: int = 400,
+) -> str:
+    """Regenerate all experiment artefacts and render them as text."""
+    out = io.StringIO()
+
+    def section(title: str) -> None:
+        out.write(f"\n{'=' * 66}\n{title}\n{'=' * 66}\n")
+
+    suites = pgm_suites(scale=scale)
+
+    section("Tables 1 and 2 — width / fill statistics")
+    for triangulator in ("mcs_m", "lb_triang"):
+        for measure in ("width", "fill"):
+            rows = quality_table(
+                suites,
+                triangulator,
+                measure=measure,
+                time_budget=budget,
+                max_results=max_results,
+            )
+            out.write(f"\n[{triangulator} / {measure}]\n")
+            out.write(render_quality_table(rows, measure))
+            out.write("\n")
+
+    section("Figure 7 — delay on G(n, p) (scaled sweep)")
+    sweep = random_sweep(node_counts=(30, 50), densities=(0.3, 0.5, 0.7))
+    rows = []
+    for name, graph, n, p in sweep:
+        trace = run_enumeration(
+            graph, time_budget=budget, max_results=max_results, name=name
+        )
+        rows.append([str(n), f"{p:.1f}", str(trace.count), f"{trace.average_delay:.4f}"])
+    out.write(ascii_table(["n", "p", "#results", "avg delay (s)"], rows))
+    out.write("\n")
+
+    section("Figures 9 and 10 — case study")
+    trace = run_enumeration(
+        promedas_like(num_diseases=40, num_findings=70, seed=11),
+        time_budget=max(budget * 3, 3.0),
+        name="case_study",
+    )
+    rows = [
+        [f"{t:.2f}", str(total), str(min_w), str(leq)]
+        for t, total, min_w, leq in fig9_cumulative_results(trace, bins=8)
+    ]
+    out.write(ascii_table(["t (s)", "all", "min-width", "<=w1"], rows))
+    quality = fig10_quality_over_time(trace)
+    out.write("\nrunning min width: " + " -> ".join(
+        f"{w}@{t:.2f}s" for t, w in quality["width"]
+    ))
+    out.write("\nrunning min fill : " + " -> ".join(
+        f"{f}@{t:.2f}s" for t, f in quality["fill"]
+    ))
+    out.write("\n")
+
+    section("TPC-H — per-query enumeration")
+    rows = []
+    from repro.chordal.peo import is_chordal
+    from repro.core.enumerate import enumerate_minimal_triangulations
+
+    for name, graph in tpch_suite():
+        start = time.monotonic()
+        count = 0
+        for __ in enumerate_minimal_triangulations(graph):
+            count += 1
+            if count >= tpch_cap:
+                break
+        rows.append(
+            [
+                name,
+                str(graph.num_nodes),
+                str(graph.num_edges),
+                "yes" if is_chordal(graph) else "no",
+                str(count),
+                f"{time.monotonic() - start:.2f}",
+            ]
+        )
+    out.write(
+        ascii_table(["query", "n", "m", "chordal", "#mintri", "time (s)"], rows)
+    )
+    out.write("\n")
+    return out.getvalue()

@@ -1,0 +1,188 @@
+"""Timed enumeration runs and traces (part of S26).
+
+The paper's experiments all share one shape: run the enumeration on a
+graph for a wall-clock budget (30 minutes there, configurable here),
+record when each minimal triangulation appears and its width/fill, and
+derive statistics.  :func:`run_enumeration` produces an
+:class:`EnumerationTrace` capturing exactly that, which the table and
+figure builders consume.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+from repro.chordal.triangulate import Triangulator
+from repro.core.enumerate import enumerate_minimal_triangulations
+from repro.graph.graph import Graph
+from repro.sgr.enum_mis import EnumMISStatistics
+
+__all__ = ["ResultRecord", "EnumerationTrace", "run_enumeration"]
+
+
+@dataclass(frozen=True)
+class ResultRecord:
+    """One enumerated triangulation: arrival time and quality measures."""
+
+    index: int
+    elapsed: float
+    width: int
+    fill: int
+
+
+@dataclass
+class EnumerationTrace:
+    """The outcome of one timed enumeration run."""
+
+    name: str
+    triangulator: str
+    mode: str
+    records: list[ResultRecord] = field(default_factory=list)
+    completed: bool = False
+    elapsed: float = 0.0
+    stats: EnumMISStatistics = field(default_factory=EnumMISStatistics)
+
+    # ------------------------------------------------------------------
+    # Derived statistics (the columns of the paper's Tables 1 and 2)
+    # ------------------------------------------------------------------
+
+    @property
+    def count(self) -> int:
+        """#trng — number of triangulations produced."""
+        return len(self.records)
+
+    @property
+    def average_delay(self) -> float:
+        """Average time between consecutive results, in seconds."""
+        if not self.records:
+            return self.elapsed
+        return self.elapsed / len(self.records)
+
+    @property
+    def first_width(self) -> int:
+        """w1 — width of the first result (the bare heuristic's output)."""
+        return self.records[0].width if self.records else -1
+
+    @property
+    def first_fill(self) -> int:
+        """f1 — fill of the first result."""
+        return self.records[0].fill if self.records else -1
+
+    @property
+    def min_width(self) -> int:
+        """min-w — best width observed."""
+        return min(r.width for r in self.records) if self.records else -1
+
+    @property
+    def min_fill(self) -> int:
+        """min-f — best fill observed."""
+        return min(r.fill for r in self.records) if self.records else -1
+
+    @property
+    def num_at_most_first_width(self) -> int:
+        """#≤w1 — results at least as good as the first, by width."""
+        if not self.records:
+            return 0
+        return sum(1 for r in self.records if r.width <= self.first_width)
+
+    @property
+    def num_at_most_first_fill(self) -> int:
+        """#≤f1 — results at least as good as the first, by fill."""
+        if not self.records:
+            return 0
+        return sum(1 for r in self.records if r.fill <= self.first_fill)
+
+    @property
+    def width_improvement_percent(self) -> float:
+        """%w↓ — relative width reduction of the best over the first."""
+        if not self.records or self.first_width <= 0:
+            return 0.0
+        return 100.0 * (self.first_width - self.min_width) / self.first_width
+
+    @property
+    def fill_improvement_percent(self) -> float:
+        """%f↓ — relative fill reduction of the best over the first."""
+        if not self.records or self.first_fill <= 0:
+            return 0.0
+        return 100.0 * (self.first_fill - self.min_fill) / self.first_fill
+
+    def running_minimum(self, measure: str) -> list[tuple[float, int]]:
+        """Return the (time, running best) series for ``"width"``/``"fill"``.
+
+        This is the data behind the paper's Figure 10.
+        """
+        best: int | None = None
+        series: list[tuple[float, int]] = []
+        for record in self.records:
+            value = record.width if measure == "width" else record.fill
+            if best is None or value < best:
+                best = value
+                series.append((record.elapsed, best))
+        return series
+
+    def cumulative_counts(
+        self, bins: int = 30
+    ) -> list[tuple[float, int, int, int]]:
+        """Binned cumulative counts: (t, all, min-width-so-far, ≤w1).
+
+        The three series of the paper's Figure 9.  ``min-width-so-far``
+        counts results matching the overall minimum width.
+        """
+        if not self.records:
+            return []
+        horizon = max(self.elapsed, self.records[-1].elapsed) or 1.0
+        min_width = self.min_width
+        first_width = self.first_width
+        series = []
+        for b in range(1, bins + 1):
+            cutoff = horizon * b / bins
+            visible = [r for r in self.records if r.elapsed <= cutoff]
+            series.append(
+                (
+                    cutoff,
+                    len(visible),
+                    sum(1 for r in visible if r.width == min_width),
+                    sum(1 for r in visible if r.width <= first_width),
+                )
+            )
+        return series
+
+
+def run_enumeration(
+    graph: Graph,
+    triangulator: str | Triangulator = "mcs_m",
+    time_budget: float | None = None,
+    max_results: int | None = None,
+    mode: str = "UG",
+    name: str = "",
+) -> EnumerationTrace:
+    """Enumerate under a wall-clock/result budget and record a trace.
+
+    Mirrors the paper's 30-minute runs (Section 6.2): the enumeration
+    stops when the budget is exhausted or, if it finishes earlier,
+    ``completed`` is set on the trace.
+    """
+    stats = EnumMISStatistics()
+    label = (
+        triangulator if isinstance(triangulator, str) else triangulator.name
+    )
+    trace = EnumerationTrace(name=name, triangulator=label, mode=mode, stats=stats)
+    start = time.monotonic()
+    for index, result in enumerate(
+        enumerate_minimal_triangulations(
+            graph, triangulator=triangulator, mode=mode, stats=stats
+        )
+    ):
+        elapsed = time.monotonic() - start
+        trace.records.append(
+            ResultRecord(index=index, elapsed=elapsed, width=result.width, fill=result.fill)
+        )
+        if time_budget is not None and elapsed >= time_budget:
+            break
+        if max_results is not None and len(trace.records) >= max_results:
+            break
+    else:
+        trace.completed = True
+    trace.elapsed = time.monotonic() - start
+    return trace

@@ -1,0 +1,131 @@
+"""Quality statistics tables (part of S26; paper Tables 1 and 2).
+
+Each row aggregates one dataset family under one triangulation
+algorithm, with the exact columns of the paper:
+
+* ``#trng``   — average number of triangulations generated;
+* ``min-w`` / ``min-f`` — average best width / fill observed;
+* ``#≤w1`` / ``#≤f1``   — average number (and percentage) of results at
+  least as good as the *first* result, which is what the bare
+  heuristic alone would return;
+* ``%w↓`` / ``%f↓``      — average relative improvement of the best
+  result over the first (maximum over the family in parentheses).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.experiments.runner import EnumerationTrace, run_enumeration
+from repro.graph.graph import Graph
+
+__all__ = ["QualityRow", "quality_table", "render_quality_table"]
+
+
+@dataclass(frozen=True)
+class QualityRow:
+    """One aggregated row of Table 1 (width) or Table 2 (fill)."""
+
+    dataset: str
+    num_graphs: int
+    avg_count: float
+    avg_best: float
+    avg_leq_first: float
+    pct_leq_first: float
+    avg_improvement_pct: float
+    max_improvement_pct: float
+
+
+def quality_table(
+    suites: dict[str, list[tuple[str, Graph]]],
+    triangulator: str,
+    measure: str,
+    time_budget: float,
+    max_results: int | None = None,
+    skip_completed: bool = False,
+) -> list[QualityRow]:
+    """Compute Table 1 (``measure="width"``) or Table 2 (``measure="fill"``).
+
+    Parameters
+    ----------
+    suites:
+        Mapping from dataset name to its (name, graph) instances.
+    skip_completed:
+        The paper's tables "include only the experiments where the
+        enumeration did not complete" within the budget; set True to
+        apply the same filter (graphs whose enumeration finishes are
+        dropped from the aggregation unless all of them finish).
+    """
+    if measure not in {"width", "fill"}:
+        raise ValueError("measure must be 'width' or 'fill'")
+    rows = []
+    for dataset, instances in suites.items():
+        traces = [
+            run_enumeration(
+                graph,
+                triangulator=triangulator,
+                time_budget=time_budget,
+                max_results=max_results,
+                name=name,
+            )
+            for name, graph in instances
+        ]
+        kept = [t for t in traces if not (skip_completed and t.completed)]
+        if not kept:
+            kept = traces
+        rows.append(_aggregate(dataset, kept, measure))
+    return rows
+
+
+def _aggregate(
+    dataset: str, traces: list[EnumerationTrace], measure: str
+) -> QualityRow:
+    def mean(values: list[float]) -> float:
+        return sum(values) / len(values) if values else 0.0
+
+    counts = [float(t.count) for t in traces]
+    if measure == "width":
+        best = [float(t.min_width) for t in traces]
+        leq = [float(t.num_at_most_first_width) for t in traces]
+        improvement = [t.width_improvement_percent for t in traces]
+    else:
+        best = [float(t.min_fill) for t in traces]
+        leq = [float(t.num_at_most_first_fill) for t in traces]
+        improvement = [t.fill_improvement_percent for t in traces]
+    total_count = sum(counts)
+    return QualityRow(
+        dataset=dataset,
+        num_graphs=len(traces),
+        avg_count=mean(counts),
+        avg_best=mean(best),
+        avg_leq_first=mean(leq),
+        pct_leq_first=100.0 * sum(leq) / total_count if total_count else 0.0,
+        avg_improvement_pct=mean(improvement),
+        max_improvement_pct=max(improvement) if improvement else 0.0,
+    )
+
+
+def render_quality_table(rows: list[QualityRow], measure: str) -> str:
+    """Render rows in the layout of the paper's Tables 1/2."""
+    tag = "w" if measure == "width" else "f"
+    headers = [
+        "Dataset",
+        "#trng",
+        f"min-{tag}",
+        f"#<={tag}1 (%)",
+        f"%{tag}v (max)",
+    ]
+    body = []
+    for row in rows:
+        body.append(
+            [
+                f"{row.dataset} ({row.num_graphs})",
+                f"{row.avg_count:.1f}",
+                f"{row.avg_best:.1f}",
+                f"{row.avg_leq_first:.1f} ({row.pct_leq_first:.1f}%)",
+                f"{row.avg_improvement_pct:.1f} ({row.max_improvement_pct:.1f})",
+            ]
+        )
+    from repro.experiments.render import ascii_table
+
+    return ascii_table(headers, body)

@@ -1,0 +1,26 @@
+"""Graph substrate: data structure, connectivity, generators and I/O."""
+
+from repro.graph.components import (
+    component_of,
+    components_without,
+    connected_components,
+    full_components,
+    is_connected,
+    is_separator,
+    separates,
+)
+from repro.graph.graph import Edge, Graph, Node, edge_key
+
+__all__ = [
+    "Graph",
+    "Node",
+    "Edge",
+    "edge_key",
+    "connected_components",
+    "components_without",
+    "component_of",
+    "full_components",
+    "is_connected",
+    "is_separator",
+    "separates",
+]

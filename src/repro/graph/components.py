@@ -1,0 +1,137 @@
+"""Connectivity utilities (system S2 of DESIGN.md).
+
+The separator machinery of the paper constantly asks two questions:
+
+* what are the connected components of ``g \\ U`` for a node set U, and
+* which of those components are *full* (their neighbourhood is exactly
+  the candidate separator).
+
+Everything here is plain breadth-first search over the adjacency
+dictionary, written to avoid building intermediate subgraphs: the
+removed set is passed along and skipped during traversal.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from collections.abc import Iterable
+
+from repro.graph.graph import Graph, Node, _sort_nodes
+
+__all__ = [
+    "connected_components",
+    "components_without",
+    "is_connected",
+    "component_of",
+    "full_components",
+    "is_separator",
+    "separates",
+]
+
+
+def connected_components(graph: Graph) -> list[frozenset[Node]]:
+    """Return the connected components of ``graph`` as frozensets.
+
+    Components are returned sorted by their smallest node, and the
+    search itself visits nodes in sorted order, so the result is
+    deterministic.
+    """
+    return components_without(graph, ())
+
+
+def components_without(graph: Graph, removed: Iterable[Node]) -> list[frozenset[Node]]:
+    """Return the connected components of ``graph \\ removed``.
+
+    This is the ``C(U)`` operation of the paper (Section 4.2) and the
+    hot path of both the separator enumerator and the crossing test, so
+    it traverses adjacency in place instead of materialising the
+    subgraph.
+    """
+    removed_set = set(removed)
+    seen: set[Node] = set()
+    components: list[frozenset[Node]] = []
+    adj = graph._adj  # noqa: SLF001 - hot path, intra-package access
+    for start in _sort_nodes(adj.keys()):
+        if start in removed_set or start in seen:
+            continue
+        component: set[Node] = {start}
+        queue: deque[Node] = deque((start,))
+        while queue:
+            node = queue.popleft()
+            for neigh in adj[node]:
+                if neigh in removed_set or neigh in component:
+                    continue
+                component.add(neigh)
+                queue.append(neigh)
+        seen |= component
+        components.append(frozenset(component))
+    return components
+
+
+def is_connected(graph: Graph) -> bool:
+    """Return whether ``graph`` is connected (the empty graph is connected)."""
+    if graph.num_nodes == 0:
+        return True
+    return len(component_of(graph, next(iter(graph.node_set())))) == graph.num_nodes
+
+
+def component_of(
+    graph: Graph, start: Node, removed: Iterable[Node] = ()
+) -> frozenset[Node]:
+    """Return the component of ``graph \\ removed`` that contains ``start``."""
+    removed_set = set(removed)
+    if start in removed_set:
+        raise ValueError(f"start node {start!r} is in the removed set")
+    adj = graph._adj  # noqa: SLF001
+    if start not in adj:
+        raise KeyError(start)
+    component: set[Node] = {start}
+    queue: deque[Node] = deque((start,))
+    while queue:
+        node = queue.popleft()
+        for neigh in adj[node]:
+            if neigh in removed_set or neigh in component:
+                continue
+            component.add(neigh)
+            queue.append(neigh)
+    return frozenset(component)
+
+
+def full_components(
+    graph: Graph, separator: Iterable[Node]
+) -> list[frozenset[Node]]:
+    """Return the components of ``g \\ S`` whose neighbourhood is all of S.
+
+    A component ``C`` of ``g \\ S`` is *full* (w.r.t. S) when
+    ``N(C) = S``.  A classical characterisation states that S is a
+    minimal separator if and only if ``g \\ S`` has at least two full
+    components; this predicate backs :func:`is_separator` checks and the
+    brute-force oracles.
+    """
+    sep = frozenset(separator)
+    result = []
+    for component in components_without(graph, sep):
+        if graph.neighborhood_of_set(component) == sep:
+            result.append(component)
+    return result
+
+
+def is_separator(graph: Graph, candidate: Iterable[Node]) -> bool:
+    """Return whether ``candidate`` is a minimal separator of ``graph``.
+
+    Uses the two-full-components characterisation, which is equivalent
+    to the paper's definition (S is a minimal (u, v)-separator for some
+    pair u, v).
+    """
+    return len(full_components(graph, candidate)) >= 2
+
+
+def separates(graph: Graph, candidate: Iterable[Node], u: Node, v: Node) -> bool:
+    """Return whether ``candidate`` is a (u, v)-separator of ``graph``.
+
+    ``u`` and ``v`` must not belong to the candidate set.
+    """
+    removed = set(candidate)
+    if u in removed or v in removed:
+        raise ValueError("endpoints may not belong to the separator candidate")
+    return v not in component_of(graph, u, removed)

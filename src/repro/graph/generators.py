@@ -1,0 +1,266 @@
+"""Deterministic graph generators (system S3 of DESIGN.md).
+
+Every generator takes explicit parameters and, where randomness is
+involved, an explicit ``seed`` — the library never consults global
+random state.  These generators back both the test suite (cycles,
+grids, k-trees have known triangulation/separator counts) and the
+experiment workloads (Erdős–Rényi sweeps, grids).
+"""
+
+from __future__ import annotations
+
+import itertools
+import random
+from collections.abc import Sequence
+
+from repro.graph.graph import Graph, Node
+
+__all__ = [
+    "empty_graph",
+    "complete_graph",
+    "path_graph",
+    "cycle_graph",
+    "star_graph",
+    "grid_graph",
+    "complete_bipartite_graph",
+    "gnp_random_graph",
+    "gnm_random_graph",
+    "random_tree",
+    "random_k_tree",
+    "random_chordal_graph",
+    "random_connected_gnp",
+    "wheel_graph",
+    "from_edge_list",
+]
+
+
+def empty_graph(num_nodes: int) -> Graph:
+    """Return the edgeless graph on nodes ``0 .. num_nodes - 1``."""
+    if num_nodes < 0:
+        raise ValueError("num_nodes must be non-negative")
+    return Graph(nodes=range(num_nodes))
+
+
+def complete_graph(num_nodes: int) -> Graph:
+    """Return K_n on nodes ``0 .. num_nodes - 1``."""
+    g = empty_graph(num_nodes)
+    for u, v in itertools.combinations(range(num_nodes), 2):
+        g.add_edge(u, v)
+    return g
+
+
+def path_graph(num_nodes: int) -> Graph:
+    """Return the path P_n on nodes ``0 .. num_nodes - 1``."""
+    g = empty_graph(num_nodes)
+    for u in range(num_nodes - 1):
+        g.add_edge(u, u + 1)
+    return g
+
+
+def cycle_graph(num_nodes: int) -> Graph:
+    """Return the cycle C_n on nodes ``0 .. num_nodes - 1``.
+
+    Cycles are the canonical correctness fixture: C_n has exactly
+    ``n (n - 3) / 2`` minimal separators (all non-adjacent pairs) and
+    its minimal triangulations are the Catalan-many triangulations of a
+    convex n-gon.
+    """
+    if num_nodes < 3:
+        raise ValueError("a cycle needs at least 3 nodes")
+    g = path_graph(num_nodes)
+    g.add_edge(num_nodes - 1, 0)
+    return g
+
+
+def star_graph(num_leaves: int) -> Graph:
+    """Return the star with centre 0 and leaves ``1 .. num_leaves``."""
+    g = Graph(nodes=range(num_leaves + 1))
+    for leaf in range(1, num_leaves + 1):
+        g.add_edge(0, leaf)
+    return g
+
+
+def wheel_graph(num_rim_nodes: int) -> Graph:
+    """Return the wheel: a cycle on ``1 .. n`` plus a hub 0 adjacent to all."""
+    if num_rim_nodes < 3:
+        raise ValueError("a wheel needs at least 3 rim nodes")
+    g = Graph(nodes=range(num_rim_nodes + 1))
+    for i in range(1, num_rim_nodes + 1):
+        g.add_edge(0, i)
+        g.add_edge(i, 1 + (i % num_rim_nodes))
+    return g
+
+
+def grid_graph(rows: int, cols: int | None = None) -> Graph:
+    """Return the rows × cols grid; nodes are ``(r, c)`` tuples.
+
+    Grid Markov networks are one of the paper's benchmark families
+    (Section 6.1.3, "Grids": N×N with N = 10 and 20).
+    """
+    if cols is None:
+        cols = rows
+    if rows <= 0 or cols <= 0:
+        raise ValueError("grid dimensions must be positive")
+    g = Graph(nodes=((r, c) for r in range(rows) for c in range(cols)))
+    for r in range(rows):
+        for c in range(cols):
+            if r + 1 < rows:
+                g.add_edge((r, c), (r + 1, c))
+            if c + 1 < cols:
+                g.add_edge((r, c), (r, c + 1))
+    return g
+
+
+def complete_bipartite_graph(left: int, right: int) -> Graph:
+    """Return K_{left,right}; left part is 0..left-1, right part follows."""
+    g = Graph(nodes=range(left + right))
+    for u in range(left):
+        for v in range(left, left + right):
+            g.add_edge(u, v)
+    return g
+
+
+def gnp_random_graph(num_nodes: int, probability: float, seed: int) -> Graph:
+    """Return an Erdős–Rényi G(n, p) sample.
+
+    Every unordered pair is connected independently with probability
+    ``probability``, exactly as in the paper's random-graph experiments
+    (Section 6.1.3, "Random").
+    """
+    if not 0.0 <= probability <= 1.0:
+        raise ValueError("probability must be in [0, 1]")
+    rng = random.Random(seed)
+    g = empty_graph(num_nodes)
+    for u, v in itertools.combinations(range(num_nodes), 2):
+        if rng.random() < probability:
+            g.add_edge(u, v)
+    return g
+
+
+def gnm_random_graph(num_nodes: int, num_edges: int, seed: int) -> Graph:
+    """Return a uniform random graph with exactly ``num_edges`` edges."""
+    all_pairs = list(itertools.combinations(range(num_nodes), 2))
+    if num_edges > len(all_pairs):
+        raise ValueError(
+            f"cannot place {num_edges} edges on {num_nodes} nodes "
+            f"(max {len(all_pairs)})"
+        )
+    rng = random.Random(seed)
+    g = empty_graph(num_nodes)
+    for u, v in rng.sample(all_pairs, num_edges):
+        g.add_edge(u, v)
+    return g
+
+
+def random_tree(num_nodes: int, seed: int) -> Graph:
+    """Return a uniformly random labelled tree via a Prüfer sequence."""
+    if num_nodes < 0:
+        raise ValueError("num_nodes must be non-negative")
+    if num_nodes <= 1:
+        return empty_graph(num_nodes)
+    if num_nodes == 2:
+        return path_graph(2)
+    rng = random.Random(seed)
+    pruefer = [rng.randrange(num_nodes) for _ in range(num_nodes - 2)]
+    degree = [1] * num_nodes
+    for node in pruefer:
+        degree[node] += 1
+    g = empty_graph(num_nodes)
+    import heapq
+
+    leaves = [node for node in range(num_nodes) if degree[node] == 1]
+    heapq.heapify(leaves)
+    for node in pruefer:
+        leaf = heapq.heappop(leaves)
+        g.add_edge(leaf, node)
+        degree[node] -= 1
+        if degree[node] == 1:
+            heapq.heappush(leaves, node)
+    u = heapq.heappop(leaves)
+    v = heapq.heappop(leaves)
+    g.add_edge(u, v)
+    return g
+
+
+def random_k_tree(num_nodes: int, k: int, seed: int) -> Graph:
+    """Return a random k-tree on ``num_nodes`` nodes.
+
+    Start from K_{k+1} and repeatedly attach a new node to a random
+    existing k-clique.  k-trees are exactly the maximal graphs of
+    treewidth k, and they are chordal — useful fixtures because their
+    treewidth is known by construction.
+    """
+    if k < 1:
+        raise ValueError("k must be at least 1")
+    if num_nodes < k + 1:
+        raise ValueError("a k-tree needs at least k + 1 nodes")
+    rng = random.Random(seed)
+    g = complete_graph(k + 1)
+    cliques: list[tuple[int, ...]] = [
+        tuple(c) for c in itertools.combinations(range(k + 1), k)
+    ]
+    for new_node in range(k + 1, num_nodes):
+        base = list(rng.choice(cliques))
+        for node in base:
+            g.add_edge(new_node, node)
+        for drop_index in range(len(base)):
+            clique = base[:drop_index] + base[drop_index + 1 :] + [new_node]
+            cliques.append(tuple(sorted(clique)))
+        cliques.append(tuple(sorted(base)))
+    return g
+
+
+def random_chordal_graph(num_nodes: int, density: float, seed: int) -> Graph:
+    """Return a random chordal graph, grown as a tree of cliques.
+
+    Nodes are added in order; each new node attaches to a random subset
+    of a random *existing clique* — a subset of a clique is a clique,
+    so the reverse insertion order is a perfect elimination ordering
+    and the graph is chordal by construction.  ``density`` in (0, 1]
+    scales how much of the host clique each new node adopts (1.0 grows
+    k-tree-like dense graphs, small values grow tree-like ones).
+    """
+    if not 0.0 < density <= 1.0:
+        raise ValueError("density must be in (0, 1]")
+    rng = random.Random(seed)
+    g = empty_graph(num_nodes)
+    if num_nodes <= 1:
+        return g
+    cliques: list[list[int]] = [[0]]
+    for node in range(1, num_nodes):
+        host = rng.choice(cliques)
+        cap = max(1, min(len(host), int(round(density * len(host))) + 1))
+        size = rng.randint(1, cap)
+        parents = rng.sample(host, min(size, len(host)))
+        for parent in parents:
+            g.add_edge(node, parent)
+        cliques.append(sorted(parents) + [node])
+    return g
+
+
+def random_connected_gnp(
+    num_nodes: int, probability: float, seed: int, max_attempts: int = 64
+) -> Graph:
+    """Return a connected G(n, p) sample, retrying with derived seeds.
+
+    Falls back to patching with a random spanning-tree edge set if no
+    attempt is connected, so it always terminates.
+    """
+    from repro.graph.components import connected_components
+
+    for attempt in range(max_attempts):
+        g = gnp_random_graph(num_nodes, probability, seed + attempt * 7919)
+        if len(connected_components(g)) <= 1:
+            return g
+    components = connected_components(g)
+    rng = random.Random(seed ^ 0x5EED)
+    previous = components[0]
+    for component in components[1:]:
+        g.add_edge(rng.choice(sorted(previous)), rng.choice(sorted(component)))
+        previous = component
+    return g
+
+
+def from_edge_list(edges: Sequence[tuple[Node, Node]]) -> Graph:
+    """Return the graph on exactly the endpoints of ``edges``."""
+    return Graph(edges=edges)

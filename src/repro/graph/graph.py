@@ -1,0 +1,462 @@
+"""A small, deterministic, adjacency-set graph type.
+
+This module implements the graph substrate used throughout the library
+(system S1 of DESIGN.md).  The paper works exclusively with finite,
+simple, undirected graphs, so that is exactly what :class:`Graph`
+models:
+
+* nodes are arbitrary hashable, *orderable* objects (ints and strings
+  in practice — orderability gives deterministic iteration);
+* edges are unordered pairs of distinct nodes;
+* no self loops, no parallel edges.
+
+Design notes
+------------
+The enumeration algorithms repeatedly take induced subgraphs, remove
+node sets and saturate vertex sets, so those operations are first-class
+and allocation-conscious.  Iteration order over nodes, neighbours and
+edges is always sorted, which makes every algorithm in the library
+deterministic without sprinkling ``sorted`` calls everywhere.
+
+``Graph`` is mutable; the algorithms that must not mutate their input
+copy first (``copy`` is O(V + E)).  Equality compares node and edge
+sets, which is what graph identity means everywhere in the paper
+(``V(g) = V(h)`` and ``E(g) = E(h)``).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Hashable, Iterable, Iterator
+from typing import Any
+
+from repro.errors import EdgeNotFoundError, NodeNotFoundError, SelfLoopError
+
+Node = Hashable
+Edge = tuple[Any, Any]
+
+__all__ = ["Graph", "Node", "Edge", "edge_key"]
+
+
+def edge_key(u: Node, v: Node) -> tuple[Node, Node]:
+    """Return the canonical (sorted) tuple representation of edge {u, v}.
+
+    The library stores and reports edges as sorted 2-tuples so that a
+    fill edge computed by two different algorithms compares equal.
+    """
+    return (u, v) if _lt(u, v) else (v, u)
+
+
+def _lt(a: Node, b: Node) -> bool:
+    """Order two nodes, falling back to a type-aware order for mixed types."""
+    try:
+        return a < b  # type: ignore[operator]
+    except TypeError:
+        return (type(a).__name__, repr(a)) < (type(b).__name__, repr(b))
+
+
+def _sort_nodes(nodes: Iterable[Node]) -> list[Node]:
+    """Sort nodes deterministically even when types are mixed."""
+    try:
+        return sorted(nodes)  # type: ignore[type-var]
+    except TypeError:
+        return sorted(nodes, key=lambda n: (type(n).__name__, repr(n)))
+
+
+def sort_edges(edges: Iterable[tuple[Node, Node]]) -> list[tuple[Node, Node]]:
+    """Sort canonical edge tuples, tolerating incomparable node types."""
+    edge_list = list(edges)
+    try:
+        return sorted(edge_list)
+    except TypeError:
+        return sorted(
+            edge_list,
+            key=lambda e: tuple((type(n).__name__, repr(n)) for n in e),
+        )
+
+
+class Graph:
+    """A finite, simple, undirected graph with deterministic iteration.
+
+    Parameters
+    ----------
+    nodes:
+        Optional iterable of initial nodes.
+    edges:
+        Optional iterable of initial edges, given as 2-element iterables.
+        Endpoints are added as nodes automatically.
+
+    Examples
+    --------
+    >>> g = Graph(edges=[(1, 2), (2, 3), (3, 4), (4, 1)])
+    >>> g.num_nodes, g.num_edges
+    (4, 4)
+    >>> g.has_edge(2, 1)
+    True
+    >>> sorted(g.neighbors(1))
+    [2, 4]
+    """
+
+    __slots__ = ("_adj",)
+
+    def __init__(
+        self,
+        nodes: Iterable[Node] = (),
+        edges: Iterable[Iterable[Node]] = (),
+    ) -> None:
+        self._adj: dict[Node, set[Node]] = {}
+        for node in nodes:
+            self.add_node(node)
+        for edge in edges:
+            u, v = edge
+            self.add_edge(u, v)
+
+    # ------------------------------------------------------------------
+    # Construction helpers
+    # ------------------------------------------------------------------
+
+    @classmethod
+    def from_graph(cls, other: "Graph") -> "Graph":
+        """Deep-copy constructor (alias of :meth:`copy` usable on the class)."""
+        return other.copy()
+
+    def copy(self) -> "Graph":
+        """Return an independent copy of this graph."""
+        g = Graph.__new__(Graph)
+        g._adj = {node: set(neigh) for node, neigh in self._adj.items()}
+        return g
+
+    # ------------------------------------------------------------------
+    # Mutation
+    # ------------------------------------------------------------------
+
+    def add_node(self, node: Node) -> None:
+        """Add ``node`` to the graph (a no-op if already present)."""
+        if node not in self._adj:
+            self._adj[node] = set()
+
+    def add_nodes(self, nodes: Iterable[Node]) -> None:
+        """Add every node in ``nodes``."""
+        for node in nodes:
+            self.add_node(node)
+
+    def add_edge(self, u: Node, v: Node) -> None:
+        """Add the undirected edge {u, v}, adding endpoints as needed.
+
+        Raises
+        ------
+        SelfLoopError
+            If ``u == v``.
+        """
+        if u == v:
+            raise SelfLoopError(u)
+        self.add_node(u)
+        self.add_node(v)
+        self._adj[u].add(v)
+        self._adj[v].add(u)
+
+    def add_edges(self, edges: Iterable[Iterable[Node]]) -> None:
+        """Add every edge in ``edges``."""
+        for edge in edges:
+            u, v = edge
+            self.add_edge(u, v)
+
+    def remove_node(self, node: Node) -> None:
+        """Remove ``node`` and all incident edges.
+
+        Raises
+        ------
+        NodeNotFoundError
+            If ``node`` is not in the graph.
+        """
+        try:
+            neighbors = self._adj.pop(node)
+        except KeyError:
+            raise NodeNotFoundError(node) from None
+        for other in neighbors:
+            self._adj[other].discard(node)
+
+    def remove_nodes(self, nodes: Iterable[Node]) -> None:
+        """Remove every node in ``nodes`` (each must be present)."""
+        for node in list(nodes):
+            self.remove_node(node)
+
+    def remove_edge(self, u: Node, v: Node) -> None:
+        """Remove the edge {u, v}, keeping both endpoints.
+
+        Raises
+        ------
+        EdgeNotFoundError
+            If the edge is not present.
+        """
+        if not self.has_edge(u, v):
+            raise EdgeNotFoundError(u, v)
+        self._adj[u].discard(v)
+        self._adj[v].discard(u)
+
+    def remove_edges(self, edges: Iterable[Iterable[Node]]) -> None:
+        """Remove every edge in ``edges`` (each must be present)."""
+        for edge in list(edges):
+            u, v = edge
+            self.remove_edge(u, v)
+
+    def saturate(self, nodes: Iterable[Node]) -> list[tuple[Node, Node]]:
+        """Connect every non-adjacent pair in ``nodes``; return the new edges.
+
+        This is the *saturation* operation of the paper (Section 2.1):
+        after the call, ``nodes`` forms a clique.  The returned list
+        contains the edges that were actually added, as canonical
+        sorted tuples, so callers can track fill.
+
+        Raises
+        ------
+        NodeNotFoundError
+            If any node is absent from the graph.
+        """
+        node_list = _sort_nodes(set(nodes))
+        for node in node_list:
+            if node not in self._adj:
+                raise NodeNotFoundError(node)
+        added: list[tuple[Node, Node]] = []
+        for i, u in enumerate(node_list):
+            adj_u = self._adj[u]
+            for v in node_list[i + 1 :]:
+                if v not in adj_u:
+                    adj_u.add(v)
+                    self._adj[v].add(u)
+                    added.append((u, v))
+        return added
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+
+    @property
+    def num_nodes(self) -> int:
+        """Number of nodes, |V(g)|."""
+        return len(self._adj)
+
+    @property
+    def num_edges(self) -> int:
+        """Number of edges, |E(g)|."""
+        return sum(len(neigh) for neigh in self._adj.values()) // 2
+
+    def has_node(self, node: Node) -> bool:
+        """Return whether ``node`` is in the graph."""
+        return node in self._adj
+
+    def __contains__(self, node: Node) -> bool:
+        return node in self._adj
+
+    def has_edge(self, u: Node, v: Node) -> bool:
+        """Return whether the edge {u, v} is in the graph."""
+        neigh = self._adj.get(u)
+        return neigh is not None and v in neigh
+
+    def nodes(self) -> list[Node]:
+        """Return the nodes in sorted order."""
+        return _sort_nodes(self._adj)
+
+    def node_set(self) -> frozenset[Node]:
+        """Return the node set as a frozenset."""
+        return frozenset(self._adj)
+
+    def edges(self) -> list[tuple[Node, Node]]:
+        """Return all edges as canonical sorted tuples, in sorted order."""
+        result: list[tuple[Node, Node]] = []
+        for u in self.nodes():
+            for v in _sort_nodes(self._adj[u]):
+                if _lt(u, v):
+                    result.append((u, v))
+        return result
+
+    def edge_set(self) -> frozenset[frozenset[Node]]:
+        """Return the edge set as a frozenset of 2-element frozensets."""
+        return frozenset(
+            frozenset((u, v)) for u, neigh in self._adj.items() for v in neigh
+        )
+
+    def neighbors(self, node: Node) -> set[Node]:
+        """Return a *copy* of the neighbour set N(node).
+
+        Raises
+        ------
+        NodeNotFoundError
+            If ``node`` is not in the graph.
+        """
+        try:
+            return set(self._adj[node])
+        except KeyError:
+            raise NodeNotFoundError(node) from None
+
+    def adjacency(self, node: Node) -> frozenset[Node]:
+        """Return the neighbour set as a frozenset (no defensive copy cost)."""
+        try:
+            return frozenset(self._adj[node])
+        except KeyError:
+            raise NodeNotFoundError(node) from None
+
+    def degree(self, node: Node) -> int:
+        """Return the degree of ``node``."""
+        try:
+            return len(self._adj[node])
+        except KeyError:
+            raise NodeNotFoundError(node) from None
+
+    def neighborhood_of_set(self, nodes: Iterable[Node]) -> set[Node]:
+        """Return N(U): neighbours of any node of U, excluding U itself.
+
+        This is the ``N(U)`` of the paper's Section 4.2.
+        """
+        node_set = set(nodes)
+        result: set[Node] = set()
+        for node in node_set:
+            try:
+                result.update(self._adj[node])
+            except KeyError:
+                raise NodeNotFoundError(node) from None
+        result.difference_update(node_set)
+        return result
+
+    def closed_neighborhood(self, node: Node) -> set[Node]:
+        """Return N[node] = N(node) ∪ {node}."""
+        closed = self.neighbors(node)
+        closed.add(node)
+        return closed
+
+    def is_clique(self, nodes: Iterable[Node]) -> bool:
+        """Return whether ``nodes`` induces a clique.
+
+        Nodes absent from the graph raise :class:`NodeNotFoundError`.
+        """
+        node_list = list(set(nodes))
+        for node in node_list:
+            if node not in self._adj:
+                raise NodeNotFoundError(node)
+        for i, u in enumerate(node_list):
+            adj_u = self._adj[u]
+            for v in node_list[i + 1 :]:
+                if v not in adj_u:
+                    return False
+        return True
+
+    def is_independent_set(self, nodes: Iterable[Node]) -> bool:
+        """Return whether ``nodes`` is an independent set of this graph."""
+        node_list = list(set(nodes))
+        for node in node_list:
+            if node not in self._adj:
+                raise NodeNotFoundError(node)
+        for i, u in enumerate(node_list):
+            adj_u = self._adj[u]
+            for v in node_list[i + 1 :]:
+                if v in adj_u:
+                    return False
+        return True
+
+    def missing_edges(self, nodes: Iterable[Node] | None = None) -> list[Edge]:
+        """Return the non-edges among ``nodes`` (default: all nodes).
+
+        The result is the list of canonical tuples whose addition would
+        saturate the set — i.e. the *fill* required to make it a clique.
+        """
+        node_list = _sort_nodes(set(nodes)) if nodes is not None else self.nodes()
+        for node in node_list:
+            if node not in self._adj:
+                raise NodeNotFoundError(node)
+        missing: list[Edge] = []
+        for i, u in enumerate(node_list):
+            adj_u = self._adj[u]
+            for v in node_list[i + 1 :]:
+                if v not in adj_u:
+                    missing.append(edge_key(u, v))
+        return missing
+
+    # ------------------------------------------------------------------
+    # Derived graphs
+    # ------------------------------------------------------------------
+
+    def subgraph(self, nodes: Iterable[Node]) -> "Graph":
+        """Return the subgraph induced by ``nodes`` (``g|U`` in the paper)."""
+        keep = set(nodes)
+        for node in keep:
+            if node not in self._adj:
+                raise NodeNotFoundError(node)
+        g = Graph.__new__(Graph)
+        g._adj = {node: self._adj[node] & keep for node in keep}
+        return g
+
+    def without_nodes(self, nodes: Iterable[Node]) -> "Graph":
+        """Return ``g \\ U``: the graph with the nodes of U removed."""
+        drop = set(nodes)
+        keep = [node for node in self._adj if node not in drop]
+        g = Graph.__new__(Graph)
+        g._adj = {node: self._adj[node] - drop for node in keep}
+        return g
+
+    def saturated(self, node_sets: Iterable[Iterable[Node]]) -> "Graph":
+        """Return a copy with every set in ``node_sets`` saturated.
+
+        This implements the paper's ``g[φ]`` when ``node_sets`` is a set
+        of (parallel) minimal separators, and ``saturate(g, d)`` when it
+        is the bags of a tree decomposition.
+        """
+        g = self.copy()
+        for node_set in node_sets:
+            g.saturate(node_set)
+        return g
+
+    def complement(self) -> "Graph":
+        """Return the complement graph on the same node set."""
+        nodes = self.nodes()
+        g = Graph(nodes=nodes)
+        for i, u in enumerate(nodes):
+            adj_u = self._adj[u]
+            for v in nodes[i + 1 :]:
+                if v not in adj_u:
+                    g.add_edge(u, v)
+        return g
+
+    def relabeled(self, mapping: dict[Node, Node]) -> "Graph":
+        """Return a copy with nodes renamed through ``mapping``.
+
+        Nodes missing from ``mapping`` keep their name.  The mapping
+        must be injective on the node set.
+        """
+        new_name = {node: mapping.get(node, node) for node in self._adj}
+        if len(set(new_name.values())) != len(new_name):
+            raise ValueError("relabeling mapping is not injective on the node set")
+        g = Graph.__new__(Graph)
+        g._adj = {
+            new_name[node]: {new_name[v] for v in neigh}
+            for node, neigh in self._adj.items()
+        }
+        return g
+
+    # ------------------------------------------------------------------
+    # Dunders
+    # ------------------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self._adj)
+
+    def __iter__(self) -> Iterator[Node]:
+        return iter(self.nodes())
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Graph):
+            return NotImplemented
+        if self._adj.keys() != other._adj.keys():
+            return False
+        return all(self._adj[node] == other._adj[node] for node in self._adj)
+
+    def __hash__(self) -> int:
+        # Mutable, but hashing by identity-free content is useful for the
+        # enumeration bookkeeping where graphs are treated as values and
+        # never mutated after being handed out.
+        return hash((self.node_set(), self.edge_set()))
+
+    def __repr__(self) -> str:
+        return f"Graph(num_nodes={self.num_nodes}, num_edges={self.num_edges})"
+
+    def summary(self) -> str:
+        """Return a short human-readable description."""
+        return f"graph with {self.num_nodes} nodes and {self.num_edges} edges"

@@ -1,0 +1,336 @@
+"""Graph serialisation (system S4 of DESIGN.md).
+
+Three formats are supported, covering the dataset families of the
+paper's Section 6:
+
+* **edge list** — one ``u v`` pair per line, ``#`` comments; the
+  simplest interchange format;
+* **DIMACS** — the classic ``p edge N M`` / ``e u v`` format used by
+  graph-colouring and treewidth communities (PACE challenge graphs);
+* **UAI model format** — the preamble of UAI-competition probabilistic
+  models (Bayesian ``BAYES`` / Markov ``MARKOV`` networks), from which
+  we extract the *primal (moral) graph*: one node per variable, the
+  variables of each factor pairwise connected.  This is exactly how the
+  paper turns the UAI benchmark networks into graphs.
+"""
+
+from __future__ import annotations
+
+import io
+from pathlib import Path
+from typing import TextIO
+
+from repro.errors import ParseError
+from repro.graph.graph import Graph
+
+__all__ = [
+    "read_edge_list",
+    "write_edge_list",
+    "parse_edge_list",
+    "read_dimacs",
+    "write_dimacs",
+    "parse_dimacs",
+    "parse_uai_model",
+    "read_uai_model",
+    "parse_pace_graph",
+    "read_pace_graph",
+    "write_pace_graph",
+]
+
+
+def _open_text(source: str | Path | TextIO) -> TextIO:
+    if isinstance(source, (str, Path)):
+        return open(source, "r", encoding="utf-8")
+    return source
+
+
+# ----------------------------------------------------------------------
+# Edge list
+# ----------------------------------------------------------------------
+
+
+def parse_edge_list(text: str) -> Graph:
+    """Parse an edge-list document; see :func:`read_edge_list`."""
+    return read_edge_list(io.StringIO(text))
+
+
+def read_edge_list(source: str | Path | TextIO) -> Graph:
+    """Read a graph from ``u v`` lines.
+
+    Blank lines and lines starting with ``#`` are skipped.  A line with
+    a single token declares an isolated node.  Tokens that look like
+    integers become int nodes; everything else stays a string.
+    """
+    graph = Graph()
+    stream = _open_text(source)
+    should_close = isinstance(source, (str, Path))
+    try:
+        for line_number, raw_line in enumerate(stream, start=1):
+            line = raw_line.split("#", 1)[0].strip()
+            if not line:
+                continue
+            tokens = line.split()
+            if len(tokens) == 1:
+                graph.add_node(_coerce(tokens[0]))
+            elif len(tokens) == 2:
+                u, v = _coerce(tokens[0]), _coerce(tokens[1])
+                if u == v:
+                    raise ParseError(f"self loop on {u!r}", line_number)
+                graph.add_edge(u, v)
+            else:
+                raise ParseError(
+                    f"expected 1 or 2 tokens, got {len(tokens)}", line_number
+                )
+    finally:
+        if should_close:
+            stream.close()
+    return graph
+
+
+def write_edge_list(graph: Graph, target: str | Path | TextIO) -> None:
+    """Write ``graph`` in edge-list format (isolated nodes as single tokens)."""
+    lines = []
+    covered = set()
+    for u, v in graph.edges():
+        lines.append(f"{u} {v}")
+        covered.add(u)
+        covered.add(v)
+    for node in graph.nodes():
+        if node not in covered:
+            lines.append(str(node))
+    text = "\n".join(lines) + "\n"
+    if isinstance(target, (str, Path)):
+        Path(target).write_text(text, encoding="utf-8")
+    else:
+        target.write(text)
+
+
+def _coerce(token: str) -> int | str:
+    try:
+        return int(token)
+    except ValueError:
+        return token
+
+
+# ----------------------------------------------------------------------
+# DIMACS
+# ----------------------------------------------------------------------
+
+
+def parse_dimacs(text: str) -> Graph:
+    """Parse a DIMACS document; see :func:`read_dimacs`."""
+    return read_dimacs(io.StringIO(text))
+
+
+def read_dimacs(source: str | Path | TextIO) -> Graph:
+    """Read a graph in DIMACS ``.col``-style format.
+
+    Recognised lines: ``c`` comments, one ``p edge N M`` (or ``p tw``)
+    problem line, and ``e u v`` edge lines with 1-based node indices.
+    Nodes are 1..N ints.
+    """
+    graph = Graph()
+    declared_nodes: int | None = None
+    stream = _open_text(source)
+    should_close = isinstance(source, (str, Path))
+    try:
+        for line_number, raw_line in enumerate(stream, start=1):
+            line = raw_line.strip()
+            if not line or line.startswith("c"):
+                continue
+            tokens = line.split()
+            if tokens[0] == "p":
+                if declared_nodes is not None:
+                    raise ParseError("duplicate problem line", line_number)
+                if len(tokens) < 4:
+                    raise ParseError("malformed problem line", line_number)
+                try:
+                    declared_nodes = int(tokens[2])
+                except ValueError:
+                    raise ParseError("non-integer node count", line_number) from None
+                graph.add_nodes(range(1, declared_nodes + 1))
+            elif tokens[0] == "e":
+                if len(tokens) != 3:
+                    raise ParseError("malformed edge line", line_number)
+                try:
+                    u, v = int(tokens[1]), int(tokens[2])
+                except ValueError:
+                    raise ParseError("non-integer endpoint", line_number) from None
+                if u == v:
+                    raise ParseError(f"self loop on {u}", line_number)
+                graph.add_edge(u, v)
+            else:
+                raise ParseError(f"unknown line type {tokens[0]!r}", line_number)
+    finally:
+        if should_close:
+            stream.close()
+    if declared_nodes is None:
+        raise ParseError("missing problem line")
+    return graph
+
+
+def write_dimacs(graph: Graph, target: str | Path | TextIO) -> None:
+    """Write ``graph`` in DIMACS format, relabelling nodes to 1..N."""
+    nodes = graph.nodes()
+    index = {node: i + 1 for i, node in enumerate(nodes)}
+    lines = [f"p edge {len(nodes)} {graph.num_edges}"]
+    for u, v in graph.edges():
+        lines.append(f"e {index[u]} {index[v]}")
+    text = "\n".join(lines) + "\n"
+    if isinstance(target, (str, Path)):
+        Path(target).write_text(text, encoding="utf-8")
+    else:
+        target.write(text)
+
+
+# ----------------------------------------------------------------------
+# UAI model format
+# ----------------------------------------------------------------------
+
+
+def parse_uai_model(text: str) -> Graph:
+    """Extract the primal (moral) graph from a UAI model preamble.
+
+    The UAI competition format starts with a header::
+
+        MARKOV                  (or BAYES)
+        <number of variables>
+        <cardinality of each variable>
+        <number of factors>
+        <scope-size var var ...>     one line (or whitespace run) per factor
+
+    The function tables that follow the preamble are ignored — only the
+    structure matters for triangulation.  Each factor scope is turned
+    into a clique over its variables (moralisation), matching the
+    construction of the paper's PGM benchmark graphs.
+    """
+    tokens = text.split()
+    if not tokens:
+        raise ParseError("empty UAI document")
+    cursor = 0
+    network_type = tokens[cursor].upper()
+    cursor += 1
+    if network_type not in {"MARKOV", "BAYES"}:
+        raise ParseError(f"unknown network type {network_type!r}")
+
+    def take_int(what: str) -> int:
+        nonlocal cursor
+        if cursor >= len(tokens):
+            raise ParseError(f"unexpected end of document reading {what}")
+        try:
+            value = int(tokens[cursor])
+        except ValueError:
+            raise ParseError(
+                f"expected integer for {what}, got {tokens[cursor]!r}"
+            ) from None
+        cursor += 1
+        return value
+
+    num_variables = take_int("variable count")
+    if num_variables < 0:
+        raise ParseError("negative variable count")
+    for i in range(num_variables):
+        cardinality = take_int(f"cardinality of variable {i}")
+        if cardinality <= 0:
+            raise ParseError(f"non-positive cardinality for variable {i}")
+    num_factors = take_int("factor count")
+    graph = Graph(nodes=range(num_variables))
+    for factor_index in range(num_factors):
+        scope_size = take_int(f"scope size of factor {factor_index}")
+        if scope_size < 0:
+            raise ParseError(f"negative scope size in factor {factor_index}")
+        scope = []
+        for position in range(scope_size):
+            variable = take_int(
+                f"variable {position} of factor {factor_index}"
+            )
+            if not 0 <= variable < num_variables:
+                raise ParseError(
+                    f"factor {factor_index} references unknown variable {variable}"
+                )
+            scope.append(variable)
+        graph.saturate(set(scope))
+    return graph
+
+
+def read_uai_model(source: str | Path | TextIO) -> Graph:
+    """Read a UAI model file and return its primal graph."""
+    stream = _open_text(source)
+    should_close = isinstance(source, (str, Path))
+    try:
+        return parse_uai_model(stream.read())
+    finally:
+        if should_close:
+            stream.close()
+
+
+# ----------------------------------------------------------------------
+# PACE treewidth format (.gr)
+# ----------------------------------------------------------------------
+
+
+def parse_pace_graph(text: str) -> Graph:
+    """Parse a PACE ``.gr`` document; see :func:`read_pace_graph`."""
+    return read_pace_graph(io.StringIO(text))
+
+
+def read_pace_graph(source: str | Path | TextIO) -> Graph:
+    """Read a graph in the PACE challenge ``.gr`` format.
+
+    Recognised lines: ``c`` comments, one ``p tw N M`` problem line,
+    and bare ``u v`` edge lines with 1-based integer endpoints.
+    """
+    graph = Graph()
+    declared_nodes: int | None = None
+    stream = _open_text(source)
+    should_close = isinstance(source, (str, Path))
+    try:
+        for line_number, raw_line in enumerate(stream, start=1):
+            line = raw_line.strip()
+            if not line or line.startswith("c"):
+                continue
+            tokens = line.split()
+            if tokens[0] == "p":
+                if declared_nodes is not None:
+                    raise ParseError("duplicate problem line", line_number)
+                if len(tokens) != 4 or tokens[1] != "tw":
+                    raise ParseError("malformed 'p tw N M' line", line_number)
+                try:
+                    declared_nodes = int(tokens[2])
+                except ValueError:
+                    raise ParseError("non-integer node count", line_number) from None
+                graph.add_nodes(range(1, declared_nodes + 1))
+            else:
+                if declared_nodes is None:
+                    raise ParseError("edge before problem line", line_number)
+                if len(tokens) != 2:
+                    raise ParseError("malformed edge line", line_number)
+                try:
+                    u, v = int(tokens[0]), int(tokens[1])
+                except ValueError:
+                    raise ParseError("non-integer endpoint", line_number) from None
+                if u == v:
+                    raise ParseError(f"self loop on {u}", line_number)
+                if not (1 <= u <= declared_nodes and 1 <= v <= declared_nodes):
+                    raise ParseError("endpoint out of range", line_number)
+                graph.add_edge(u, v)
+    finally:
+        if should_close:
+            stream.close()
+    if declared_nodes is None:
+        raise ParseError("missing problem line")
+    return graph
+
+
+def write_pace_graph(graph: Graph, target: str | Path | TextIO) -> None:
+    """Write ``graph`` in PACE ``.gr`` format, relabelling nodes to 1..N."""
+    nodes = graph.nodes()
+    index = {node: i + 1 for i, node in enumerate(nodes)}
+    lines = [f"p tw {len(nodes)} {graph.num_edges}"]
+    for u, v in graph.edges():
+        lines.append(f"{index[u]} {index[v]}")
+    text = "\n".join(lines) + "\n"
+    if isinstance(target, (str, Path)):
+        Path(target).write_text(text, encoding="utf-8")
+    else:
+        target.write(text)

@@ -1,0 +1,25 @@
+"""Hypergraphs and generalized hypertree decompositions (extension)."""
+
+from repro.hypergraph.covers import (
+    UncoverableBagError,
+    greedy_cover,
+    minimum_cover,
+)
+from repro.hypergraph.ghd import (
+    GeneralizedHypertreeDecomposition,
+    enumerate_ghds,
+    ghd_from_tree_decomposition,
+    ghw_upper_bound,
+)
+from repro.hypergraph.hypergraph import Hypergraph
+
+__all__ = [
+    "Hypergraph",
+    "greedy_cover",
+    "minimum_cover",
+    "UncoverableBagError",
+    "GeneralizedHypertreeDecomposition",
+    "ghd_from_tree_decomposition",
+    "enumerate_ghds",
+    "ghw_upper_bound",
+]

@@ -1,0 +1,118 @@
+"""Hyperedge covers for decomposition bags (extension).
+
+A GHD labels every bag with a set of hyperedges whose union contains
+the bag; the decomposition's width is the largest label.  Minimum set
+cover is NP-hard, so two solvers are provided:
+
+* :func:`greedy_cover` — the classical ln-n-approximate greedy;
+* :func:`minimum_cover` — exact branch-and-bound, fine for the bag and
+  hyperedge counts of query-sized hypergraphs.
+
+Both treat only the bag-relevant part of each hyperedge (scopes are
+intersected with the bag first) and break ties deterministically.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Mapping
+
+from repro.graph.graph import Node
+
+__all__ = ["greedy_cover", "minimum_cover", "UncoverableBagError"]
+
+
+class UncoverableBagError(ValueError):
+    """A bag contains a vertex that no hyperedge covers."""
+
+    def __init__(self, missing: frozenset[Node]) -> None:
+        super().__init__(
+            f"no hyperedge covers vertices {sorted(map(repr, missing))}"
+        )
+        self.missing = missing
+
+
+def _relevant(
+    bag: frozenset[Node], edges: Mapping[str, frozenset[Node]]
+) -> dict[str, frozenset[Node]]:
+    restricted = {
+        name: scope & bag for name, scope in edges.items() if scope & bag
+    }
+    covered = frozenset(v for scope in restricted.values() for v in scope)
+    if covered != bag:
+        raise UncoverableBagError(bag - covered)
+    return restricted
+
+
+def greedy_cover(
+    bag: Iterable[Node], edges: Mapping[str, frozenset[Node]]
+) -> list[str]:
+    """Return hyperedge names covering ``bag`` (greedy, ≈ln n optimal).
+
+    Raises :class:`UncoverableBagError` if some bag vertex appears in
+    no hyperedge.
+    """
+    target = frozenset(bag)
+    if not target:
+        return []
+    restricted = _relevant(target, edges)
+    uncovered = set(target)
+    chosen: list[str] = []
+    while uncovered:
+        best = max(
+            sorted(restricted),
+            key=lambda name: (len(restricted[name] & uncovered), name),
+        )
+        gain = restricted[best] & uncovered
+        if not gain:  # pragma: no cover - guarded by _relevant
+            raise UncoverableBagError(frozenset(uncovered))
+        chosen.append(best)
+        uncovered -= gain
+    return sorted(chosen)
+
+
+def minimum_cover(
+    bag: Iterable[Node],
+    edges: Mapping[str, frozenset[Node]],
+    upper_bound: int | None = None,
+) -> list[str]:
+    """Return a minimum-cardinality hyperedge cover of ``bag`` (exact).
+
+    Branch and bound on the lowest-indexed uncovered vertex: try every
+    hyperedge containing it.  ``upper_bound`` (defaults to the greedy
+    solution) prunes the search.  Deterministic: among minimum covers
+    the lexicographically smallest name list is returned.
+    """
+    target = frozenset(bag)
+    if not target:
+        return []
+    restricted = _relevant(target, edges)
+    greedy = greedy_cover(target, edges)
+    best: list[str] = sorted(greedy)
+    bound = min(upper_bound, len(greedy)) if upper_bound is not None else len(greedy)
+
+    by_vertex: dict[Node, list[str]] = {}
+    for name in sorted(restricted):
+        for vertex in restricted[name]:
+            by_vertex.setdefault(vertex, []).append(name)
+    vertex_order = sorted(by_vertex, key=lambda v: (len(by_vertex[v]), repr(v)))
+
+    def search(uncovered: frozenset[Node], chosen: tuple[str, ...]) -> None:
+        nonlocal best, bound
+        if not uncovered:
+            candidate = sorted(chosen)
+            if len(candidate) < bound or (
+                len(candidate) == bound and candidate < best
+            ):
+                best = candidate
+                bound = len(candidate)
+            return
+        if len(chosen) + 1 > bound:
+            return
+        pivot = next(v for v in vertex_order if v in uncovered)
+        for name in by_vertex[pivot]:
+            if name in chosen:
+                continue
+            search(uncovered - restricted[name], chosen + (name,))
+
+    search(target, ())
+    return best

@@ -1,0 +1,180 @@
+"""A minimal hypergraph type for hypertree-decomposition work (extension).
+
+The paper motivates minimal-triangulation enumeration with generalized
+hypertree decompositions (GHDs) of (multi)join queries: a GHD is a tree
+decomposition of the query's *primal graph* plus an assignment of
+hyperedge covers to bags (Gottlob et al.).  This subpackage supplies
+the substrate: a hypergraph with named hyperedges, its primal (Gaifman)
+graph, and the standard structural notions used by the GHD machinery.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Mapping
+
+from repro.graph.graph import Graph, Node, _sort_nodes
+
+__all__ = ["Hypergraph"]
+
+
+class Hypergraph:
+    """A finite hypergraph with named hyperedges.
+
+    Parameters
+    ----------
+    edges:
+        Mapping from hyperedge name to an iterable of vertices.  Vertex
+        sets may overlap arbitrarily; empty hyperedges are allowed.
+    vertices:
+        Optional extra isolated vertices.
+
+    Examples
+    --------
+    >>> h = Hypergraph({"R": ("x", "y"), "S": ("y", "z"), "T": ("z", "x")})
+    >>> sorted(h.vertices())
+    ['x', 'y', 'z']
+    >>> h.primal_graph().num_edges
+    3
+    """
+
+    def __init__(
+        self,
+        edges: Mapping[str, Iterable[Node]],
+        vertices: Iterable[Node] = (),
+    ) -> None:
+        self._edges: dict[str, frozenset[Node]] = {
+            str(name): frozenset(scope) for name, scope in edges.items()
+        }
+        self._vertices: frozenset[Node] = frozenset(vertices) | frozenset(
+            v for scope in self._edges.values() for v in scope
+        )
+
+    # ------------------------------------------------------------------
+    # Basic access
+    # ------------------------------------------------------------------
+
+    def vertices(self) -> list[Node]:
+        """All vertices in sorted order."""
+        return _sort_nodes(self._vertices)
+
+    def vertex_set(self) -> frozenset[Node]:
+        """The vertex set."""
+        return self._vertices
+
+    def edge_names(self) -> list[str]:
+        """Hyperedge names in sorted order."""
+        return sorted(self._edges)
+
+    def edge(self, name: str) -> frozenset[Node]:
+        """The vertex scope of hyperedge ``name``."""
+        try:
+            return self._edges[name]
+        except KeyError:
+            raise KeyError(f"no hyperedge named {name!r}") from None
+
+    def edges(self) -> dict[str, frozenset[Node]]:
+        """A copy of the name → scope mapping."""
+        return dict(self._edges)
+
+    @property
+    def num_vertices(self) -> int:
+        return len(self._vertices)
+
+    @property
+    def num_edges(self) -> int:
+        return len(self._edges)
+
+    def edges_containing(self, vertex: Node) -> list[str]:
+        """Names of hyperedges whose scope contains ``vertex``."""
+        return [name for name in self.edge_names() if vertex in self._edges[name]]
+
+    def rank(self) -> int:
+        """The maximum hyperedge size (arity)."""
+        if not self._edges:
+            return 0
+        return max(len(scope) for scope in self._edges.values())
+
+    # ------------------------------------------------------------------
+    # Derived structures
+    # ------------------------------------------------------------------
+
+    def primal_graph(self) -> Graph:
+        """The primal (Gaifman) graph: vertices, cliques per hyperedge."""
+        graph = Graph(nodes=self._vertices)
+        for scope in self._edges.values():
+            graph.saturate(scope)
+        return graph
+
+    def dual_hypergraph(self) -> "Hypergraph":
+        """The dual: one vertex per hyperedge, one hyperedge per vertex."""
+        dual_edges: dict[str, list[str]] = {}
+        for vertex in self.vertices():
+            dual_edges[repr(vertex)] = self.edges_containing(vertex)
+        return Hypergraph(dual_edges, vertices=self.edge_names())
+
+    def restricted_to(self, vertices: Iterable[Node]) -> "Hypergraph":
+        """The sub-hypergraph induced by ``vertices`` (scopes intersected)."""
+        keep = frozenset(vertices)
+        return Hypergraph(
+            {
+                name: scope & keep
+                for name, scope in self._edges.items()
+                if scope & keep
+            },
+            vertices=keep & self._vertices,
+        )
+
+    # ------------------------------------------------------------------
+    # Acyclicity (GYO reduction)
+    # ------------------------------------------------------------------
+
+    def is_alpha_acyclic(self) -> bool:
+        """Return whether the hypergraph is α-acyclic (GYO reduction).
+
+        Repeatedly remove *ear* vertices (appearing in exactly one
+        hyperedge) and hyperedges contained in another hyperedge; the
+        hypergraph is α-acyclic iff everything reduces away.  α-acyclic
+        hypergraphs are exactly those with generalized hypertree width 1
+        (a join tree).
+        """
+        scopes = {name: set(scope) for name, scope in self._edges.items()}
+        changed = True
+        while changed:
+            changed = False
+            # Rule 1: drop vertices occurring in exactly one scope.
+            occurrences: dict[Node, list[str]] = {}
+            for name, scope in scopes.items():
+                for vertex in scope:
+                    occurrences.setdefault(vertex, []).append(name)
+            for vertex, holders in occurrences.items():
+                if len(holders) == 1:
+                    scopes[holders[0]].discard(vertex)
+                    changed = True
+            # Rule 2: drop scopes contained in another scope.
+            names = sorted(scopes)
+            for name in names:
+                for other in names:
+                    if other != name and other in scopes and name in scopes:
+                        if scopes[name] <= scopes[other]:
+                            del scopes[name]
+                            changed = True
+                            break
+        return all(not scope for scope in scopes.values())
+
+    # ------------------------------------------------------------------
+    # Dunders
+    # ------------------------------------------------------------------
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Hypergraph):
+            return NotImplemented
+        return self._edges == other._edges and self._vertices == other._vertices
+
+    def __hash__(self) -> int:
+        return hash((frozenset(self._edges.items()), self._vertices))
+
+    def __repr__(self) -> str:
+        return (
+            f"Hypergraph(num_vertices={self.num_vertices}, "
+            f"num_edges={self.num_edges})"
+        )

@@ -1,0 +1,19 @@
+"""Exact inference on junction trees (application substrate)."""
+
+from repro.inference.bayes import BayesianNetwork
+from repro.inference.factor import Factor
+from repro.inference.junction_tree import (
+    CalibrationResult,
+    calibrate,
+    partition_function,
+)
+from repro.inference.model import MarkovNetwork
+
+__all__ = [
+    "Factor",
+    "BayesianNetwork",
+    "MarkovNetwork",
+    "CalibrationResult",
+    "calibrate",
+    "partition_function",
+]

@@ -1,0 +1,153 @@
+"""Bayesian networks and moralisation (extension substrate).
+
+The paper's PGM benchmarks mix Markov networks and *Bayesian* networks
+(Promedas, segmentation, pedigree); the latter reach the triangulation
+machinery through **moralisation** — marry the parents of every node,
+drop directions.  This module supplies a small directed model type
+with CPT semantics, the moralisation into a
+:class:`~repro.inference.model.MarkovNetwork` (exact inference then
+runs unchanged on the junction tree), and the random generators used
+by the workload suites.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.graph.graph import Graph, Node, _sort_nodes
+from repro.inference.factor import Factor
+from repro.inference.model import MarkovNetwork
+
+__all__ = ["BayesianNetwork"]
+
+
+class BayesianNetwork:
+    """A discrete Bayesian network: a DAG plus one CPT per node.
+
+    Parameters
+    ----------
+    domains:
+        Variable → domain size.
+    parents:
+        Variable → tuple of parent variables (must be acyclic).
+    cpts:
+        Variable → conditional probability table with axes
+        ``(*parents, variable)``; every slice over the last axis must
+        sum to 1.
+    """
+
+    def __init__(
+        self,
+        domains: dict[Node, int],
+        parents: dict[Node, tuple[Node, ...]],
+        cpts: dict[Node, np.ndarray],
+    ) -> None:
+        if set(domains) != set(parents) or set(domains) != set(cpts):
+            raise ValueError("domains, parents and cpts must share keys")
+        self.domains = dict(domains)
+        self.parents = {v: tuple(ps) for v, ps in parents.items()}
+        self._check_acyclic()
+        self.cpts: dict[Node, np.ndarray] = {}
+        for variable, table in cpts.items():
+            array = np.asarray(table, dtype=float)
+            expected = tuple(
+                self.domains[p] for p in self.parents[variable]
+            ) + (self.domains[variable],)
+            if array.shape != expected:
+                raise ValueError(
+                    f"CPT of {variable!r} has shape {array.shape}, "
+                    f"expected {expected}"
+                )
+            sums = array.sum(axis=-1)
+            if not np.allclose(sums, 1.0):
+                raise ValueError(f"CPT of {variable!r} rows must sum to 1")
+            self.cpts[variable] = array
+
+    def _check_acyclic(self) -> None:
+        state: dict[Node, int] = {}
+
+        def visit(node: Node) -> None:
+            state[node] = 1
+            for parent in self.parents[node]:
+                mark = state.get(parent, 0)
+                if mark == 1:
+                    raise ValueError("parent structure contains a cycle")
+                if mark == 0:
+                    visit(parent)
+            state[node] = 2
+
+        for node in self.parents:
+            if state.get(node, 0) == 0:
+                visit(node)
+
+    # ------------------------------------------------------------------
+    # Structure
+    # ------------------------------------------------------------------
+
+    def variables(self) -> list[Node]:
+        return _sort_nodes(self.domains)
+
+    def moral_graph(self) -> Graph:
+        """The moral graph: child–parent edges plus married parents."""
+        graph = Graph(nodes=self.domains)
+        for child, parent_tuple in self.parents.items():
+            graph.saturate((child, *parent_tuple))
+        return graph
+
+    def to_markov_network(self) -> MarkovNetwork:
+        """One factor per CPT; primal graph = the moral graph."""
+        factors = [
+            Factor((*self.parents[v], v), self.cpts[v]) for v in self.variables()
+        ]
+        return MarkovNetwork(dict(self.domains), factors)
+
+    # ------------------------------------------------------------------
+    # Generators
+    # ------------------------------------------------------------------
+
+    @classmethod
+    def random(
+        cls,
+        num_variables: int,
+        max_parents: int,
+        seed: int,
+        domain_size: int = 2,
+    ) -> "BayesianNetwork":
+        """A random DAG over ``0..n-1`` (parents have smaller index)."""
+        import random as pyrandom
+
+        rng = pyrandom.Random(seed)
+        np_rng = np.random.default_rng(seed)
+        domains = {v: domain_size for v in range(num_variables)}
+        parents: dict[Node, tuple[Node, ...]] = {}
+        cpts: dict[Node, np.ndarray] = {}
+        for v in range(num_variables):
+            count = rng.randint(0, min(max_parents, v))
+            chosen = tuple(sorted(rng.sample(range(v), count)))
+            parents[v] = chosen
+            shape = tuple(domain_size for __ in chosen) + (domain_size,)
+            raw = np_rng.random(shape) + 0.05
+            cpts[v] = raw / raw.sum(axis=-1, keepdims=True)
+        return cls(domains, parents, cpts)
+
+    # ------------------------------------------------------------------
+    # Semantics (oracle)
+    # ------------------------------------------------------------------
+
+    def joint_probability(self, assignment: dict[Node, int]) -> float:
+        """P(assignment) = Π CPT entries (full assignments only)."""
+        if set(assignment) != set(self.domains):
+            raise ValueError("assignment must cover every variable")
+        probability = 1.0
+        for variable, table in self.cpts.items():
+            index = tuple(assignment[p] for p in self.parents[variable]) + (
+                assignment[variable],
+            )
+            probability *= float(table[index])
+        return probability
+
+    def __repr__(self) -> str:
+        return (
+            f"BayesianNetwork(num_variables={len(self.domains)}, "
+            f"edges={sum(len(p) for p in self.parents.values())})"
+        )

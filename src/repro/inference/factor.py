@@ -1,0 +1,162 @@
+"""Discrete factors for junction-tree inference (extension substrate).
+
+The paper's first application domain is exact inference in
+probabilistic graphical models: the cost of junction-tree inference is
+driven by the tree decomposition used, which is exactly what the
+enumeration lets an application optimise.  This module implements the
+factor algebra needed for a real sum-product engine: multiplication
+(with broadcasting over variable unions) and marginalisation, on dense
+numpy tables.
+
+Variables are named by arbitrary hashable, orderable objects; a factor
+stores its scope as an ordered tuple and its table with one axis per
+scope variable, axis length = the variable's domain size.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Mapping, Sequence
+
+import numpy as np
+
+from repro.graph.graph import Node
+
+__all__ = ["Factor"]
+
+
+class Factor:
+    """A non-negative real-valued function over discrete variables.
+
+    Parameters
+    ----------
+    variables:
+        The ordered scope.  Must be duplicate-free.
+    table:
+        Array-like with one axis per variable.
+    """
+
+    __slots__ = ("variables", "table")
+
+    def __init__(self, variables: Sequence[Node], table) -> None:
+        self.variables: tuple[Node, ...] = tuple(variables)
+        if len(set(self.variables)) != len(self.variables):
+            raise ValueError("factor scope contains duplicate variables")
+        self.table = np.asarray(table, dtype=float)
+        if self.table.ndim != len(self.variables):
+            raise ValueError(
+                f"table has {self.table.ndim} axes for "
+                f"{len(self.variables)} variables"
+            )
+        if np.any(self.table < 0):
+            raise ValueError("factor tables must be non-negative")
+
+    # ------------------------------------------------------------------
+    # Construction helpers
+    # ------------------------------------------------------------------
+
+    @classmethod
+    def constant(cls, value: float = 1.0) -> "Factor":
+        """The scope-free constant factor."""
+        return cls((), np.asarray(value, dtype=float))
+
+    @classmethod
+    def uniform(cls, variables: Sequence[Node], domains: Mapping[Node, int]) -> "Factor":
+        """The all-ones factor over ``variables``."""
+        shape = tuple(domains[v] for v in variables)
+        return cls(variables, np.ones(shape))
+
+    @classmethod
+    def random(
+        cls,
+        variables: Sequence[Node],
+        domains: Mapping[Node, int],
+        rng: np.random.Generator,
+    ) -> "Factor":
+        """A random strictly positive factor (entries in (0.1, 1.1))."""
+        shape = tuple(domains[v] for v in variables)
+        return cls(variables, rng.random(shape) + 0.1)
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+
+    def domain_size(self, variable: Node) -> int:
+        """Domain size of ``variable`` (its axis length)."""
+        return self.table.shape[self.variables.index(variable)]
+
+    @property
+    def num_entries(self) -> int:
+        """Number of table entries (the memory cost of this factor)."""
+        return int(self.table.size)
+
+    # ------------------------------------------------------------------
+    # Algebra
+    # ------------------------------------------------------------------
+
+    def align_to(self, variables: Sequence[Node], domains: Mapping[Node, int]) -> np.ndarray:
+        """Return the table broadcast to the axis order ``variables``.
+
+        ``variables`` must be a superset of the scope; missing axes are
+        broadcast (size-1 then expanded implicitly by numpy ops).
+        """
+        target = tuple(variables)
+        missing = [v for v in self.variables if v not in target]
+        if missing:
+            raise ValueError(f"target scope misses factor variables {missing}")
+        # Move existing axes into target order, then insert new axes.
+        permutation = sorted(
+            range(len(self.variables)),
+            key=lambda axis: target.index(self.variables[axis]),
+        )
+        table = np.transpose(self.table, permutation)
+        shape = []
+        cursor = 0
+        for v in target:
+            if v in self.variables:
+                shape.append(table.shape[cursor])
+                cursor += 1
+            else:
+                shape.append(1)
+        # Size-1 axes broadcast in downstream numpy operations.
+        return table.reshape(shape)
+
+    def multiply(self, other: "Factor", domains: Mapping[Node, int]) -> "Factor":
+        """Return the product factor over the union of scopes."""
+        union = list(self.variables)
+        for v in other.variables:
+            if v not in self.variables:
+                union.append(v)
+        left = self.align_to(union, domains)
+        right = other.align_to(union, domains)
+        return Factor(union, left * right)
+
+    def marginalize(self, variables: Iterable[Node]) -> "Factor":
+        """Sum out ``variables`` from the scope."""
+        drop = set(variables)
+        unknown = drop - set(self.variables)
+        if unknown:
+            raise ValueError(f"cannot marginalise unknown variables {sorted(map(repr, unknown))}")
+        axes = tuple(
+            axis for axis, v in enumerate(self.variables) if v in drop
+        )
+        kept = tuple(v for v in self.variables if v not in drop)
+        return Factor(kept, self.table.sum(axis=axes))
+
+    def project_onto(self, variables: Iterable[Node]) -> "Factor":
+        """Marginalise everything *except* ``variables``."""
+        keep = set(variables)
+        return self.marginalize([v for v in self.variables if v not in keep])
+
+    def normalize(self) -> "Factor":
+        """Return the factor scaled to sum to 1 (a distribution)."""
+        total = self.table.sum()
+        if total <= 0:
+            raise ValueError("cannot normalise a zero factor")
+        return Factor(self.variables, self.table / total)
+
+    def total(self) -> float:
+        """The sum of all entries."""
+        return float(self.table.sum())
+
+    def __repr__(self) -> str:
+        return f"Factor(variables={self.variables!r}, entries={self.num_entries})"

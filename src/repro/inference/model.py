@@ -1,0 +1,134 @@
+"""Discrete Markov networks (extension substrate).
+
+A Markov network is a set of factors over discrete variables; its
+primal graph (one node per variable, factor scopes saturated) is the
+graph whose tree decompositions drive exact inference.  This mirrors
+how the paper's Section 6 turns UAI models into benchmark graphs.
+"""
+
+from __future__ import annotations
+
+import itertools
+
+import numpy as np
+
+from repro.graph.graph import Graph, Node
+from repro.inference.factor import Factor
+
+__all__ = ["MarkovNetwork"]
+
+
+class MarkovNetwork:
+    """A factorised non-negative distribution over discrete variables.
+
+    Parameters
+    ----------
+    domains:
+        Mapping from variable to its (positive) domain size.
+    factors:
+        The factors; every scope variable must appear in ``domains``
+        and every table axis must match the declared domain size.
+    """
+
+    def __init__(self, domains: dict[Node, int], factors: list[Factor]) -> None:
+        for variable, size in domains.items():
+            if size <= 0:
+                raise ValueError(f"domain of {variable!r} must be positive")
+        for factor in factors:
+            for variable in factor.variables:
+                if variable not in domains:
+                    raise ValueError(f"factor mentions unknown variable {variable!r}")
+                if factor.domain_size(variable) != domains[variable]:
+                    raise ValueError(
+                        f"factor table axis for {variable!r} has size "
+                        f"{factor.domain_size(variable)}, expected {domains[variable]}"
+                    )
+        self.domains = dict(domains)
+        self.factors = list(factors)
+
+    # ------------------------------------------------------------------
+    # Structure
+    # ------------------------------------------------------------------
+
+    def variables(self) -> list[Node]:
+        """All variables in sorted order."""
+        from repro.graph.graph import _sort_nodes
+
+        return _sort_nodes(self.domains)
+
+    def primal_graph(self) -> Graph:
+        """The primal (moral) graph: factor scopes become cliques."""
+        graph = Graph(nodes=self.domains)
+        for factor in self.factors:
+            graph.saturate(factor.variables)
+        return graph
+
+    # ------------------------------------------------------------------
+    # Generators
+    # ------------------------------------------------------------------
+
+    @classmethod
+    def random(
+        cls,
+        graph: Graph,
+        seed: int,
+        domain_size: int = 2,
+        pairwise: bool = True,
+    ) -> "MarkovNetwork":
+        """A random strictly positive model with ``graph`` as primal graph.
+
+        ``pairwise=True`` creates one factor per edge (plus a unary
+        factor per node), which keeps the primal graph exactly
+        ``graph``.
+        """
+        if not pairwise:
+            raise NotImplementedError("only pairwise models are generated")
+        rng = np.random.default_rng(seed)
+        domains = {v: domain_size for v in graph.node_set()}
+        factors = [
+            Factor.random((v,), domains, rng) for v in graph.nodes()
+        ]
+        factors.extend(
+            Factor.random((u, v), domains, rng) for u, v in graph.edges()
+        )
+        return cls(domains, factors)
+
+    # ------------------------------------------------------------------
+    # Brute-force reference semantics (exponential; test oracle)
+    # ------------------------------------------------------------------
+
+    def brute_force_partition_function(self) -> float:
+        """Z = Σ over all assignments of the product of factors."""
+        variables = self.variables()
+        total = 0.0
+        for assignment in itertools.product(
+            *(range(self.domains[v]) for v in variables)
+        ):
+            value = 1.0
+            lookup = dict(zip(variables, assignment))
+            for factor in self.factors:
+                index = tuple(lookup[v] for v in factor.variables)
+                value *= float(factor.table[index])
+            total += value
+        return total
+
+    def brute_force_marginal(self, variable: Node) -> list[float]:
+        """The unnormalised marginal of ``variable`` (test oracle)."""
+        variables = self.variables()
+        sums = [0.0] * self.domains[variable]
+        for assignment in itertools.product(
+            *(range(self.domains[v]) for v in variables)
+        ):
+            lookup = dict(zip(variables, assignment))
+            value = 1.0
+            for factor in self.factors:
+                index = tuple(lookup[v] for v in factor.variables)
+                value *= float(factor.table[index])
+            sums[lookup[variable]] += value
+        return sums
+
+    def __repr__(self) -> str:
+        return (
+            f"MarkovNetwork(num_variables={len(self.domains)}, "
+            f"num_factors={len(self.factors)})"
+        )

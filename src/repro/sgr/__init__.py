@@ -1,0 +1,17 @@
+"""Succinct graph representations and the EnumMIS enumeration algorithm."""
+
+from repro.sgr.base import ExplicitSGR, SuccinctGraphRepresentation
+from repro.sgr.enum_mis import EnumMISStatistics, enumerate_maximal_independent_sets
+from repro.sgr.reverse_search import poly_space_maximal_independent_sets
+from repro.sgr.separator_graph import MinimalSeparatorSGR
+from repro.sgr.seth import KSatSGR
+
+__all__ = [
+    "SuccinctGraphRepresentation",
+    "ExplicitSGR",
+    "MinimalSeparatorSGR",
+    "enumerate_maximal_independent_sets",
+    "EnumMISStatistics",
+    "poly_space_maximal_independent_sets",
+    "KSatSGR",
+]

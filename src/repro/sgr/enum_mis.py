@@ -1,0 +1,211 @@
+"""EnumMIS: maximal independent sets of an SGR (system S13; paper Figure 1).
+
+This is the paper's central algorithm (Theorem 3.1): given a tractably
+accessible SGR with a tractable expansion, enumerate the maximal
+independent sets of the represented graph in **incremental polynomial
+time** — the time to produce the (N+1)-st answer is polynomial in the
+input size and N.
+
+The algorithm maintains
+
+* ``Q`` — answers produced but not yet processed,
+* ``P`` — processed answers,
+* ``V`` — the SGR nodes generated so far by the node iterator.
+
+Each popped answer J is extended *in the direction of* every known
+node v (``Jv = {v} ∪ {u ∈ J : ¬edge(v, u)}`` completed by ``extend``);
+when Q runs dry, new nodes are pulled from the iterator and all past
+answers are revisited in the direction of each new node — the twist
+that lets the algorithm run without ever materialising the node set.
+
+Two printing disciplines are supported (paper Section 3.2.2 and the
+Figure 8 experiment):
+
+* ``mode="UG"`` (*Upon Generation*, algorithm ``EnumMIS``) — an answer
+  is yielded the moment it is first constructed;
+* ``mode="UP"`` (*Upon Pop*, algorithm ``EnumMISHold``) — an answer is
+  yielded when it is popped from Q for processing, which is the
+  discipline under which incremental polynomial time is proven
+  (Lemma 3.3); Theorem 3.4 then transfers the bound to UG.
+
+Both modes enumerate exactly ``MaxInd(G(x))`` with no duplicates.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from collections import deque
+from collections.abc import Callable, Iterator
+from dataclasses import dataclass, field
+
+from repro.sgr.base import SGRNode, SuccinctGraphRepresentation
+
+__all__ = ["enumerate_maximal_independent_sets", "EnumMISStatistics"]
+
+
+@dataclass
+class EnumMISStatistics:
+    """Counters exposed for the ablation benchmarks (E10 in DESIGN.md).
+
+    An instance may be passed to
+    :func:`enumerate_maximal_independent_sets`, which updates it in
+    place while running.
+    """
+
+    extend_calls: int = 0
+    edge_oracle_calls: int = 0
+    nodes_generated: int = 0
+    answers: int = 0
+    duplicates_suppressed: int = 0
+    redundant_extensions: dict[str, int] = field(default_factory=dict)
+
+    def snapshot(self) -> dict[str, int]:
+        """Return the scalar counters as a plain dict (for reporting)."""
+        return {
+            "extend_calls": self.extend_calls,
+            "edge_oracle_calls": self.edge_oracle_calls,
+            "nodes_generated": self.nodes_generated,
+            "answers": self.answers,
+            "duplicates_suppressed": self.duplicates_suppressed,
+        }
+
+
+class _AnswerQueue:
+    """The collection Q of Figure 1: FIFO by default, a min-heap when a
+    priority function is supplied.
+
+    The paper's correctness and incremental-polynomial-time proofs make
+    no assumption about the order in which Q is drained ("we make no
+    assumptions about the order of removal in Q", Section 3.2.2), so a
+    best-first discipline preserves every guarantee while steering the
+    traversal toward low-cost answers first.
+    """
+
+    def __init__(
+        self, priority: Callable[[frozenset[SGRNode]], object] | None
+    ) -> None:
+        self._priority = priority
+        self._fifo: deque[frozenset[SGRNode]] = deque()
+        self._heap: list[tuple[object, int, frozenset[SGRNode]]] = []
+        self._tiebreak = itertools.count()
+
+    def push(self, answer: frozenset[SGRNode]) -> None:
+        if self._priority is None:
+            self._fifo.append(answer)
+        else:
+            heapq.heappush(
+                self._heap, (self._priority(answer), next(self._tiebreak), answer)
+            )
+
+    def pop(self) -> frozenset[SGRNode]:
+        if self._priority is None:
+            return self._fifo.popleft()
+        return heapq.heappop(self._heap)[2]
+
+    def __len__(self) -> int:
+        return len(self._fifo) + len(self._heap)
+
+
+def enumerate_maximal_independent_sets(
+    sgr: SuccinctGraphRepresentation,
+    mode: str = "UG",
+    stats: EnumMISStatistics | None = None,
+    priority: Callable[[frozenset[SGRNode]], object] | None = None,
+) -> Iterator[frozenset[SGRNode]]:
+    """Enumerate ``MaxInd(G(x))`` for the given SGR (paper Figure 1).
+
+    Parameters
+    ----------
+    sgr:
+        The succinct graph representation; must be tractably accessible
+        with a tractable expansion for the incremental-polynomial-time
+        guarantee (correctness only needs the contracts of
+        :class:`~repro.sgr.base.SuccinctGraphRepresentation`).
+    mode:
+        ``"UG"`` yields answers upon generation (EnumMIS), ``"UP"``
+        upon removal from the queue (EnumMISHold).
+    stats:
+        Optional counter object updated in place.
+    priority:
+        Optional cost function over answers; when given, Q is drained
+        best-first, biasing the traversal toward low-cost answers.
+        Completeness, duplicate-freedom and incremental polynomial
+        time are unaffected (the paper's proofs are pop-order
+        agnostic); the output order is *heuristically* — not provably —
+        cost-increasing.
+
+    Yields
+    ------
+    frozenset
+        Every maximal independent set of G(x), exactly once.
+    """
+    if mode not in {"UG", "UP"}:
+        raise ValueError(f"mode must be 'UG' or 'UP', got {mode!r}")
+    if stats is None:
+        stats = EnumMISStatistics()
+
+    def extend(independent: frozenset[SGRNode]) -> frozenset[SGRNode]:
+        stats.extend_calls += 1
+        return sgr.extend(independent)
+
+    def direction(answer: frozenset[SGRNode], v: SGRNode) -> frozenset[SGRNode]:
+        kept = set()
+        for u in answer:
+            stats.edge_oracle_calls += 1
+            if not sgr.has_edge(v, u):
+                kept.add(u)
+        kept.add(v)
+        return frozenset(kept)
+
+    first = extend(frozenset())
+    stats.answers += 1
+    if mode == "UG":
+        yield first
+
+    queue = _AnswerQueue(priority)
+    queue.push(first)
+    in_queue: set[frozenset[SGRNode]] = {first}
+    processed: set[frozenset[SGRNode]] = set()
+    known_nodes: list[SGRNode] = []
+    node_iterator = sgr.iter_nodes()
+    iterator_exhausted = False
+
+    while queue:
+        answer = queue.pop()
+        in_queue.discard(answer)
+        if mode == "UP":
+            yield answer
+        processed.add(answer)
+
+        for v in known_nodes:
+            candidate = direction(answer, v)
+            extended = extend(candidate)
+            if extended not in in_queue and extended not in processed:
+                stats.answers += 1
+                if mode == "UG":
+                    yield extended
+                queue.push(extended)
+                in_queue.add(extended)
+            else:
+                stats.duplicates_suppressed += 1
+
+        while not queue and not iterator_exhausted:
+            try:
+                v = next(node_iterator)
+            except StopIteration:
+                iterator_exhausted = True
+                break
+            stats.nodes_generated += 1
+            known_nodes.append(v)
+            for past in list(processed):
+                candidate = direction(past, v)
+                extended = extend(candidate)
+                if extended not in in_queue and extended not in processed:
+                    stats.answers += 1
+                    if mode == "UG":
+                        yield extended
+                    queue.push(extended)
+                    in_queue.add(extended)
+                else:
+                    stats.duplicates_suppressed += 1

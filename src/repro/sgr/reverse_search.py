@@ -1,0 +1,90 @@
+"""Polynomial-space enumeration of maximal independent sets (Section 3.4).
+
+The paper's space-usage discussion (Section 3.4) notes that EnumMIS
+needs exponential space in the worst case — it remembers all produced
+answers — while *explicit* graphs admit polynomial-delay,
+polynomial-space enumerators (reverse search, Conte et al., proximity
+search); it is open how to adapt them to SGRs whose node set is not
+known upfront.
+
+To make that trade-off concrete (and testable) this module implements
+the classical **Tsukiyama–Ide–Ariyoshi–Shirakawa** scheme, the
+archetype of those algorithms: process the vertices in a fixed order
+``v₁ … v_n`` and observe that the maximal independent sets of the
+graphs ``G_i`` induced by growing prefixes form a tree —
+
+* if ``v_{i+1}`` has no neighbour in an MIS ``I`` of ``G_i``, the only
+  MIS of ``G_{i+1}`` over I is ``I ∪ {v_{i+1}}``;
+* otherwise ``I`` itself stays maximal, and the *candidate*
+  ``J = (I \\ N(v_{i+1})) ∪ {v_{i+1}}`` is emitted as a second child
+  exactly when (a) J is maximal in ``G_{i+1}`` and (b) the greedy
+  completion of ``J \\ {v_{i+1}}`` inside ``G_i`` re-creates ``I`` —
+  the uniqueness test that gives every answer a single parent.
+
+Depth-first traversal of that tree needs memory only for the current
+root-to-leaf path: O(n²) space, polynomial delay, every maximal
+independent set of ``G = G_n`` exactly once.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterator
+
+from repro.graph.graph import Graph, Node, _sort_nodes
+
+__all__ = ["poly_space_maximal_independent_sets"]
+
+
+def poly_space_maximal_independent_sets(
+    graph: Graph,
+) -> Iterator[frozenset[Node]]:
+    """Enumerate all maximal independent sets with polynomial space.
+
+    Unlike :func:`repro.sgr.enum_mis.enumerate_maximal_independent_sets`
+    this never stores the answer set — memory is quadratic in |V| — but
+    it requires the whole graph upfront, which is exactly what the
+    separator-graph SGR cannot provide (the paper's open question).
+    """
+    nodes = _sort_nodes(graph.node_set())
+    n = len(nodes)
+    if n == 0:
+        yield frozenset()
+        return
+    adjacency = {node: graph.adjacency(node) for node in nodes}
+
+    def complete(partial: frozenset[Node], upto: int) -> frozenset[Node]:
+        """Greedy completion of an independent set inside G_upto."""
+        chosen = set(partial)
+        for node in nodes[:upto]:
+            if node not in chosen and not (adjacency[node] & chosen):
+                chosen.add(node)
+        return frozenset(chosen)
+
+    def is_maximal_in(candidate: frozenset[Node], upto: int) -> bool:
+        for node in nodes[:upto]:
+            if node not in candidate and not (adjacency[node] & candidate):
+                return False
+        return True
+
+    # DFS over the Tsukiyama tree; stack entries are (level, answer),
+    # where `answer` is a maximal independent set of G_level.
+    stack: list[tuple[int, frozenset[Node]]] = [(1, frozenset({nodes[0]}))]
+    while stack:
+        level, answer = stack.pop()
+        if level == n:
+            yield answer
+            continue
+        v = nodes[level]
+        neighbours_in_answer = adjacency[v] & answer
+        if not neighbours_in_answer:
+            stack.append((level + 1, answer | {v}))
+            continue
+        # Child 1: the answer survives unchanged (v is blocked).
+        stack.append((level + 1, answer))
+        # Child 2: swap v in, its neighbours out — accepted only with
+        # the maximality + unique-parent tests.
+        candidate = (answer - adjacency[v]) | {v}
+        if is_maximal_in(candidate, level + 1) and complete(
+            candidate - {v}, level
+        ) == answer:
+            stack.append((level + 1, candidate))

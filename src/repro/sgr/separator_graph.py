@@ -1,0 +1,78 @@
+"""The separator graph as an SGR (system S14; paper Section 3.1.1).
+
+``MSGraph`` for a graph g is the graph whose nodes are the minimal
+separators of g and whose edges connect *crossing* separators.  Its
+maximal independent sets are exactly the maximal pairwise-parallel
+families of minimal separators, which Parra–Scheffler put in bijection
+with the minimal triangulations of g (paper Theorem 4.1).
+
+The three SGR components:
+
+* ``A_V``  — :func:`repro.chordal.minimal_separators.minimal_separators`
+  (polynomial delay, Berry et al.);
+* ``A_E``  — :func:`repro.chordal.minimal_separators.are_crossing`
+  (polynomial time);
+* expansion — :func:`repro.core.extend.extend_parallel_set`
+  (Figure 3 of the paper), parameterised by any triangulation
+  heuristic.
+
+Tractable expansion holds because a chordal graph has fewer minimal
+separators than nodes (Rose; paper Corollary 4.3), so every
+independent set of MSGraph has size < |V(g)|.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterator
+
+from repro.chordal.minimal_separators import are_crossing, minimal_separators
+from repro.chordal.triangulate import Triangulator, get_triangulator
+from repro.core.extend import extend_parallel_set
+from repro.graph.graph import Graph, Node
+from repro.sgr.base import SuccinctGraphRepresentation
+
+__all__ = ["MinimalSeparatorSGR"]
+
+Separator = frozenset[Node]
+
+
+class MinimalSeparatorSGR(SuccinctGraphRepresentation):
+    """The SGR ``(Gms, Ams_V, Ams_E)`` of the paper, for one input graph.
+
+    Parameters
+    ----------
+    graph:
+        The input graph g.  Not copied; callers must not mutate it
+        while the SGR is in use.
+    triangulator:
+        The heuristic plugged into the ``Extend`` expansion
+        (``"mcs_m"``, ``"lb_triang"``, ``"min_fill"``, …).
+    """
+
+    def __init__(
+        self, graph: Graph, triangulator: str | Triangulator = "mcs_m"
+    ) -> None:
+        self._graph = graph
+        self._triangulator = get_triangulator(triangulator)
+
+    @property
+    def graph(self) -> Graph:
+        """The underlying input graph g."""
+        return self._graph
+
+    @property
+    def triangulator(self) -> Triangulator:
+        """The triangulation heuristic used by :meth:`extend`."""
+        return self._triangulator
+
+    def iter_nodes(self) -> Iterator[Separator]:
+        """Enumerate ``MinSep(g)`` with polynomial delay."""
+        return minimal_separators(self._graph)
+
+    def has_edge(self, u: Separator, v: Separator) -> bool:
+        """Return whether two minimal separators cross (``u ♮ v``)."""
+        return are_crossing(self._graph, u, v)
+
+    def extend(self, independent_set: frozenset[Separator]) -> frozenset[Separator]:
+        """Extend a pairwise-parallel family to a maximal one (Figure 3)."""
+        return extend_parallel_set(self._graph, independent_set, self._triangulator)

@@ -1,0 +1,187 @@
+"""The SETH lower-bound SGR of the paper's Section 3.3 (Proposition 3.6).
+
+The paper proves that EnumMIS's incremental-polynomial-time bound is
+tight: no algorithm enumerates the maximal independent sets of every
+tractably accessible SGR with tractable expansion in *polynomial
+delay*, unless the Strong Exponential Time Hypothesis fails.  The proof
+constructs, from a k-SAT formula φ over variables x₁…x_n (n even), the
+following graph G(φ):
+
+* ``VA`` — one node per assignment of the first n/2 variables;
+* ``VB`` — one node per assignment of the last n/2 variables;
+* two apex nodes ``⊥A`` and ``⊥B``;
+* VA and VB are cliques; ⊥A connects to all of VA, ⊥B to all of VB,
+  and ⊥A—⊥B is an edge;
+* a ∈ VA and b ∈ VB are adjacent iff the combined assignment
+  **falsifies** φ.
+
+Its maximal independent sets are exactly ``{a, ⊥B}``, ``{b, ⊥A}`` and
+``{a, b}`` for every *satisfying* combined assignment — so φ is
+satisfiable iff G(φ) has more than ``2^(n/2 + 1)`` maximal independent
+sets, and a polynomial-delay enumerator would decide k-SAT in
+``2^(n/2) · poly`` time for every k, contradicting SETH.
+
+This module implements the construction faithfully so that the
+reduction itself is testable: :class:`KSatSGR` is a tractably
+accessible SGR with tractable expansion whose ``MaxInd`` is computed by
+the library's own EnumMIS, and the satisfiability criterion is checked
+against brute-force SAT on small formulas.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterator, Sequence
+
+from repro.sgr.base import SuccinctGraphRepresentation
+
+__all__ = ["KSatSGR", "Clause", "evaluate_formula"]
+
+# A literal is a non-zero int: +i means x_i, -i means ¬x_i (1-based).
+Clause = tuple[int, ...]
+
+# Node encodings: ("A", bits...) / ("B", bits...) and the two apexes.
+BOTTOM_A = ("bottomA",)
+BOTTOM_B = ("bottomB",)
+
+
+def evaluate_formula(
+    clauses: Sequence[Clause], assignment: Sequence[int]
+) -> bool:
+    """Evaluate a CNF over a full 0/1 assignment (1-based variables)."""
+    for clause in clauses:
+        satisfied = False
+        for literal in clause:
+            index = abs(literal) - 1
+            value = assignment[index] == 1
+            if (literal > 0) == value:
+                satisfied = True
+                break
+        if not satisfied:
+            return False
+    return True
+
+
+class KSatSGR(SuccinctGraphRepresentation):
+    """The SGR ``G(φ)`` of Proposition 3.6 for a k-SAT formula φ.
+
+    Parameters
+    ----------
+    num_variables:
+        The (even, ≥ 2) number of propositional variables.
+    clauses:
+        CNF clauses as tuples of non-zero 1-based literals.
+    """
+
+    def __init__(self, num_variables: int, clauses: Sequence[Clause]) -> None:
+        if num_variables < 2 or num_variables % 2 != 0:
+            raise ValueError("the construction needs an even n >= 2")
+        for clause in clauses:
+            for literal in clause:
+                if literal == 0 or abs(literal) > num_variables:
+                    raise ValueError(f"literal {literal} out of range")
+        self.num_variables = num_variables
+        self.clauses = [tuple(clause) for clause in clauses]
+        self._half = num_variables // 2
+
+    # ------------------------------------------------------------------
+    # SGR interface
+    # ------------------------------------------------------------------
+
+    def iter_nodes(self) -> Iterator[tuple]:
+        """Constant-delay node enumeration: VA, VB, then the apexes."""
+        for side in ("A", "B"):
+            for bits in self._assignments():
+                yield (side, *bits)
+        yield BOTTOM_A
+        yield BOTTOM_B
+
+    def has_edge(self, u: tuple, v: tuple) -> bool:
+        """The edge oracle: polynomial via one formula evaluation."""
+        if u == v:
+            return False
+        kind_u, kind_v = self._kind(u), self._kind(v)
+        pair = {kind_u, kind_v}
+        if pair == {"bottomA", "bottomB"}:
+            return True
+        if pair == {"A"} or pair == {"B"}:
+            return True  # VA and VB are cliques
+        if pair == {"A", "bottomA"} or pair == {"B", "bottomB"}:
+            return True
+        if pair == {"A", "B"}:
+            a = u if kind_u == "A" else v
+            b = v if kind_u == "A" else u
+            assignment = list(a[1:]) + list(b[1:])
+            return not evaluate_formula(self.clauses, assignment)
+        return False
+
+    def extend(self, independent_set: frozenset) -> frozenset:
+        """The tractable expansion from the proof.
+
+        Every maximal independent set has exactly two nodes; singletons
+        are completed with the opposite apex (or, for an apex, with any
+        compatible assignment node), and the empty set with
+        ``{⊥A, ⊥B}``-avoiding defaults.
+        """
+        members = sorted(independent_set, key=repr)
+        if len(members) >= 2:
+            return frozenset(members[:2]) | independent_set
+        if not members:
+            first = ("A", *([0] * self._half))
+            return frozenset({first, BOTTOM_B})
+        (node,) = members
+        kind = self._kind(node)
+        if kind == "A":
+            return frozenset({node, BOTTOM_B})
+        if kind == "B":
+            return frozenset({node, BOTTOM_A})
+        if kind == "bottomA":
+            partner = ("B", *([0] * self._half))
+            return frozenset({node, partner})
+        partner = ("A", *([0] * self._half))
+        return frozenset({node, partner})
+
+    # ------------------------------------------------------------------
+    # Reduction facts (testable)
+    # ------------------------------------------------------------------
+
+    def satisfiability_threshold(self) -> int:
+        """φ is satisfiable iff |MaxInd(G(φ))| exceeds this (= 2^(n/2+1))."""
+        return 2 ** (self._half + 1)
+
+    def is_satisfiable_via_enumeration(self) -> bool:
+        """Decide satisfiability by counting maximal independent sets.
+
+        This is exactly the argument of Proposition 3.6: count up to
+        threshold + 1 answers of the library's own EnumMIS.
+        """
+        from repro.sgr.enum_mis import enumerate_maximal_independent_sets
+
+        threshold = self.satisfiability_threshold()
+        count = 0
+        for __ in enumerate_maximal_independent_sets(self):
+            count += 1
+            if count > threshold:
+                return True
+        return False
+
+    def brute_force_satisfiable(self) -> bool:
+        """Direct SAT check over all 2^n assignments (test oracle)."""
+        import itertools
+
+        for assignment in itertools.product((0, 1), repeat=self.num_variables):
+            if evaluate_formula(self.clauses, assignment):
+                return True
+        return False
+
+    # ------------------------------------------------------------------
+    # Internals
+    # ------------------------------------------------------------------
+
+    def _assignments(self) -> Iterator[tuple[int, ...]]:
+        import itertools
+
+        yield from itertools.product((0, 1), repeat=self._half)
+
+    @staticmethod
+    def _kind(node: tuple) -> str:
+        return node[0]

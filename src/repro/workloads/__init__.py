@@ -1,0 +1,47 @@
+"""Benchmark workloads: synthetic PGM suites, TPC-H queries, random sweeps."""
+
+from repro.workloads.pgm import (
+    csp_like,
+    csp_suite,
+    grid_suite,
+    object_detection_like,
+    object_detection_suite,
+    pedigree_like,
+    pedigree_suite,
+    pgm_suites,
+    promedas_like,
+    promedas_suite,
+    segmentation_like,
+    segmentation_suite,
+)
+from repro.workloads.random_graphs import (
+    PAPER_DENSITIES,
+    PAPER_NODE_COUNTS,
+    random_sweep,
+)
+from repro.workloads.tpch import tpch_hypergraph, tpch_query, tpch_query_names, tpch_suite
+from repro.workloads.tpch_data import instance_for, tpch_instance
+
+__all__ = [
+    "promedas_like",
+    "promedas_suite",
+    "object_detection_like",
+    "object_detection_suite",
+    "segmentation_like",
+    "segmentation_suite",
+    "pedigree_like",
+    "pedigree_suite",
+    "csp_like",
+    "csp_suite",
+    "grid_suite",
+    "pgm_suites",
+    "random_sweep",
+    "PAPER_DENSITIES",
+    "PAPER_NODE_COUNTS",
+    "tpch_query",
+    "tpch_hypergraph",
+    "instance_for",
+    "tpch_instance",
+    "tpch_query_names",
+    "tpch_suite",
+]

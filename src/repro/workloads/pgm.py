@@ -1,0 +1,234 @@
+"""Synthetic probabilistic-graphical-model benchmark suites (part of S25).
+
+The paper's Section 6 evaluates on six families of UAI-challenge
+networks.  The original files are not redistributable, so each family
+is substituted by a structure-matched synthetic generator producing
+graphs in the same node/edge ranges with the same qualitative
+structure (see DESIGN.md, "Dataset substitutions").  All generators
+are deterministic in their ``seed``.
+
+Suites mirror the paper's instance counts by default but accept a
+``count`` parameter so the scaled-down benchmark harness can run a
+subset.  Every suite function returns ``[(name, graph), …]``.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.graph.generators import gnm_random_graph, grid_graph
+from repro.graph.graph import Graph
+
+__all__ = [
+    "promedas_like",
+    "object_detection_like",
+    "segmentation_like",
+    "pedigree_like",
+    "csp_like",
+    "grid_suite",
+    "promedas_suite",
+    "object_detection_suite",
+    "segmentation_suite",
+    "pedigree_suite",
+    "csp_suite",
+    "pgm_suites",
+]
+
+
+def promedas_like(num_diseases: int, num_findings: int, seed: int) -> Graph:
+    """A layered noisy-or diagnostic network, moralised.
+
+    Diseases form a hidden layer, findings an observed layer; each
+    finding has 1–3 disease parents.  Moralisation connects each
+    finding to its parents and the parents to each other — the same
+    construction that turns the Promedas Bayesian networks into the
+    paper's Markov networks.  Nodes are ``("d", i)`` and ``("f", j)``.
+    """
+    rng = random.Random(seed)
+    graph = Graph(
+        nodes=[("d", i) for i in range(num_diseases)]
+        + [("f", j) for j in range(num_findings)]
+    )
+    for j in range(num_findings):
+        num_parents = rng.randint(1, min(3, num_diseases))
+        parents = rng.sample(range(num_diseases), num_parents)
+        scope = [("d", p) for p in parents] + [("f", j)]
+        graph.saturate(scope)
+    return graph
+
+
+def object_detection_like(seed: int) -> Graph:
+    """A 60-node object-detection MRF with 135–180 edges.
+
+    A 6×10 lattice backbone (local smoothness terms) plus random
+    *short-range* compatibility edges (Chebyshev distance ≤ 2), the
+    structure of object-detection Markov Random Fields — local enough
+    that the treewidth stays in the single digits, matching the
+    paper's reported widths (≈6) for this family.
+    """
+    rng = random.Random(seed)
+    graph = grid_graph(6, 10)
+    nodes = graph.nodes()
+    candidates = [
+        (u, v)
+        for i, u in enumerate(nodes)
+        for v in nodes[i + 1 :]
+        if not graph.has_edge(u, v)
+        and max(abs(u[0] - v[0]), abs(u[1] - v[1])) <= 2
+    ]
+    rng.shuffle(candidates)
+    target_edges = rng.randint(135, 180)
+    for u, v in candidates:
+        if graph.num_edges >= target_edges:
+            break
+        graph.add_edge(u, v)
+    return graph
+
+
+def segmentation_like(seed: int) -> Graph:
+    """An image-segmentation network: triangulated lattice + background.
+
+    A 15×15 superpixel lattice with one diagonal per cell (616 edges,
+    225 nodes) plus 1–10 background/label nodes each attached to a few
+    random superpixels, landing in the paper's 226–235 node / 617–647
+    edge band.
+    """
+    rng = random.Random(seed)
+    graph = grid_graph(15, 15)
+    for r in range(14):
+        for c in range(14):
+            if rng.random() < 0.5:
+                graph.add_edge((r, c), (r + 1, c + 1))
+            else:
+                graph.add_edge((r + 1, c), (r, c + 1))
+    num_background = rng.randint(1, 10)
+    cells = graph.nodes()
+    for b in range(num_background):
+        background = ("bg", b)
+        graph.add_node(background)
+        for cell in rng.sample(cells, rng.randint(2, 3)):
+            graph.add_edge(background, cell)
+    return graph
+
+
+def pedigree_like(
+    seed: int, num_founders: int = 75, num_children: int = 310
+) -> Graph:
+    """A moralised pedigree Bayesian network (genetic linkage).
+
+    Founders have no parents; every other individual has two parents
+    drawn from earlier individuals.  Moralisation yields two
+    child–parent edges plus one parent–parent marriage edge per child,
+    which for the default sizes gives ≈385 nodes and ≈930 edges — the
+    paper's pedigree dimensions.
+    """
+    rng = random.Random(seed)
+    total = num_founders + num_children
+    graph = Graph(nodes=range(total))
+    for child in range(num_founders, total):
+        father, mother = rng.sample(range(child), 2)
+        graph.add_edge(child, father)
+        graph.add_edge(child, mother)
+        if not graph.has_edge(father, mother):
+            graph.add_edge(father, mother)
+    return graph
+
+
+def csp_like(num_variables: int, num_constraints: int, seed: int) -> Graph:
+    """A binary CSP primal graph: uniformly random constraint scopes."""
+    return gnm_random_graph(num_variables, num_constraints, seed)
+
+
+# ----------------------------------------------------------------------
+# Suites (paper Section 6.1.3 instance counts by default)
+# ----------------------------------------------------------------------
+
+
+def promedas_suite(count: int = 33, seed: int = 20170101) -> list[tuple[str, Graph]]:
+    """Promedas-like graphs spanning 26–1039 nodes / 36–1696 edges."""
+    suite = []
+    for index in range(count):
+        fraction = index / max(count - 1, 1)
+        num_diseases = int(round(10 + fraction * 390))
+        num_findings = int(round(16 + fraction * 633))
+        graph = promedas_like(num_diseases, num_findings, seed + index)
+        suite.append((f"promedas_{index:02d}", graph))
+    return suite
+
+
+def object_detection_suite(
+    count: int = 79, seed: int = 20170202
+) -> list[tuple[str, Graph]]:
+    """79 object-detection MRFs, 60 nodes, 135–180 edges each."""
+    return [
+        (f"objdetect_{index:02d}", object_detection_like(seed + index))
+        for index in range(count)
+    ]
+
+
+def segmentation_suite(count: int = 6, seed: int = 20170303) -> list[tuple[str, Graph]]:
+    """6 segmentation networks, 226–235 nodes, ~617–647 edges."""
+    return [
+        (f"segmentation_{index}", segmentation_like(seed + index))
+        for index in range(count)
+    ]
+
+
+def grid_suite(count: int = 8, seed: int = 20170404) -> list[tuple[str, Graph]]:
+    """8 grid networks: N = 10 and N = 20 (paper: 100/400 nodes, 180–760 edges).
+
+    Half the instances per size drop a few random edges, modelling
+    grids with observed (clamped) variables, as the paper's grid
+    instances vary while staying in the same band.
+    """
+    rng = random.Random(seed)
+    suite = []
+    sizes = [10, 20] * ((count + 1) // 2)
+    for index in range(count):
+        size = sizes[index]
+        graph = grid_graph(size, size)
+        if index % 2 == 1:
+            edges = graph.edges()
+            for edge in rng.sample(edges, max(1, len(edges) // 50)):
+                graph.remove_edge(*edge)
+        suite.append((f"grid_{size}x{size}_{index}", graph))
+    return suite
+
+
+def pedigree_suite(count: int = 3, seed: int = 20170505) -> list[tuple[str, Graph]]:
+    """3 pedigree networks, ≈385 nodes / ≈930 edges each."""
+    return [
+        (f"pedigree_{index}", pedigree_like(seed + index)) for index in range(count)
+    ]
+
+
+def csp_suite(count: int = 3, seed: int = 20170606) -> list[tuple[str, Graph]]:
+    """3 CSP primal graphs with 67–100 nodes and 226–619 constraints."""
+    shapes = [(67, 226), (80, 410), (100, 619)]
+    suite = []
+    for index in range(count):
+        n, m = shapes[index % len(shapes)]
+        suite.append((f"csp_{index}", csp_like(n, m, seed + index)))
+    return suite
+
+
+def pgm_suites(
+    scale: float = 1.0, seed: int = 2017
+) -> dict[str, list[tuple[str, Graph]]]:
+    """All six suites, with instance counts scaled by ``scale``.
+
+    ``scale=1.0`` reproduces the paper's instance counts; the benchmark
+    harness uses smaller scales to stay within its time budget.
+    """
+
+    def scaled(full: int) -> int:
+        return max(1, int(round(full * scale)))
+
+    return {
+        "Promedas": promedas_suite(scaled(33), seed + 1),
+        "ObjectDetection": object_detection_suite(scaled(79), seed + 2),
+        "Segmentation": segmentation_suite(scaled(6), seed + 3),
+        "Grids": grid_suite(scaled(8), seed + 4),
+        "Pedigree": pedigree_suite(scaled(3), seed + 5),
+        "CSP": csp_suite(scaled(3), seed + 6),
+    }

@@ -1,0 +1,34 @@
+"""The Erdős–Rényi random-graph sweep of the paper (part of S25).
+
+Section 6.1.3: 54 random G(n, p) graphs with n between 30 and 200 and
+p ∈ {0.3, 0.5, 0.7}.  We reproduce the grid exactly: 18 node counts
+(30, 40, …, 200) × 3 densities.  The helper accepts bounds so the
+scaled-down benchmarks can run a sub-grid.
+"""
+
+from __future__ import annotations
+
+from repro.graph.generators import gnp_random_graph
+from repro.graph.graph import Graph
+
+__all__ = ["random_sweep", "PAPER_DENSITIES", "PAPER_NODE_COUNTS"]
+
+PAPER_DENSITIES = (0.3, 0.5, 0.7)
+PAPER_NODE_COUNTS = tuple(range(30, 201, 10))
+
+
+def random_sweep(
+    node_counts: tuple[int, ...] = PAPER_NODE_COUNTS,
+    densities: tuple[float, ...] = PAPER_DENSITIES,
+    seed: int = 20170707,
+) -> list[tuple[str, Graph, int, float]]:
+    """Return ``[(name, graph, n, p), …]`` for the G(n, p) grid.
+
+    With the default arguments this is the paper's 54-graph sweep.
+    """
+    sweep = []
+    for p in densities:
+        for n in node_counts:
+            graph = gnp_random_graph(n, p, seed + n * 1000 + int(p * 100))
+            sweep.append((f"gnp_n{n}_p{p:.1f}", graph, n, p))
+    return sweep

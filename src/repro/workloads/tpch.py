@@ -1,0 +1,280 @@
+"""TPC-H join-query primal graphs (part of S25).
+
+The paper evaluates on the Gaifman (primal) graphs of the 22 TPC-H
+benchmark queries as implemented in LogiQL (LogicBlox's Datalog
+dialect).  Those encodings are not public, so this module reconstructs
+them from the TPC-H specification in the same style: every query is a
+conjunction of atoms (relation scans, derived-value definitions,
+filter predicates and the aggregation head), each atom spanning the
+query variables it mentions; the primal graph has one node per
+variable and a clique per atom.
+
+The qualitative structure matches the paper's report: the graphs have
+at most ~22 nodes, roughly half are chordal (only one minimal
+triangulation — themselves), most of the rest have a handful, and the
+two structurally rich queries **Q7** (volume shipping — a long
+supplier/customer/nation cycle closed by the cross-nation predicate
+and the aggregation head) and **Q9** (product-type profit — the
+lineitem/partsupp double-key join interleaved with the profit
+expression) have two orders of magnitude more minimal triangulations
+than any other query.  Exact counts (the paper's 700 and 588) depend
+on the LogicBlox encodings and are not reproducible; see
+EXPERIMENTS.md.
+
+Atoms follow the TPC-H schema abbreviations: ``sk/ck/pk/ok/nk/rk`` are
+supplier/customer/part/order/nation/region keys; a trailing digit
+distinguishes multiple scans of one relation.
+"""
+
+from __future__ import annotations
+
+from repro.graph.graph import Graph
+
+__all__ = [
+    "tpch_query",
+    "tpch_query_names",
+    "tpch_suite",
+    "tpch_hypergraph",
+    "TPCH_ATOMS",
+]
+
+Atom = tuple[str, tuple[str, ...]]
+
+TPCH_ATOMS: dict[str, list[Atom]] = {
+    # Q1: pricing summary report — single lineitem scan + derived sums.
+    "Q1": [
+        ("lineitem", ("qty", "ep", "disc", "tax", "rflag", "lstatus", "sdate")),
+        ("charge", ("ep", "disc", "tax", "charge")),
+        ("result", ("rflag", "lstatus", "qty", "ep", "charge")),
+    ],
+    # Q2: minimum cost supplier — part/supplier/nation/region plus a
+    # correlated minimum-cost subquery over a second supplier chain in
+    # the same nation (the region filters are constants, not join
+    # variables).
+    "Q2": [
+        ("part", ("pk", "mfgr", "size", "ptype")),
+        ("partsupp", ("pk", "sk", "cost")),
+        ("supplier", ("sk", "nk", "sacct", "sname", "saddr", "sphone")),
+        ("nation", ("nk", "rk", "nname")),
+        ("region", ("rk", "rname")),
+        ("partsupp2", ("pk", "sk2", "cost2")),
+        ("supplier2", ("sk2", "nk")),
+        ("mincost", ("cost", "cost2")),
+    ],
+    # Q3: shipping priority — customer/orders/lineitem chain.
+    "Q3": [
+        ("customer", ("ck", "mktseg")),
+        ("orders", ("ok", "ck", "odate", "sprio")),
+        ("lineitem", ("ok", "ep", "disc", "sdate")),
+        ("revenue", ("ep", "disc", "rev")),
+        ("result", ("ok", "rev", "odate", "sprio")),
+    ],
+    # Q4: order priority checking — orders with an existential lineitem.
+    "Q4": [
+        ("orders", ("ok", "odate", "oprio")),
+        ("lineitem", ("ok", "cdate", "rdate")),
+        ("late", ("cdate", "rdate")),
+    ],
+    # Q5: local supplier volume — the classic customer/supplier nation cycle.
+    "Q5": [
+        ("customer", ("ck", "nk")),
+        ("orders", ("ok", "ck", "odate")),
+        ("lineitem", ("ok", "sk", "ep", "disc")),
+        ("supplier", ("sk", "nk")),
+        ("nation", ("nk", "rk", "nname")),
+        ("region", ("rk", "rname")),
+        ("result", ("nname", "ep", "disc")),
+    ],
+    # Q6: forecasting revenue change — single scan.
+    "Q6": [
+        ("lineitem", ("sdate", "disc", "qty", "ep")),
+        ("revenue", ("ep", "disc", "rev")),
+    ],
+    # Q7: volume shipping — two nation scans closed by the cross-nation
+    # filter and the (supp_nation, cust_nation, year) aggregation head.
+    "Q7": [
+        ("supplier", ("sk", "nk1")),
+        ("lineitem", ("ok", "sk", "sdate", "ep", "disc")),
+        ("orders", ("ok", "ck")),
+        ("customer", ("ck", "nk2")),
+        ("nation1", ("nk1", "nn1")),
+        ("nation2", ("nk2", "nn2")),
+        ("crossnation", ("nn1", "nn2")),
+        ("year", ("sdate", "yr")),
+        ("volume", ("ep", "disc", "vol")),
+        ("result", ("nn1", "nn2", "yr", "vol")),
+    ],
+    # Q8: national market share — two-level nation/region with all-order scan.
+    "Q8": [
+        ("part", ("pk", "ptype")),
+        ("lineitem", ("ok", "pk", "sk", "ep", "disc")),
+        ("supplier", ("sk", "nk2")),
+        ("orders", ("ok", "ck", "odate")),
+        ("customer", ("ck", "nk1")),
+        ("nation1", ("nk1", "rk")),
+        ("region", ("rk", "rname")),
+        ("nation2", ("nk2", "nn2")),
+        ("volume", ("ep", "disc", "vol")),
+        ("result", ("odate", "vol")),
+    ],
+    # Q9: product type profit — lineitem/partsupp double-key join plus
+    # the profit expression over four lineitem/partsupp attributes.
+    "Q9": [
+        ("part", ("pk", "pname")),
+        ("supplier", ("sk", "nk")),
+        ("lineitem", ("ok", "pk", "sk", "qty", "ep", "disc")),
+        ("partsupp", ("pk", "sk", "cost")),
+        ("orders", ("ok", "odate")),
+        ("nation", ("nk", "nname")),
+        ("year", ("odate", "yr")),
+        ("gross", ("ep", "disc", "gross")),
+        ("amount", ("gross", "cost", "qty", "amt")),
+        ("result", ("nname", "yr", "amt")),
+    ],
+    # Q10: returned item reporting.
+    "Q10": [
+        ("customer", ("ck", "cname", "cacct", "nk", "caddr", "cphone")),
+        ("orders", ("ok", "ck", "odate")),
+        ("lineitem", ("ok", "ep", "disc", "rflag")),
+        ("nation", ("nk", "nname")),
+        ("revenue", ("ep", "disc", "rev")),
+        ("result", ("ck", "cname", "rev", "cacct", "nname")),
+    ],
+    # Q11: important stock identification — partsupp value subquery.
+    "Q11": [
+        ("partsupp", ("pk", "sk", "cost", "avail")),
+        ("supplier", ("sk", "nk")),
+        ("nation", ("nk", "nname")),
+        ("value", ("cost", "avail", "val")),
+        ("result", ("pk", "val")),
+    ],
+    # Q12: shipping modes and order priority.
+    "Q12": [
+        ("orders", ("ok", "oprio")),
+        ("lineitem", ("ok", "smode", "cdate", "rdate", "sdate")),
+        ("result", ("smode", "oprio")),
+    ],
+    # Q13: customer distribution — left join customer/orders.
+    "Q13": [
+        ("customer", ("ck",)),
+        ("orders", ("ok", "ck", "comment")),
+        ("result", ("ck", "cnt")),
+    ],
+    # Q14: promotion effect.
+    "Q14": [
+        ("lineitem", ("pk", "ep", "disc", "sdate")),
+        ("part", ("pk", "ptype")),
+        ("revenue", ("ep", "disc", "rev")),
+        ("promo", ("ptype", "rev")),
+    ],
+    # Q15: top supplier — revenue view joined back to supplier.
+    "Q15": [
+        ("lineitem", ("sk", "ep", "disc", "sdate")),
+        ("revenue", ("ep", "disc", "rev")),
+        ("supplier", ("sk", "sname", "saddr", "sphone")),
+        ("result", ("sk", "sname", "rev")),
+    ],
+    # Q16: parts/supplier relationship.
+    "Q16": [
+        ("partsupp", ("pk", "sk")),
+        ("part", ("pk", "brand", "ptype", "size")),
+        ("supplier", ("sk", "comment")),
+        ("result", ("brand", "ptype", "size", "sk")),
+    ],
+    # Q17: small-quantity-order revenue — correlated average subquery.
+    "Q17": [
+        ("lineitem", ("pk", "qty", "ep")),
+        ("part", ("pk", "brand", "container")),
+        ("lineitem2", ("pk", "qty2")),
+        ("avgqty", ("qty", "qty2")),
+    ],
+    # Q18: large volume customer.
+    "Q18": [
+        ("customer", ("ck", "cname")),
+        ("orders", ("ok", "ck", "odate", "ototal")),
+        ("lineitem", ("ok", "qty")),
+        ("result", ("cname", "ck", "ok", "odate", "ototal", "qty")),
+    ],
+    # Q19: discounted revenue — disjunctive part/lineitem predicate.
+    "Q19": [
+        ("lineitem", ("pk", "qty", "ep", "disc", "smode", "sinst")),
+        ("part", ("pk", "brand", "container", "size")),
+        ("cond", ("brand", "container", "size", "qty")),
+        ("revenue", ("ep", "disc", "rev")),
+    ],
+    # Q20: potential part promotion — nested availability subquery.
+    "Q20": [
+        ("supplier", ("sk", "sname", "saddr", "nk")),
+        ("nation", ("nk", "nname")),
+        ("partsupp", ("pk", "sk", "avail")),
+        ("part", ("pk", "pname")),
+        ("lineitem", ("pk", "sk", "qty", "sdate")),
+        ("halfqty", ("avail", "qty")),
+    ],
+    # Q21: suppliers who kept orders waiting — three lineitem scans.
+    "Q21": [
+        ("supplier", ("sk", "sname", "nk")),
+        ("lineitem1", ("ok", "sk", "cdate1", "rdate1")),
+        ("orders", ("ok", "ostatus")),
+        ("lineitem2", ("ok", "sk2")),
+        ("lineitem3", ("ok", "sk3", "cdate3", "rdate3")),
+        ("nation", ("nk", "nname")),
+        ("distinct2", ("sk", "sk2")),
+        ("distinct3", ("sk", "sk3")),
+    ],
+    # Q22: global sales opportunity — customer phone-prefix antijoin.
+    "Q22": [
+        ("customer", ("ck", "cphone", "cacct")),
+        ("prefix", ("cphone", "cntry")),
+        ("avgacct", ("cacct", "avgbal")),
+        ("orders", ("ok", "ck")),
+        ("result", ("cntry", "cacct")),
+    ],
+}
+
+
+def tpch_query_names() -> list[str]:
+    """Return the 22 query names in numeric order."""
+    return sorted(TPCH_ATOMS, key=lambda name: int(name[1:]))
+
+
+def tpch_query(name: str) -> Graph:
+    """Return the primal (Gaifman) graph of TPC-H query ``name``.
+
+    Variables become nodes; each atom's variables are saturated into a
+    clique.
+    """
+    try:
+        atoms = TPCH_ATOMS[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown TPC-H query {name!r}; expected Q1..Q22"
+        ) from None
+    graph = Graph()
+    for __, variables in atoms:
+        graph.add_nodes(variables)
+        graph.saturate(variables)
+    return graph
+
+
+def tpch_suite() -> list[tuple[str, Graph]]:
+    """Return all 22 query graphs as ``[(name, graph), …]``."""
+    return [(name, tpch_query(name)) for name in tpch_query_names()]
+
+
+def tpch_hypergraph(name: str):
+    """Return TPC-H query ``name`` as a hypergraph (atoms = hyperedges).
+
+    Useful with :mod:`repro.hypergraph` for generalized hypertree
+    decompositions of the queries, the object the paper's DunceCap
+    comparison enumerates.
+    """
+    from repro.hypergraph.hypergraph import Hypergraph
+
+    try:
+        atoms = TPCH_ATOMS[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown TPC-H query {name!r}; expected Q1..Q22"
+        ) from None
+    return Hypergraph({relation: scope for relation, scope in atoms})

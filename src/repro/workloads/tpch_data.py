@@ -1,0 +1,71 @@
+"""Synthetic instances for the TPC-H query hypergraphs (part of S25).
+
+The paper evaluates decomposition *structure*; the join engine in
+:mod:`repro.db` additionally needs data.  This module generates
+deterministic synthetic relations for any query hypergraph, with
+key/foreign-key-flavoured skew: join variables draw from Zipf-like
+distributions so that different decompositions produce genuinely
+different intermediate sizes (the phenomenon of experiment E12).
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.db.relation import Relation
+from repro.hypergraph.hypergraph import Hypergraph
+
+__all__ = ["instance_for", "tpch_instance"]
+
+
+def _zipf_value(rng: random.Random, domain: int, skew: float) -> int:
+    """Draw from {0..domain-1} with probability ∝ 1/(rank+1)^skew."""
+    weights = [(rank + 1) ** -skew for rank in range(domain)]
+    total = sum(weights)
+    point = rng.random() * total
+    cumulative = 0.0
+    for value, weight in enumerate(weights):
+        cumulative += weight
+        if point <= cumulative:
+            return value
+    return domain - 1
+
+
+def instance_for(
+    hypergraph: Hypergraph,
+    rows_per_relation: int = 50,
+    domain: int = 20,
+    skew: float = 0.8,
+    seed: int = 0,
+) -> dict[str, Relation]:
+    """Generate one relation per hyperedge of ``hypergraph``.
+
+    Attribute values are Zipf-skewed over a shared per-variable domain,
+    so join variables correlate across relations and joins are
+    selective but non-empty.  Deterministic in ``seed``.
+    """
+    rng = random.Random(seed)
+    instance: dict[str, Relation] = {}
+    for name in hypergraph.edge_names():
+        scope = tuple(sorted(map(str, hypergraph.edge(name))))
+        rows = {
+            tuple(_zipf_value(rng, domain, skew) for __ in scope)
+            for __ in range(rows_per_relation)
+        }
+        instance[name] = Relation(scope, rows)
+    return instance
+
+
+def tpch_instance(
+    query: str,
+    rows_per_relation: int = 50,
+    domain: int = 20,
+    seed: int = 0,
+) -> tuple[Hypergraph, dict[str, Relation]]:
+    """Return ``(hypergraph, instance)`` for TPC-H query ``query``."""
+    from repro.workloads.tpch import tpch_hypergraph
+
+    hypergraph = tpch_hypergraph(query)
+    return hypergraph, instance_for(
+        hypergraph, rows_per_relation=rows_per_relation, domain=domain, seed=seed
+    )

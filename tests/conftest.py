@@ -1,0 +1,82 @@
+"""Shared fixtures and helpers for the test-suite."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.graph.generators import (
+    complete_graph,
+    cycle_graph,
+    gnp_random_graph,
+    grid_graph,
+    path_graph,
+    random_chordal_graph,
+    random_k_tree,
+    star_graph,
+)
+from repro.graph.graph import Graph
+
+
+def small_random_graphs(count: int, max_nodes: int = 8, seed: int = 99) -> list[Graph]:
+    """A deterministic corpus of small random graphs for oracle tests."""
+    rng = random.Random(seed)
+    graphs = []
+    for index in range(count):
+        n = rng.randint(3, max_nodes)
+        p = rng.choice([0.2, 0.35, 0.5, 0.7])
+        graphs.append(gnp_random_graph(n, p, seed=seed * 1000 + index))
+    return graphs
+
+
+def small_chordal_graphs(count: int, max_nodes: int = 12, seed: int = 7) -> list[Graph]:
+    """A deterministic corpus of small chordal graphs."""
+    rng = random.Random(seed)
+    graphs = []
+    for index in range(count):
+        n = rng.randint(2, max_nodes)
+        density = rng.choice([0.2, 0.4, 0.7, 1.0])
+        graphs.append(random_chordal_graph(n, density, seed=seed * 131 + index))
+    return graphs
+
+
+@pytest.fixture
+def square() -> Graph:
+    """The 4-cycle — two minimal triangulations."""
+    return cycle_graph(4)
+
+
+@pytest.fixture
+def hexagon() -> Graph:
+    """The 6-cycle — Catalan(4) = 14 minimal triangulations."""
+    return cycle_graph(6)
+
+
+@pytest.fixture
+def paper_figure4_graph() -> Graph:
+    """The graph of the paper's Figure 4 (nodes 1–4)."""
+    return Graph(edges=[(1, 2), (2, 3), (2, 4), (3, 4)])
+
+
+@pytest.fixture
+def named_graphs() -> dict[str, Graph]:
+    """A menagerie of named structured graphs."""
+    return {
+        "k1": complete_graph(1),
+        "k4": complete_graph(4),
+        "p5": path_graph(5),
+        "c5": cycle_graph(5),
+        "c7": cycle_graph(7),
+        "star6": star_graph(6),
+        "grid33": grid_graph(3, 3),
+        "ktree": random_k_tree(9, 3, seed=5),
+        "two_triangles": Graph(
+            edges=[(0, 1), (1, 2), (2, 0), (10, 11), (11, 12), (12, 10)]
+        ),
+    }
+
+
+def edge_set(graph: Graph) -> set[frozenset]:
+    """Edges as a set of frozensets (order-free comparison helper)."""
+    return set(graph.edge_set())

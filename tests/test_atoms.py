@@ -1,0 +1,140 @@
+"""Unit tests for clique-minimal-separator decomposition (repro.chordal.atoms)."""
+
+from __future__ import annotations
+
+from conftest import small_chordal_graphs, small_random_graphs
+from repro.chordal.atoms import atoms, clique_minimal_separators
+from repro.chordal.cliques import maximal_cliques
+from repro.chordal.minimal_separators import all_minimal_separators
+from repro.core.enumerate import enumerate_minimal_triangulations
+from repro.graph.generators import (
+    complete_graph,
+    cycle_graph,
+    grid_graph,
+    path_graph,
+    star_graph,
+)
+from repro.graph.graph import Graph
+
+
+class TestCliqueMinimalSeparators:
+    def test_path_cut_vertices(self):
+        assert clique_minimal_separators(path_graph(4)) == {
+            frozenset({1}),
+            frozenset({2}),
+        }
+
+    def test_cycle_has_none(self):
+        # C_n separators are non-adjacent pairs — never cliques.
+        for n in (4, 5, 6, 7):
+            assert clique_minimal_separators(cycle_graph(n)) == set()
+
+    def test_complete_graph_has_none(self):
+        assert clique_minimal_separators(complete_graph(5)) == set()
+
+    def test_matches_definition(self):
+        # ClqMinSep(g) = {S in MinSep(g) : S is a clique of g}.
+        for g in small_random_graphs(30, max_nodes=8, seed=1301):
+            expected = {
+                s
+                for s in all_minimal_separators(g)
+                if s and g.is_clique(s)
+            }
+            assert clique_minimal_separators(g) == expected
+
+    def test_chordal_graph_all_separators(self):
+        # Dirac: every minimal separator of a chordal graph is a clique.
+        for g in small_chordal_graphs(20, seed=1303):
+            expected = {s for s in all_minimal_separators(g) if s}
+            assert clique_minimal_separators(g) == expected
+
+
+class TestAtoms:
+    def test_path_atoms_are_edges(self):
+        assert [sorted(a) for a in atoms(path_graph(4))] == [
+            [0, 1],
+            [1, 2],
+            [2, 3],
+        ]
+
+    def test_cycle_is_one_atom(self):
+        assert atoms(cycle_graph(6)) == [frozenset(range(6))]
+
+    def test_chordal_atoms_are_maximal_cliques(self):
+        for g in small_chordal_graphs(20, seed=1307):
+            assert set(atoms(g)) == set(maximal_cliques(g))
+
+    def test_star_atoms(self):
+        result = atoms(star_graph(3))
+        assert len(result) == 3
+        assert all(0 in atom and len(atom) == 2 for atom in result)
+
+    def test_disconnected(self):
+        g = Graph(edges=[(0, 1), (5, 6), (6, 7), (5, 7)])
+        result = atoms(g)
+        assert frozenset({0, 1}) in result
+        assert frozenset({5, 6, 7}) in result
+
+    def test_atoms_cover_all_nodes_and_edges(self):
+        for g in small_random_graphs(20, max_nodes=9, seed=1309):
+            result = atoms(g)
+            covered_nodes = set().union(*result) if result else set()
+            assert covered_nodes == g.node_set()
+            for u, v in g.edges():
+                assert any(u in atom and v in atom for atom in result)
+
+    def test_atoms_have_no_clique_separator(self):
+        for g in small_random_graphs(15, max_nodes=8, seed=1311):
+            for atom in atoms(g):
+                assert clique_minimal_separators(g.subgraph(atom)) == set()
+
+    def test_pairwise_overlaps_are_cliques(self):
+        import itertools
+
+        for g in small_random_graphs(15, max_nodes=9, seed=1313):
+            for a, b in itertools.combinations(atoms(g), 2):
+                assert g.is_clique(a & b)
+
+    def test_empty_graph(self):
+        assert atoms(Graph()) == []
+
+
+class TestAtomDecomposedEnumeration:
+    def test_matches_plain_enumeration(self):
+        for g in small_random_graphs(25, max_nodes=9, seed=1319):
+            plain = {
+                t.fill_edges for t in enumerate_minimal_triangulations(g)
+            }
+            via_atoms = {
+                t.fill_edges
+                for t in enumerate_minimal_triangulations(g, decompose="atoms")
+            }
+            assert plain == via_atoms
+
+    def test_all_results_minimal(self):
+        g = Graph(edges=[(0, 1), (1, 2), (2, 3), (3, 0), (2, 4), (4, 5), (5, 2)])
+        for t in enumerate_minimal_triangulations(g, decompose="atoms"):
+            assert t.is_minimal()
+
+    def test_chained_cycles_product(self):
+        # Two C5s joined by a bridge: 5 * 5 triangulations.
+        g = cycle_graph(5)
+        for i in range(5):
+            g.add_edge(10 + i, 10 + (i + 1) % 5)
+        g.add_edge(0, 10)
+        count = sum(
+            1 for __ in enumerate_minimal_triangulations(g, decompose="atoms")
+        )
+        assert count == 25
+
+    def test_invalid_decompose_value(self):
+        import pytest
+
+        with pytest.raises(ValueError):
+            list(enumerate_minimal_triangulations(path_graph(3), decompose="magic"))
+
+    def test_decompose_none_on_grid(self):
+        g = grid_graph(2, 3)
+        plain = {t.fill_edges for t in enumerate_minimal_triangulations(g, decompose="none")}
+        split = {t.fill_edges for t in enumerate_minimal_triangulations(g, decompose="atoms")}
+        assert plain == split

@@ -1,0 +1,116 @@
+"""Unit tests for Bayesian networks (repro.inference.bayes)."""
+
+from __future__ import annotations
+
+import itertools
+
+import numpy as np
+import pytest
+
+from repro.core.enumerate import minimal_triangulation
+from repro.inference.bayes import BayesianNetwork
+from repro.inference.junction_tree import calibrate
+
+
+def sprinkler() -> BayesianNetwork:
+    """The classic rain/sprinkler/wet-grass network."""
+    domains = {"rain": 2, "sprinkler": 2, "grass": 2}
+    parents = {"rain": (), "sprinkler": ("rain",), "grass": ("rain", "sprinkler")}
+    cpts = {
+        "rain": np.array([0.8, 0.2]),
+        "sprinkler": np.array([[0.6, 0.4], [0.99, 0.01]]),
+        "grass": np.array(
+            [
+                [[1.0, 0.0], [0.1, 0.9]],
+                [[0.2, 0.8], [0.01, 0.99]],
+            ]
+        ),
+    }
+    return BayesianNetwork(domains, parents, cpts)
+
+
+class TestConstruction:
+    def test_key_mismatch_rejected(self):
+        with pytest.raises(ValueError, match="share keys"):
+            BayesianNetwork({"a": 2}, {}, {})
+
+    def test_cpt_shape_checked(self):
+        with pytest.raises(ValueError, match="shape"):
+            BayesianNetwork(
+                {"a": 2}, {"a": ()}, {"a": np.ones((3,)) / 3}
+            )
+
+    def test_cpt_normalisation_checked(self):
+        with pytest.raises(ValueError, match="sum to 1"):
+            BayesianNetwork({"a": 2}, {"a": ()}, {"a": np.array([0.5, 0.6])})
+
+    def test_cycle_rejected(self):
+        with pytest.raises(ValueError, match="cycle"):
+            BayesianNetwork(
+                {"a": 2, "b": 2},
+                {"a": ("b",), "b": ("a",)},
+                {
+                    "a": np.full((2, 2), 0.5),
+                    "b": np.full((2, 2), 0.5),
+                },
+            )
+
+    def test_random_generator_valid(self):
+        bn = BayesianNetwork.random(8, 3, seed=4)
+        assert len(bn.domains) == 8
+        for v, table in bn.cpts.items():
+            assert np.allclose(table.sum(axis=-1), 1.0)
+
+
+class TestStructure:
+    def test_moral_graph_marries_parents(self):
+        bn = sprinkler()
+        moral = bn.moral_graph()
+        assert moral.has_edge("rain", "sprinkler")
+        assert moral.has_edge("rain", "grass")
+        assert moral.has_edge("sprinkler", "grass")
+
+    def test_markov_network_primal_is_moral_graph(self):
+        bn = BayesianNetwork.random(9, 3, seed=6)
+        assert bn.to_markov_network().primal_graph() == bn.moral_graph()
+
+
+class TestSemantics:
+    def test_joint_probabilities_sum_to_one(self):
+        bn = sprinkler()
+        variables = bn.variables()
+        total = sum(
+            bn.joint_probability(dict(zip(variables, a)))
+            for a in itertools.product((0, 1), repeat=3)
+        )
+        assert total == pytest.approx(1.0)
+
+    def test_partition_function_is_one(self):
+        for seed in range(4):
+            bn = BayesianNetwork.random(7, 3, seed=seed)
+            decomposition = minimal_triangulation(
+                bn.moral_graph()
+            ).tree_decomposition()
+            result = calibrate(bn.to_markov_network(), decomposition)
+            assert result.partition_function == pytest.approx(1.0)
+
+    def test_sprinkler_marginal(self):
+        bn = sprinkler()
+        decomposition = minimal_triangulation(
+            bn.moral_graph()
+        ).tree_decomposition()
+        result = calibrate(bn.to_markov_network(), decomposition)
+        rain = result.normalized_marginal("rain")
+        assert rain == pytest.approx([0.8, 0.2])
+        variables = bn.variables()
+        expected_wet = sum(
+            bn.joint_probability(dict(zip(variables, a)))
+            for a in itertools.product((0, 1), repeat=3)
+            if a[variables.index("grass")] == 1
+        )
+        wet = result.normalized_marginal("grass")[1]
+        assert wet == pytest.approx(expected_wet)
+
+    def test_partial_assignment_rejected(self):
+        with pytest.raises(ValueError, match="cover"):
+            sprinkler().joint_probability({"rain": 1})

@@ -1,0 +1,161 @@
+"""Unit tests for treewidth lower bounds (repro.core.bounds)."""
+
+from __future__ import annotations
+
+from conftest import small_chordal_graphs, small_random_graphs
+from repro.chordal.cliques import tree_width
+from repro.core.bounds import (
+    clique_lower_bound,
+    degeneracy_lower_bound,
+    mmd_plus_lower_bound,
+    treewidth_lower_bound,
+)
+from repro.core.treewidth import treewidth_exact
+from repro.graph.generators import (
+    complete_graph,
+    cycle_graph,
+    grid_graph,
+    path_graph,
+    random_k_tree,
+    random_tree,
+    star_graph,
+)
+from repro.graph.graph import Graph
+
+
+class TestKnownValues:
+    def test_empty_and_trivial(self):
+        for bound in (
+            degeneracy_lower_bound,
+            mmd_plus_lower_bound,
+            clique_lower_bound,
+            treewidth_lower_bound,
+        ):
+            assert bound(Graph()) == -1
+            assert bound(Graph(nodes=[1])) == 0
+
+    def test_trees(self):
+        for seed in range(3):
+            g = random_tree(10, seed=seed)
+            assert degeneracy_lower_bound(g) == 1
+            assert treewidth_lower_bound(g) == 1
+
+    def test_cycles(self):
+        for n in (4, 5, 8):
+            assert degeneracy_lower_bound(cycle_graph(n)) == 2
+            assert treewidth_lower_bound(cycle_graph(n)) == 2
+
+    def test_complete_graph_tight(self):
+        g = complete_graph(6)
+        assert clique_lower_bound(g) == 5
+        assert treewidth_lower_bound(g) == 5
+
+    def test_star(self):
+        assert treewidth_lower_bound(star_graph(6)) == 1
+
+    def test_path(self):
+        assert treewidth_lower_bound(path_graph(6)) == 1
+
+    def test_grid_mmd_beats_degeneracy(self):
+        g = grid_graph(5, 5)
+        assert degeneracy_lower_bound(g) == 2
+        assert mmd_plus_lower_bound(g) >= 3
+
+    def test_k_trees_tight(self):
+        for k in (2, 3, 4):
+            g = random_k_tree(10, k, seed=k)
+            assert treewidth_lower_bound(g) == k
+
+
+class TestSoundness:
+    def test_never_exceeds_exact_treewidth(self):
+        for g in small_random_graphs(40, max_nodes=9, seed=2201):
+            assert treewidth_lower_bound(g) <= treewidth_exact(g)
+
+    def test_sound_on_chordal_graphs(self):
+        for g in small_chordal_graphs(25, max_nodes=11, seed=2203):
+            assert treewidth_lower_bound(g) <= tree_width(g)
+
+    def test_mmd_dominates_on_corpus(self):
+        # MMD+ is never worse than plain degeneracy.
+        for g in small_random_graphs(25, max_nodes=9, seed=2207):
+            assert mmd_plus_lower_bound(g) >= degeneracy_lower_bound(g)
+
+
+class TestAnytimeTreewidth:
+    def test_exact_on_structured_graphs(self):
+        from repro.core.ranked import anytime_treewidth
+
+        for g, expected in (
+            (grid_graph(3, 3), 3),
+            (cycle_graph(8), 2),
+            (complete_graph(5), 4),
+            (path_graph(6), 1),
+        ):
+            width, best, optimal = anytime_treewidth(g)
+            assert width == expected
+            assert optimal
+            assert best.is_minimal()
+
+    def test_matches_exact_dp_on_random_graphs(self):
+        from repro.core.ranked import anytime_treewidth
+
+        for g in small_random_graphs(15, max_nodes=8, seed=2213):
+            width, __, optimal = anytime_treewidth(g)
+            assert optimal  # exhausting the enumeration proves optimality
+            assert width == treewidth_exact(g)
+
+    def test_budget_cuts_search(self):
+        from repro.core.ranked import anytime_treewidth
+
+        g = grid_graph(4, 4)
+        width, best, optimal = anytime_treewidth(g, max_results=1)
+        assert width >= 4
+        assert best.is_minimal()
+
+
+class TestMinFillLowerBound:
+    def test_chordal_is_zero(self):
+        from repro.core.bounds import min_fill_lower_bound
+
+        for g in small_chordal_graphs(15, seed=2221):
+            assert min_fill_lower_bound(g) == 0
+
+    def test_sound_against_exact(self):
+        from repro.core.bounds import min_fill_lower_bound
+        from repro.core.treewidth import min_fill_in_exact
+
+        for g in small_random_graphs(30, max_nodes=9, seed=2223):
+            assert min_fill_lower_bound(g) <= min_fill_in_exact(g)
+
+    def test_known_values(self):
+        from repro.core.bounds import min_fill_lower_bound
+
+        assert min_fill_lower_bound(cycle_graph(4)) == 1
+        assert min_fill_lower_bound(grid_graph(3, 3)) >= 3
+        assert min_fill_lower_bound(complete_graph(5)) == 0
+
+
+class TestAnytimeMinFill:
+    def test_exact_on_structured_graphs(self):
+        from repro.core.ranked import anytime_min_fill
+
+        for g, expected in (
+            (cycle_graph(4), 1),
+            (cycle_graph(6), 3),
+            (grid_graph(3, 3), 5),
+            (path_graph(5), 0),
+        ):
+            fill, best, optimal = anytime_min_fill(g)
+            assert fill == expected
+            assert optimal
+            assert best.is_minimal()
+
+    def test_matches_exact_dp_on_random_graphs(self):
+        from repro.core.ranked import anytime_min_fill
+        from repro.core.treewidth import min_fill_in_exact
+
+        for g in small_random_graphs(12, max_nodes=8, seed=2227):
+            fill, __, optimal = anytime_min_fill(g)
+            assert optimal
+            assert fill == min_fill_in_exact(g)

@@ -1,0 +1,67 @@
+"""Unit tests for minimal separators of chordal graphs (S9)."""
+
+from __future__ import annotations
+
+import pytest
+
+from conftest import small_chordal_graphs
+from repro.chordal.chordal_separators import minimal_separators_of_chordal
+from repro.chordal.minimal_separators import all_minimal_separators
+from repro.errors import NotChordalError
+from repro.graph.generators import (
+    complete_graph,
+    cycle_graph,
+    path_graph,
+    random_k_tree,
+    star_graph,
+)
+from repro.graph.graph import Graph
+
+
+class TestAgainstGeneralEnumerator:
+    def test_matches_general_enumeration(self):
+        # The clique-forest extraction must agree with the
+        # Berry-Bordat-Cogis enumerator on every chordal graph.
+        for g in small_chordal_graphs(40, max_nodes=12):
+            assert minimal_separators_of_chordal(g) == all_minimal_separators(g)
+
+    def test_disconnected_includes_empty(self):
+        g = Graph(edges=[(0, 1), (2, 3)])
+        seps = minimal_separators_of_chordal(g)
+        assert frozenset() in seps
+        assert seps == all_minimal_separators(g)
+
+
+class TestKnownFamilies:
+    def test_path(self):
+        seps = minimal_separators_of_chordal(path_graph(5))
+        assert seps == {frozenset({1}), frozenset({2}), frozenset({3})}
+
+    def test_complete_graph(self):
+        assert minimal_separators_of_chordal(complete_graph(4)) == set()
+
+    def test_star(self):
+        assert minimal_separators_of_chordal(star_graph(5)) == {frozenset({0})}
+
+    def test_triangle(self):
+        assert minimal_separators_of_chordal(cycle_graph(3)) == set()
+
+    def test_k_tree_separator_sizes(self):
+        # Every minimal separator of a k-tree has exactly k nodes.
+        g = random_k_tree(10, 3, seed=2)
+        seps = minimal_separators_of_chordal(g)
+        assert seps
+        assert all(len(s) == 3 for s in seps)
+
+    def test_rose_bound(self):
+        # Rose: a chordal graph has fewer minimal separators than nodes.
+        for g in small_chordal_graphs(30, max_nodes=12, seed=3):
+            if g.num_nodes:
+                assert len(minimal_separators_of_chordal(g)) < g.num_nodes
+
+    def test_non_chordal_raises(self):
+        with pytest.raises(NotChordalError):
+            minimal_separators_of_chordal(cycle_graph(5))
+
+    def test_empty_graph(self):
+        assert minimal_separators_of_chordal(Graph()) == set()

@@ -1,0 +1,121 @@
+"""Unit tests for clique forests (repro.chordal.cliques)."""
+
+from __future__ import annotations
+
+import pytest
+
+from conftest import small_chordal_graphs
+from repro.baselines.brute_force import brute_force_maximal_cliques
+from repro.chordal.cliques import maximal_cliques, mcs_clique_forest, tree_width
+from repro.errors import NotChordalError
+from repro.graph.generators import (
+    complete_graph,
+    cycle_graph,
+    path_graph,
+    random_k_tree,
+    star_graph,
+)
+from repro.graph.graph import Graph
+
+
+class TestMaximalCliques:
+    def test_complete_graph_single_clique(self):
+        cliques = maximal_cliques(complete_graph(5))
+        assert cliques == [frozenset(range(5))]
+
+    def test_path_graph_edges(self):
+        cliques = maximal_cliques(path_graph(4))
+        assert sorted(map(sorted, cliques)) == [[0, 1], [1, 2], [2, 3]]
+
+    def test_star_graph(self):
+        cliques = maximal_cliques(star_graph(4))
+        assert len(cliques) == 4
+        assert all(0 in c and len(c) == 2 for c in cliques)
+
+    def test_triangle(self):
+        assert maximal_cliques(cycle_graph(3)) == [frozenset({0, 1, 2})]
+
+    def test_single_node(self):
+        assert maximal_cliques(Graph(nodes=["x"])) == [frozenset({"x"})]
+
+    def test_empty_graph(self):
+        assert maximal_cliques(Graph()) == []
+
+    def test_non_chordal_raises(self):
+        with pytest.raises(NotChordalError):
+            maximal_cliques(cycle_graph(4))
+
+    def test_non_chordal_larger_cycle_raises(self):
+        with pytest.raises(NotChordalError):
+            maximal_cliques(cycle_graph(9))
+
+    def test_matches_bron_kerbosch_oracle(self):
+        for g in small_chordal_graphs(40, max_nodes=11):
+            ours = set(maximal_cliques(g))
+            oracle = brute_force_maximal_cliques(g)
+            assert ours == oracle
+
+    def test_chordal_graph_has_at_most_n_cliques(self):
+        # Gavril / Fulkerson-Gross: a chordal graph has ≤ n maximal cliques.
+        for g in small_chordal_graphs(25, max_nodes=12, seed=41):
+            assert len(maximal_cliques(g)) <= max(g.num_nodes, 1)
+
+
+class TestCliqueForest:
+    def test_single_root_per_component(self):
+        g = Graph(edges=[(0, 1), (1, 2), (5, 6)])
+        forest = mcs_clique_forest(g)
+        roots = [i for i, p in enumerate(forest.parent) if p is None]
+        assert len(roots) == 2
+
+    def test_separators_are_clique_intersections(self):
+        for g in small_chordal_graphs(25, seed=61):
+            forest = mcs_clique_forest(g)
+            for child, parent, separator in forest.edges():
+                assert separator == forest.cliques[child] & forest.cliques[parent] or (
+                    separator <= forest.cliques[child]
+                    and separator <= forest.cliques[parent]
+                )
+
+    def test_separator_subset_of_both_endpoints(self):
+        for g in small_chordal_graphs(25, seed=67):
+            forest = mcs_clique_forest(g)
+            for child, parent, separator in forest.edges():
+                assert separator <= forest.cliques[child]
+                assert separator <= forest.cliques[parent]
+
+    def test_clique_of_assignment_is_member(self):
+        for g in small_chordal_graphs(20, seed=71):
+            forest = mcs_clique_forest(g)
+            for node, index in forest.clique_of.items():
+                assert node in forest.cliques[index]
+
+    def test_forest_covers_all_edges(self):
+        # Every graph edge lies inside some maximal clique.
+        for g in small_chordal_graphs(20, seed=73):
+            forest = mcs_clique_forest(g)
+            for u, v in g.edges():
+                assert any(u in c and v in c for c in forest.cliques)
+
+    def test_junction_property_of_clique_tree(self):
+        # The clique forest, viewed as a tree decomposition, satisfies
+        # the running-intersection property.
+        from repro.decomposition.clique_tree import clique_tree
+
+        for g in small_chordal_graphs(20, seed=79):
+            decomposition = clique_tree(g)
+            decomposition.validate(g)
+
+
+class TestTreeWidth:
+    def test_known_widths(self):
+        assert tree_width(path_graph(5)) == 1
+        assert tree_width(complete_graph(4)) == 3
+        assert tree_width(cycle_graph(3)) == 2
+        assert tree_width(Graph(nodes=[0])) == 0
+        assert tree_width(Graph()) == -1
+
+    def test_k_tree_width(self):
+        for k in (1, 2, 3, 4):
+            g = random_k_tree(10, k, seed=k)
+            assert tree_width(g) == k

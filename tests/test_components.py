@@ -1,0 +1,138 @@
+"""Unit tests for connectivity utilities (repro.graph.components)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.graph.components import (
+    component_of,
+    components_without,
+    connected_components,
+    full_components,
+    is_connected,
+    is_separator,
+    separates,
+)
+from repro.graph.generators import (
+    complete_graph,
+    cycle_graph,
+    grid_graph,
+    path_graph,
+    star_graph,
+)
+from repro.graph.graph import Graph
+
+
+class TestConnectedComponents:
+    def test_empty_graph(self):
+        assert connected_components(Graph()) == []
+
+    def test_single_component(self):
+        assert connected_components(path_graph(4)) == [frozenset({0, 1, 2, 3})]
+
+    def test_multiple_components(self):
+        g = Graph(edges=[(0, 1), (2, 3)])
+        g.add_node(9)
+        comps = connected_components(g)
+        assert comps == [frozenset({0, 1}), frozenset({2, 3}), frozenset({9})]
+
+    def test_components_sorted_by_smallest_node(self):
+        g = Graph(edges=[(5, 6), (0, 1)])
+        comps = connected_components(g)
+        assert comps[0] == frozenset({0, 1})
+
+
+class TestComponentsWithout:
+    def test_removing_cut_node_splits(self):
+        comps = components_without(path_graph(5), [2])
+        assert comps == [frozenset({0, 1}), frozenset({3, 4})]
+
+    def test_removing_nothing(self):
+        comps = components_without(cycle_graph(4), [])
+        assert len(comps) == 1
+
+    def test_removing_everything(self):
+        assert components_without(path_graph(3), [0, 1, 2]) == []
+
+    def test_does_not_mutate(self):
+        g = path_graph(5)
+        components_without(g, [2])
+        assert g.num_nodes == 5 and g.num_edges == 4
+
+
+class TestComponentOf:
+    def test_basic(self):
+        assert component_of(path_graph(5), 0, [2]) == frozenset({0, 1})
+
+    def test_start_in_removed_raises(self):
+        with pytest.raises(ValueError):
+            component_of(path_graph(3), 1, [1])
+
+    def test_unknown_start_raises(self):
+        with pytest.raises(KeyError):
+            component_of(path_graph(3), 99)
+
+
+class TestIsConnected:
+    def test_empty_is_connected(self):
+        assert is_connected(Graph())
+
+    def test_single_node(self):
+        assert is_connected(Graph(nodes=[1]))
+
+    def test_disconnected(self):
+        assert not is_connected(Graph(nodes=[1, 2]))
+
+    def test_grid_connected(self):
+        assert is_connected(grid_graph(4, 4))
+
+
+class TestFullComponentsAndSeparators:
+    def test_cut_vertex_is_minimal_separator(self):
+        g = path_graph(3)
+        assert is_separator(g, {1})
+        assert len(full_components(g, {1})) == 2
+
+    def test_non_separator(self):
+        assert not is_separator(cycle_graph(4), {0})
+
+    def test_cycle_pair_separators(self):
+        g = cycle_graph(4)
+        assert is_separator(g, {0, 2})
+        assert is_separator(g, {1, 3})
+        assert not is_separator(g, {0, 1})
+
+    def test_superset_of_minimal_separator_not_minimal(self):
+        # In C5, {0, 2, 3} separates but is not minimal: component {4}
+        # has neighbourhood {0, 3} != S.
+        g = cycle_graph(5)
+        assert not is_separator(g, {0, 2, 3})
+        assert is_separator(g, {0, 2})
+
+    def test_complete_graph_has_no_separator(self):
+        g = complete_graph(5)
+        for node in g.nodes():
+            assert not is_separator(g, {node})
+
+    def test_empty_set_for_disconnected(self):
+        g = Graph(nodes=[1, 2])
+        assert is_separator(g, set())
+
+    def test_star_center(self):
+        assert is_separator(star_graph(4), {0})
+
+
+class TestSeparates:
+    def test_separates_path_endpoints(self):
+        g = path_graph(5)
+        assert separates(g, {2}, 0, 4)
+        assert not separates(g, {3}, 0, 2)
+
+    def test_endpoint_in_candidate_raises(self):
+        with pytest.raises(ValueError):
+            separates(path_graph(3), {0}, 0, 2)
+
+    def test_cycle_needs_two_nodes(self):
+        g = cycle_graph(6)
+        assert not separates(g, {1}, 0, 3)
+        assert separates(g, {1, 4}, 0, 3)

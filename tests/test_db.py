@@ -1,0 +1,213 @@
+"""Unit/integration tests for join evaluation (repro.db)."""
+
+from __future__ import annotations
+
+import itertools
+
+import pytest
+
+from repro.db.evaluate import (
+    EvaluationStatistics,
+    evaluate_naive,
+    evaluate_with_ghd,
+)
+from repro.db.relation import Relation, fold_join, natural_join, semijoin
+from repro.hypergraph.ghd import enumerate_ghds
+from repro.hypergraph.hypergraph import Hypergraph
+
+
+class TestRelation:
+    def test_construction_and_len(self):
+        r = Relation(("a", "b"), [(1, 2), (1, 2), (3, 4)])
+        assert len(r) == 2
+        assert r.arity == 2
+
+    def test_duplicate_attributes_rejected(self):
+        with pytest.raises(ValueError, match="duplicate"):
+            Relation(("a", "a"), [])
+
+    def test_arity_mismatch_rejected(self):
+        with pytest.raises(ValueError, match="arity"):
+            Relation(("a",), [(1, 2)])
+
+    def test_equality_is_order_free(self):
+        r = Relation(("a", "b"), [(1, 2)])
+        s = Relation(("b", "a"), [(2, 1)])
+        assert r == s
+        assert hash(r) == hash(s)
+
+    def test_project(self):
+        r = Relation(("a", "b"), [(1, 2), (1, 3)])
+        assert r.project(["a"]) == Relation(("a",), [(1,)])
+        with pytest.raises(ValueError):
+            r.project(["z"])
+
+    def test_select(self):
+        r = Relation(("a", "b"), [(1, 2), (3, 4)])
+        assert len(r.select(lambda row: row["a"] == 1)) == 1
+
+    def test_rename(self):
+        r = Relation(("a",), [(1,)]).rename({"a": "x"})
+        assert r.attributes == ("x",)
+
+    def test_reordered_validation(self):
+        r = Relation(("a", "b"), [(1, 2)])
+        with pytest.raises(ValueError):
+            r.reordered(("a", "z"))
+
+    def test_random_deterministic(self):
+        a = Relation.random(("x", "y"), 20, 5, seed=3)
+        b = Relation.random(("x", "y"), 20, 5, seed=3)
+        assert a == b
+
+
+class TestJoinOperators:
+    def test_natural_join_shared(self):
+        r = Relation(("a", "b"), [(1, 2), (2, 3)])
+        s = Relation(("b", "c"), [(2, 9), (2, 8)])
+        joined = natural_join(r, s)
+        assert set(joined.attributes) == {"a", "b", "c"}
+        assert len(joined) == 2
+
+    def test_natural_join_cartesian(self):
+        r = Relation(("a",), [(1,), (2,)])
+        s = Relation(("b",), [(7,), (8,), (9,)])
+        assert len(natural_join(r, s)) == 6
+
+    def test_join_with_unit(self):
+        r = Relation(("a",), [(1,)])
+        assert natural_join(Relation.unit(), r) == r
+
+    def test_semijoin(self):
+        r = Relation(("a", "b"), [(1, 2), (2, 3)])
+        s = Relation(("b",), [(2,)])
+        assert semijoin(r, s) == Relation(("a", "b"), [(1, 2)])
+
+    def test_semijoin_no_shared_attributes(self):
+        r = Relation(("a",), [(1,)])
+        assert semijoin(r, Relation(("z",), [(5,)])) == r
+        assert len(semijoin(r, Relation.empty(("z",)))) == 0
+
+    def test_fold_join_associativity(self):
+        rels = [
+            Relation(("a", "b"), [(1, 2), (2, 2)]),
+            Relation(("b", "c"), [(2, 5)]),
+            Relation(("c", "d"), [(5, 0), (5, 1)]),
+        ]
+        for permutation in itertools.permutations(rels):
+            assert fold_join(permutation) == fold_join(rels)
+
+
+def triangle_instance(rows: int = 40, domain: int = 8, seed: int = 1):
+    h = Hypergraph({"R": ("x", "y"), "S": ("y", "z"), "T": ("z", "x")})
+    instance = {
+        "R": Relation.random(("x", "y"), rows, domain, seed),
+        "S": Relation.random(("y", "z"), rows, domain, seed + 1),
+        "T": Relation.random(("z", "x"), rows, domain, seed + 2),
+    }
+    return h, instance
+
+
+class TestGhdEvaluation:
+    def test_triangle_matches_naive(self):
+        h, instance = triangle_instance()
+        expected = evaluate_naive(h, instance)
+        for ghd in enumerate_ghds(h):
+            result = evaluate_with_ghd(h, instance, ghd)
+            assert result == expected.project(result.attributes)
+
+    def test_cycle4_all_ghds_agree(self):
+        h = Hypergraph(
+            {"R": ("a", "b"), "S": ("b", "c"), "T": ("c", "d"), "U": ("d", "a")}
+        )
+        instance = {
+            "R": Relation.random(("a", "b"), 60, 6, seed=10),
+            "S": Relation.random(("b", "c"), 60, 6, seed=11),
+            "T": Relation.random(("c", "d"), 60, 6, seed=12),
+            "U": Relation.random(("d", "a"), 60, 6, seed=13),
+        }
+        expected = evaluate_naive(h, instance)
+        results = [
+            evaluate_with_ghd(h, instance, ghd) for ghd in enumerate_ghds(h)
+        ]
+        assert len(results) == 2
+        for result in results:
+            assert result == expected.project(result.attributes)
+
+    def test_empty_relation_gives_empty_result(self):
+        h, instance = triangle_instance()
+        instance["R"] = Relation.empty(("x", "y"))
+        for ghd in enumerate_ghds(h):
+            assert len(evaluate_with_ghd(h, instance, ghd)) == 0
+
+    def test_statistics_collected(self):
+        h, instance = triangle_instance()
+        ghd = next(enumerate_ghds(h))
+        stats = EvaluationStatistics()
+        evaluate_with_ghd(h, instance, ghd, stats)
+        assert stats.bag_sizes
+        assert stats.max_intermediate > 0
+        assert stats.total_intermediate >= stats.max_intermediate
+
+    def test_missing_relation_rejected(self):
+        h, instance = triangle_instance()
+        del instance["T"]
+        with pytest.raises(KeyError):
+            evaluate_naive(h, instance)
+
+    def test_wrong_attributes_rejected(self):
+        h, instance = triangle_instance()
+        instance["T"] = Relation.random(("q", "x"), 5, 3, seed=0)
+        ghd = next(enumerate_ghds(h))
+        with pytest.raises(ValueError, match="attributes"):
+            evaluate_with_ghd(h, instance, ghd)
+
+    def test_path_query_yannakakis_bounded(self):
+        # On an acyclic query, intermediate sizes stay near input+output.
+        h = Hypergraph(
+            {"R": ("a", "b"), "S": ("b", "c"), "T": ("c", "d")}
+        )
+        instance = {
+            "R": Relation.random(("a", "b"), 80, 5, seed=21),
+            "S": Relation.random(("b", "c"), 80, 5, seed=22),
+            "T": Relation.random(("c", "d"), 80, 5, seed=23),
+        }
+        expected = evaluate_naive(h, instance)
+        ghd = next(enumerate_ghds(h))
+        stats = EvaluationStatistics()
+        result = evaluate_with_ghd(h, instance, ghd, stats)
+        assert result == expected.project(result.attributes)
+        assert ghd.width == 1
+        bound = sum(len(r) for r in instance.values()) + len(expected)
+        assert stats.max_intermediate <= bound
+
+    def test_decompositions_differ_in_intermediate_sizes(self):
+        # The Kalinsky et al. observation in miniature: same answer,
+        # same width, different intermediate sizes across GHDs.
+        h = Hypergraph(
+            {
+                "R": ("a", "b"),
+                "S": ("b", "c"),
+                "T": ("c", "d"),
+                "U": ("d", "e"),
+                "V": ("e", "a"),
+            }
+        )
+        # Sparse relations (40 of 144 possible tuples) so that bag
+        # materialisation costs genuinely depend on the decomposition.
+        instance = {
+            "R": Relation.random(("a", "b"), 40, 12, seed=30),
+            "S": Relation.random(("b", "c"), 40, 12, seed=31),
+            "T": Relation.random(("c", "d"), 40, 12, seed=32),
+            "U": Relation.random(("d", "e"), 40, 12, seed=33),
+            "V": Relation.random(("e", "a"), 40, 12, seed=34),
+        }
+        expected = evaluate_naive(h, instance)
+        maxima = []
+        for ghd in enumerate_ghds(h):
+            stats = EvaluationStatistics()
+            result = evaluate_with_ghd(h, instance, ghd, stats)
+            assert result == expected.project(result.attributes)
+            maxima.append(stats.max_intermediate)
+        assert len(maxima) == 5  # C5 primal graph: 5 minimal triangulations
+        assert len(set(maxima)) > 1

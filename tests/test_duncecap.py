@@ -1,0 +1,89 @@
+"""Unit tests for the DunceCap-style baseline (S24)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.baselines.duncecap import (
+    count_duncecap_decompositions,
+    duncecap_tree_decompositions,
+)
+from repro.errors import EnumerationBudgetExceeded
+from repro.graph.generators import cycle_graph, path_graph, complete_graph
+from repro.graph.graph import Graph
+
+
+class TestValidity:
+    def test_all_outputs_are_valid_decompositions(self):
+        g = cycle_graph(4)
+        produced = list(duncecap_tree_decompositions(g, max_bag_size=3))
+        assert produced
+        for d in produced:
+            d.validate(g)
+            assert all(len(bag) <= 3 for bag in d.bags)
+
+    def test_path(self):
+        g = path_graph(3)
+        produced = list(duncecap_tree_decompositions(g, max_bag_size=2))
+        assert produced
+        for d in produced:
+            d.validate(g)
+
+    def test_complete_graph_needs_full_bag(self):
+        g = complete_graph(3)
+        assert list(duncecap_tree_decompositions(g, max_bag_size=2)) == []
+        produced = list(duncecap_tree_decompositions(g, max_bag_size=3))
+        # Every plan needs the full bag somewhere; redundant-sub-bag
+        # variants are part of the (intentionally wasteful) plan space.
+        assert produced
+        assert all(frozenset({0, 1, 2}) in d.bag_set() for d in produced)
+        for d in produced:
+            d.validate(g)
+
+    def test_empty_graph(self):
+        produced = list(duncecap_tree_decompositions(Graph(), max_bag_size=1))
+        assert len(produced) == 1
+
+    def test_invalid_bag_size(self):
+        with pytest.raises(ValueError):
+            list(duncecap_tree_decompositions(path_graph(2), max_bag_size=0))
+
+
+class TestCoverage:
+    def test_finds_optimal_width_decomposition(self):
+        # For C4 (treewidth 2) some produced decomposition has width 2.
+        g = cycle_graph(4)
+        widths = {
+            d.width for d in duncecap_tree_decompositions(g, max_bag_size=3)
+        }
+        assert 2 in widths
+
+    def test_no_duplicates(self):
+        g = cycle_graph(4)
+        produced = list(duncecap_tree_decompositions(g, max_bag_size=4))
+        keys = [(d.bag_multiset(), d.tree_edges) for d in produced]
+        assert len(keys) == len(set(keys))
+
+    def test_count_grows_with_bag_size(self):
+        g = path_graph(4)
+        small = count_duncecap_decompositions(g, max_bag_size=2)
+        large = count_duncecap_decompositions(g, max_bag_size=3)
+        assert large >= small >= 1
+
+    def test_budget_guard(self):
+        g = cycle_graph(5)
+        with pytest.raises(EnumerationBudgetExceeded):
+            list(duncecap_tree_decompositions(g, max_bag_size=5, max_results=2))
+
+    def test_exhaustive_space_is_larger_than_proper_space(self):
+        # The baseline searches a much larger space than the proper
+        # tree decompositions — the quantitative reason the paper's
+        # comparison shows orders-of-magnitude slowdowns.
+        from repro.decomposition.proper import enumerate_proper_tree_decompositions
+
+        g = cycle_graph(5)
+        baseline_count = count_duncecap_decompositions(g, max_bag_size=4)
+        proper_count = sum(
+            1 for __ in enumerate_proper_tree_decompositions(g)
+        )
+        assert baseline_count > proper_count

@@ -1,0 +1,164 @@
+"""Unit tests for EnumMIS over SGRs (repro.sgr.enum_mis, repro.sgr.base)."""
+
+from __future__ import annotations
+
+import pytest
+
+from conftest import small_random_graphs
+from repro.baselines.brute_force import brute_force_maximal_independent_sets
+from repro.errors import NotAnIndependentSetError
+from repro.graph.generators import (
+    complete_graph,
+    cycle_graph,
+    empty_graph,
+    path_graph,
+    star_graph,
+)
+from repro.graph.graph import Graph
+from repro.sgr.base import ExplicitSGR
+from repro.sgr.enum_mis import EnumMISStatistics, enumerate_maximal_independent_sets
+
+
+def mis_of(graph: Graph, mode: str = "UG") -> set[frozenset]:
+    return set(enumerate_maximal_independent_sets(ExplicitSGR(graph), mode=mode))
+
+
+class TestExplicitSGR:
+    def test_iter_nodes_sorted(self):
+        sgr = ExplicitSGR(Graph(nodes=[3, 1, 2]))
+        assert list(sgr.iter_nodes()) == [1, 2, 3]
+
+    def test_has_edge(self):
+        sgr = ExplicitSGR(path_graph(3))
+        assert sgr.has_edge(0, 1)
+        assert not sgr.has_edge(0, 2)
+
+    def test_extend_returns_maximal(self):
+        g = path_graph(5)
+        sgr = ExplicitSGR(g)
+        result = sgr.extend(frozenset({1}))
+        assert 1 in result
+        assert g.is_independent_set(result)
+        for node in g.nodes():
+            if node not in result:
+                assert not g.is_independent_set(set(result) | {node})
+
+    def test_extend_rejects_dependent_set(self):
+        sgr = ExplicitSGR(path_graph(3))
+        with pytest.raises(NotAnIndependentSetError):
+            sgr.extend(frozenset({0, 1}))
+
+    def test_is_independent_helper(self):
+        sgr = ExplicitSGR(path_graph(3))
+        assert sgr.is_independent(frozenset({0, 2}))
+        assert not sgr.is_independent(frozenset({0, 1}))
+
+
+class TestEnumMISKnownGraphs:
+    def test_empty_graph_single_answer(self):
+        assert mis_of(Graph()) == {frozenset()}
+
+    def test_edgeless_graph(self):
+        assert mis_of(empty_graph(3)) == {frozenset({0, 1, 2})}
+
+    def test_single_edge(self):
+        assert mis_of(path_graph(2)) == {frozenset({0}), frozenset({1})}
+
+    def test_path4(self):
+        assert mis_of(path_graph(4)) == {
+            frozenset({0, 2}),
+            frozenset({0, 3}),
+            frozenset({1, 3}),
+        }
+
+    def test_cycle5(self):
+        assert mis_of(cycle_graph(5)) == {
+            frozenset({0, 2}),
+            frozenset({1, 3}),
+            frozenset({2, 4}),
+            frozenset({0, 3}),
+            frozenset({1, 4}),
+        }
+
+    def test_complete_graph_singletons(self):
+        assert mis_of(complete_graph(4)) == {
+            frozenset({v}) for v in range(4)
+        }
+
+    def test_star(self):
+        assert mis_of(star_graph(4)) == {
+            frozenset({0}),
+            frozenset({1, 2, 3, 4}),
+        }
+
+
+class TestEnumMISRandom:
+    def test_matches_brute_force_ug(self):
+        for g in small_random_graphs(40, max_nodes=9, seed=501):
+            assert mis_of(g, "UG") == brute_force_maximal_independent_sets(g)
+
+    def test_matches_brute_force_up(self):
+        for g in small_random_graphs(40, max_nodes=9, seed=503):
+            assert mis_of(g, "UP") == brute_force_maximal_independent_sets(g)
+
+    def test_no_duplicates(self):
+        for g in small_random_graphs(20, max_nodes=9, seed=509):
+            produced = list(
+                enumerate_maximal_independent_sets(ExplicitSGR(g))
+            )
+            assert len(produced) == len(set(produced))
+
+    def test_modes_agree_as_sets(self):
+        for g in small_random_graphs(15, max_nodes=8, seed=521):
+            assert mis_of(g, "UG") == mis_of(g, "UP")
+
+    def test_every_answer_is_maximal_independent(self):
+        for g in small_random_graphs(15, max_nodes=9, seed=523):
+            for answer in mis_of(g):
+                assert g.is_independent_set(answer)
+                for node in g.nodes():
+                    if node not in answer:
+                        assert not g.is_independent_set(set(answer) | {node})
+
+
+class TestModesAndStats:
+    def test_invalid_mode(self):
+        with pytest.raises(ValueError):
+            list(
+                enumerate_maximal_independent_sets(
+                    ExplicitSGR(path_graph(2)), mode="XX"
+                )
+            )
+
+    def test_statistics_populated(self):
+        stats = EnumMISStatistics()
+        results = list(
+            enumerate_maximal_independent_sets(
+                ExplicitSGR(cycle_graph(6)), stats=stats
+            )
+        )
+        assert stats.answers == len(results)
+        assert stats.extend_calls >= len(results)
+        assert stats.nodes_generated == 6
+        assert stats.edge_oracle_calls > 0
+        snapshot = stats.snapshot()
+        assert snapshot["answers"] == len(results)
+
+    def test_lazy_first_answer(self):
+        # The first answer must be produced before the node iterator is
+        # consulted at all.
+        class ExplodingIterSGR(ExplicitSGR):
+            def iter_nodes(self):
+                raise AssertionError("node iterator touched too early")
+
+        generator = enumerate_maximal_independent_sets(
+            ExplodingIterSGR(path_graph(4))
+        )
+        first = next(generator)
+        assert first in {frozenset({0, 2}), frozenset({0, 3}), frozenset({1, 3})}
+
+    def test_generator_is_lazy_per_answer(self):
+        g = cycle_graph(8)
+        generator = enumerate_maximal_independent_sets(ExplicitSGR(g))
+        first_three = [next(generator) for __ in range(3)]
+        assert len(set(first_three)) == 3

@@ -1,0 +1,156 @@
+"""Integration tests for minimal-triangulation enumeration (S16–S17)."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from conftest import small_random_graphs
+from repro.baselines.brute_force import brute_force_minimal_triangulations
+from repro.chordal.peo import is_chordal
+from repro.core.enumerate import (
+    count_minimal_triangulations,
+    enumerate_minimal_triangulations,
+    minimal_triangulation,
+)
+from repro.graph.generators import (
+    complete_graph,
+    cycle_graph,
+    grid_graph,
+    path_graph,
+    random_chordal_graph,
+)
+from repro.graph.graph import Graph
+from repro.sgr.enum_mis import EnumMISStatistics
+
+
+def catalan(n: int) -> int:
+    return math.comb(2 * n, n) // (n + 1)
+
+
+def fill_sets(graph: Graph, **kwargs) -> set[frozenset]:
+    return {
+        frozenset(frozenset(edge) for edge in t.fill_edges)
+        for t in enumerate_minimal_triangulations(graph, **kwargs)
+    }
+
+
+class TestKnownCounts:
+    def test_cycles_are_catalan(self):
+        # MinTri(C_n) = triangulations of a convex n-gon = Catalan(n-2).
+        for n in (4, 5, 6, 7, 8):
+            count = count_minimal_triangulations(cycle_graph(n))
+            assert count == catalan(n - 2)
+
+    def test_chordal_graph_is_its_own_unique_triangulation(self):
+        for seed in range(6):
+            g = random_chordal_graph(9, 0.5, seed=seed)
+            results = list(enumerate_minimal_triangulations(g))
+            assert len(results) == 1
+            assert results[0].fill_edges == ()
+            assert results[0].graph == g
+
+    def test_complete_graph(self):
+        results = list(enumerate_minimal_triangulations(complete_graph(5)))
+        assert len(results) == 1
+
+    def test_empty_and_trivial(self):
+        assert count_minimal_triangulations(Graph()) == 1
+        assert count_minimal_triangulations(Graph(nodes=[1])) == 1
+
+    def test_square_two_triangulations(self):
+        assert fill_sets(cycle_graph(4)) == {
+            frozenset({frozenset({0, 2})}),
+            frozenset({frozenset({1, 3})}),
+        }
+
+    def test_count_limit(self):
+        assert count_minimal_triangulations(cycle_graph(8), limit=5) == 5
+
+
+class TestAgainstBruteForce:
+    def test_matches_exhaustive_search(self):
+        for g in small_random_graphs(25, max_nodes=7, seed=701):
+            ours = fill_sets(g)
+            oracle = brute_force_minimal_triangulations(g)
+            assert ours == oracle
+
+    def test_matches_for_every_triangulator(self):
+        g = grid_graph(2, 4)
+        oracle = brute_force_minimal_triangulations(g)
+        for name in ("mcs_m", "lb_triang", "min_fill", "min_degree", "complete"):
+            assert fill_sets(g, triangulator=name) == oracle
+
+    def test_modes_agree(self):
+        for g in small_random_graphs(10, max_nodes=7, seed=709):
+            assert fill_sets(g, mode="UG") == fill_sets(g, mode="UP")
+
+
+class TestResultObjects:
+    def test_all_results_are_minimal_triangulations(self):
+        for g in small_random_graphs(12, max_nodes=8, seed=719):
+            for result in enumerate_minimal_triangulations(g):
+                assert is_chordal(result.graph)
+                assert result.is_minimal()
+                assert result.base is g
+
+    def test_no_duplicates(self):
+        g = cycle_graph(7)
+        results = list(enumerate_minimal_triangulations(g))
+        assert len(results) == len(set(results))
+
+    def test_width_and_fill_measures(self):
+        g = cycle_graph(6)
+        for result in enumerate_minimal_triangulations(g):
+            assert result.fill == 3
+            assert result.width in (2, 3)
+
+    def test_stats_threading(self):
+        stats = EnumMISStatistics()
+        list(enumerate_minimal_triangulations(cycle_graph(5), stats=stats))
+        assert stats.answers == 5
+        assert stats.nodes_generated == 5
+
+
+class TestDisconnectedGraphs:
+    def test_product_of_components(self):
+        # Two disjoint 4-cycles: 2 x 2 = 4 minimal triangulations.
+        g = Graph(
+            edges=[(0, 1), (1, 2), (2, 3), (3, 0), (10, 11), (11, 12), (12, 13), (13, 10)]
+        )
+        results = list(enumerate_minimal_triangulations(g))
+        assert len(results) == 4
+        assert len(set(results)) == 4
+        for result in results:
+            assert result.is_minimal()
+
+    def test_matches_brute_force_disconnected(self):
+        g = Graph(edges=[(0, 1), (1, 2), (2, 0)])
+        g.add_edges([(5, 6), (6, 7), (7, 8), (8, 5)])
+        g.add_node(99)
+        ours = fill_sets(g)
+        oracle = brute_force_minimal_triangulations(g)
+        assert ours == oracle
+
+    def test_isolated_nodes(self):
+        g = Graph(nodes=[1, 2, 3])
+        results = list(enumerate_minimal_triangulations(g))
+        assert len(results) == 1
+        assert results[0].fill == 0
+
+
+class TestMinimalTriangulationSingle:
+    def test_returns_first_result_quality(self):
+        g = grid_graph(3, 3)
+        single = minimal_triangulation(g)
+        assert single.is_minimal()
+
+    def test_chordal_input_unchanged(self):
+        g = path_graph(4)
+        assert minimal_triangulation(g).graph == g
+
+    def test_sandwich_backends(self):
+        g = cycle_graph(6)
+        for name in ("min_fill", "complete"):
+            assert minimal_triangulation(g, triangulator=name).is_minimal()

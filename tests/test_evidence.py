@@ -1,0 +1,97 @@
+"""Unit tests for evidence-conditioned inference."""
+
+from __future__ import annotations
+
+import itertools
+
+import pytest
+
+from repro.core.enumerate import minimal_triangulation
+from repro.graph.generators import cycle_graph, grid_graph, path_graph
+from repro.inference import MarkovNetwork, calibrate, partition_function
+
+
+def brute_force_evidence_mass(model, evidence):
+    variables = model.variables()
+    total = 0.0
+    for assignment in itertools.product(
+        *(range(model.domains[v]) for v in variables)
+    ):
+        lookup = dict(zip(variables, assignment))
+        if any(lookup[v] != value for v, value in evidence.items()):
+            continue
+        value = 1.0
+        for factor in model.factors:
+            index = tuple(lookup[v] for v in factor.variables)
+            value *= float(factor.table[index])
+        total += value
+    return total
+
+
+class TestEvidence:
+    def test_masses_partition_z(self):
+        graph = cycle_graph(5)
+        model = MarkovNetwork.random(graph, seed=3)
+        td = minimal_triangulation(graph).tree_decomposition()
+        z = partition_function(model, td)
+        observed = graph.nodes()[2]
+        masses = [
+            partition_function(model, td, evidence={observed: k})
+            for k in range(model.domains[observed])
+        ]
+        assert sum(masses) == pytest.approx(z, rel=1e-9)
+
+    def test_mass_matches_brute_force(self):
+        graph = grid_graph(2, 3)
+        model = MarkovNetwork.random(graph, seed=5)
+        td = minimal_triangulation(graph).tree_decomposition()
+        evidence = {graph.nodes()[0]: 1, graph.nodes()[4]: 0}
+        ours = partition_function(model, td, evidence=evidence)
+        assert ours == pytest.approx(
+            brute_force_evidence_mass(model, evidence), rel=1e-9
+        )
+
+    def test_observed_variable_collapses(self):
+        graph = path_graph(4)
+        model = MarkovNetwork.random(graph, seed=7)
+        td = minimal_triangulation(graph).tree_decomposition()
+        result = calibrate(model, td, evidence={1: 0})
+        assert result.normalized_marginal(1) == pytest.approx([1.0, 0.0])
+
+    def test_posterior_marginals_normalised(self):
+        graph = cycle_graph(4)
+        model = MarkovNetwork.random(graph, seed=11)
+        td = minimal_triangulation(graph).tree_decomposition()
+        result = calibrate(model, td, evidence={0: 1})
+        for variable in graph.nodes():
+            assert sum(result.normalized_marginal(variable)) == pytest.approx(1.0)
+
+    def test_unknown_evidence_variable(self):
+        graph = path_graph(3)
+        model = MarkovNetwork.random(graph, seed=1)
+        td = minimal_triangulation(graph).tree_decomposition()
+        with pytest.raises(KeyError):
+            calibrate(model, td, evidence={"ghost": 0})
+
+    def test_out_of_range_evidence_value(self):
+        graph = path_graph(3)
+        model = MarkovNetwork.random(graph, seed=1)
+        td = minimal_triangulation(graph).tree_decomposition()
+        with pytest.raises(ValueError, match="out of range"):
+            calibrate(model, td, evidence={0: 5})
+
+    def test_evidence_invariant_across_decompositions(self):
+        graph = cycle_graph(6)
+        model = MarkovNetwork.random(graph, seed=13)
+        from repro.core.enumerate import enumerate_minimal_triangulations
+
+        evidence = {0: 1, 3: 0}
+        values = set()
+        for t in itertools.islice(
+            enumerate_minimal_triangulations(graph), 5
+        ):
+            mass = partition_function(
+                model, t.tree_decomposition(), evidence=evidence
+            )
+            values.add(round(mass, 12))
+        assert len(values) == 1

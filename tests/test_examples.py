@@ -1,0 +1,85 @@
+"""Smoke tests: every shipped example must run to completion.
+
+Each example is executed in a subprocess (so that ``__main__`` guards,
+imports and printing behave exactly as for a user).  Time budgets
+inside the examples are what they are, so the slowest ones get generous
+subprocess timeouts; all must exit 0 and print their headline output.
+"""
+
+from __future__ import annotations
+
+import pathlib
+import subprocess
+import sys
+
+import pytest
+
+EXAMPLES = pathlib.Path(__file__).parent.parent / "examples"
+
+
+def run_example(name: str, *args: str, timeout: float = 120.0) -> str:
+    result = subprocess.run(
+        [sys.executable, str(EXAMPLES / name), *args],
+        capture_output=True,
+        text=True,
+        timeout=timeout,
+        cwd=EXAMPLES.parent,
+    )
+    assert result.returncode == 0, result.stderr
+    return result.stdout
+
+
+class TestExamples:
+    def test_quickstart(self):
+        out = run_example("quickstart.py")
+        assert "minimal triangulations" in out
+        assert "proper tree decompositions" in out
+
+    def test_custom_sgr(self):
+        out = run_example("custom_sgr.py")
+        assert "maximal disjoint packings" in out
+
+    def test_join_query_optimization_small_query(self):
+        out = run_example("join_query_optimization.py", "Q5")
+        assert "TPC-H Q5" in out
+        assert "best cost found" in out
+
+    def test_probabilistic_inference(self):
+        out = run_example("probabilistic_inference.py")
+        assert "mcs_m (5s anytime budget)" in out
+        assert "lb_triang (5s anytime budget)" in out
+
+    def test_anytime_case_study(self):
+        out = run_example("anytime_case_study.py")
+        assert "cumulative results over time" in out
+        assert "running minima over time" in out
+
+    def test_exact_inference_pipeline(self):
+        out = run_example("exact_inference_pipeline.py")
+        assert "partition functions agree" in out
+
+    def test_ghd_join_planning(self):
+        out = run_example("ghd_join_planning.py")
+        assert "GHD plans" in out
+        assert "best plan beats worst" in out
+
+    def test_anytime_treewidth_solver(self, tmp_path):
+        out = run_example("anytime_treewidth_solver.py")
+        assert "treewidth = 4" in out
+        solution = EXAMPLES.parent / "solution.td"
+        assert solution.exists()
+        solution.unlink()
+
+    def test_examples_are_all_covered(self):
+        shipped = {path.name for path in EXAMPLES.glob("*.py")}
+        covered = {
+            "quickstart.py",
+            "custom_sgr.py",
+            "join_query_optimization.py",
+            "probabilistic_inference.py",
+            "anytime_case_study.py",
+            "exact_inference_pipeline.py",
+            "ghd_join_planning.py",
+            "anytime_treewidth_solver.py",
+        }
+        assert shipped == covered

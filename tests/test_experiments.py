@@ -1,0 +1,169 @@
+"""Unit tests for the experiment harness (S26)."""
+
+from __future__ import annotations
+
+from repro.experiments.figures import (
+    fig6_delay_by_edges,
+    fig7_delay_by_size,
+    fig8_printing_modes,
+    fig9_cumulative_results,
+    fig10_quality_over_time,
+)
+from repro.experiments.render import ascii_table, sparkline
+from repro.experiments.runner import EnumerationTrace, ResultRecord, run_enumeration
+from repro.experiments.tables import quality_table, render_quality_table
+from repro.graph.generators import cycle_graph, grid_graph, path_graph
+from repro.workloads.tpch import tpch_query
+
+
+class TestRunner:
+    def test_completes_small_graph(self):
+        trace = run_enumeration(cycle_graph(6), name="c6")
+        assert trace.completed
+        assert trace.count == 14
+        assert trace.name == "c6"
+        assert trace.triangulator == "mcs_m"
+
+    def test_max_results_cap(self):
+        trace = run_enumeration(cycle_graph(8), max_results=5)
+        assert trace.count == 5
+        assert not trace.completed
+
+    def test_time_budget_stops(self):
+        trace = run_enumeration(grid_graph(5, 5), time_budget=0.2)
+        assert trace.elapsed < 60
+
+    def test_records_monotone_in_time(self):
+        trace = run_enumeration(cycle_graph(7))
+        times = [r.elapsed for r in trace.records]
+        assert times == sorted(times)
+
+    def test_chordal_graph_single_record(self):
+        trace = run_enumeration(path_graph(5))
+        assert trace.completed and trace.count == 1
+        assert trace.first_width == 1
+
+
+class TestDerivedStats:
+    def make_trace(self) -> EnumerationTrace:
+        trace = EnumerationTrace(name="t", triangulator="mcs_m", mode="UG")
+        data = [(0.1, 5, 10), (0.2, 4, 12), (0.3, 6, 8), (0.4, 4, 9)]
+        for i, (t, w, f) in enumerate(data):
+            trace.records.append(ResultRecord(i, t, w, f))
+        trace.elapsed = 0.4
+        trace.completed = True
+        return trace
+
+    def test_quality_stats(self):
+        trace = self.make_trace()
+        assert trace.count == 4
+        assert trace.first_width == 5 and trace.min_width == 4
+        assert trace.first_fill == 10 and trace.min_fill == 8
+        assert trace.num_at_most_first_width == 3
+        assert trace.num_at_most_first_fill == 3
+        assert trace.width_improvement_percent == 20.0
+        assert trace.fill_improvement_percent == 20.0
+        assert abs(trace.average_delay - 0.1) < 1e-9
+
+    def test_running_minimum(self):
+        trace = self.make_trace()
+        assert trace.running_minimum("width") == [(0.1, 5), (0.2, 4)]
+        assert trace.running_minimum("fill") == [(0.1, 10), (0.3, 8)]
+
+    def test_cumulative_counts(self):
+        trace = self.make_trace()
+        series = trace.cumulative_counts(bins=4)
+        assert len(series) == 4
+        final = series[-1]
+        assert final[1] == 4  # all results visible at the horizon
+        assert final[2] == 2  # two results of min width 4
+        assert final[3] == 3  # three results with width <= 5
+
+    def test_empty_trace(self):
+        trace = EnumerationTrace(name="e", triangulator="mcs_m", mode="UG")
+        assert trace.count == 0
+        assert trace.min_width == -1
+        assert trace.cumulative_counts() == []
+        assert trace.width_improvement_percent == 0.0
+
+
+class TestTables:
+    def test_quality_table_rows(self):
+        suites = {
+            "Cycles": [("c6", cycle_graph(6)), ("c7", cycle_graph(7))],
+        }
+        rows = quality_table(suites, "mcs_m", "width", time_budget=5.0)
+        assert len(rows) == 1
+        row = rows[0]
+        assert row.dataset == "Cycles"
+        assert row.num_graphs == 2
+        assert row.avg_count > 1
+
+    def test_render_quality_table(self):
+        suites = {"Cycles": [("c6", cycle_graph(6))]}
+        rows = quality_table(suites, "mcs_m", "fill", time_budget=5.0)
+        text = render_quality_table(rows, "fill")
+        assert "Cycles (1)" in text
+        assert "min-f" in text
+
+    def test_invalid_measure(self):
+        import pytest
+
+        with pytest.raises(ValueError):
+            quality_table({}, "mcs_m", "depth", time_budget=1.0)
+
+
+class TestFigures:
+    def test_fig6_points(self):
+        suites = {"Tiny": [("c5", cycle_graph(5)), ("c6", cycle_graph(6))]}
+        points = fig6_delay_by_edges(suites, "mcs_m", time_budget=5.0)
+        assert len(points) == 2
+        assert all(p.dataset == "Tiny" for p in points)
+        assert all(p.count >= 1 for p in points)
+
+    def test_fig7_series(self):
+        sweep = [("g", cycle_graph(6), 6, 0.5)]
+        series = fig7_delay_by_size(sweep, "mcs_m", time_budget=5.0)
+        assert series[0][0] == 6 and series[0][1] == 0.5
+
+    def test_fig8_modes_same_counts(self):
+        traces = fig8_printing_modes(tpch_query("Q5"))
+        assert traces["UG"].count == traces["UP"].count == 5
+
+    def test_fig9_and_fig10(self):
+        trace = run_enumeration(cycle_graph(7), name="c7")
+        series = fig9_cumulative_results(trace, bins=5)
+        assert len(series) == 5
+        assert series[-1][1] == trace.count
+        quality = fig10_quality_over_time(trace)
+        assert quality["width"][0][1] >= quality["width"][-1][1]
+
+
+class TestRender:
+    def test_ascii_table_alignment(self):
+        text = ascii_table(["a", "bbb"], [["1", "2"], ["333", "4"]])
+        lines = text.splitlines()
+        assert len(lines) == 4
+        assert len(set(map(len, lines))) == 1  # all lines equal width
+
+    def test_sparkline(self):
+        line = sparkline([0, 1, 2, 3, 4], width=10)
+        assert len(line) == 10
+        assert line[0] == " " and line[-1] == "@"
+
+    def test_sparkline_empty_and_flat(self):
+        assert sparkline([]) == ""
+        flat = sparkline([5, 5, 5], width=5)
+        assert len(flat) == 5
+
+
+class TestFullReport:
+    def test_full_report_sections(self):
+        from repro.experiments.report import full_report
+
+        text = full_report(budget=0.05, scale=0.02, max_results=5, tpch_cap=3)
+        assert "Tables 1 and 2" in text
+        assert "Figure 7" in text
+        assert "case study" in text
+        assert "TPC-H" in text
+        assert "Q22" in text

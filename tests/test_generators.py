@@ -1,0 +1,155 @@
+"""Unit tests for the graph generators (repro.graph.generators)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.chordal.peo import is_chordal
+from repro.graph.components import is_connected
+from repro.graph.generators import (
+    complete_bipartite_graph,
+    complete_graph,
+    cycle_graph,
+    empty_graph,
+    from_edge_list,
+    gnm_random_graph,
+    gnp_random_graph,
+    grid_graph,
+    path_graph,
+    random_chordal_graph,
+    random_connected_gnp,
+    random_k_tree,
+    random_tree,
+    star_graph,
+    wheel_graph,
+)
+
+
+class TestDeterministicShapes:
+    def test_empty_graph(self):
+        g = empty_graph(5)
+        assert g.num_nodes == 5 and g.num_edges == 0
+
+    def test_empty_graph_negative_raises(self):
+        with pytest.raises(ValueError):
+            empty_graph(-1)
+
+    def test_complete_graph(self):
+        g = complete_graph(5)
+        assert g.num_edges == 10
+        assert all(g.degree(v) == 4 for v in g.nodes())
+
+    def test_path_graph(self):
+        g = path_graph(6)
+        assert g.num_edges == 5
+        assert g.degree(0) == 1 and g.degree(3) == 2
+
+    def test_cycle_graph(self):
+        g = cycle_graph(5)
+        assert g.num_edges == 5
+        assert all(g.degree(v) == 2 for v in g.nodes())
+
+    def test_cycle_too_small_raises(self):
+        with pytest.raises(ValueError):
+            cycle_graph(2)
+
+    def test_star_graph(self):
+        g = star_graph(7)
+        assert g.degree(0) == 7
+        assert g.num_edges == 7
+
+    def test_wheel_graph(self):
+        g = wheel_graph(5)
+        assert g.degree(0) == 5
+        assert g.num_edges == 10
+
+    def test_wheel_too_small_raises(self):
+        with pytest.raises(ValueError):
+            wheel_graph(2)
+
+    def test_grid_graph_counts(self):
+        g = grid_graph(3, 4)
+        assert g.num_nodes == 12
+        assert g.num_edges == 3 * 3 + 4 * 2  # 3*(4-1) + 4*(3-1)
+
+    def test_grid_default_square(self):
+        assert grid_graph(3).num_nodes == 9
+
+    def test_grid_invalid_raises(self):
+        with pytest.raises(ValueError):
+            grid_graph(0, 3)
+
+    def test_complete_bipartite(self):
+        g = complete_bipartite_graph(2, 3)
+        assert g.num_edges == 6
+        assert not g.has_edge(0, 1)
+
+    def test_from_edge_list(self):
+        g = from_edge_list([(1, 2), (2, 3)])
+        assert g.num_nodes == 3
+
+
+class TestRandomGenerators:
+    def test_gnp_deterministic_in_seed(self):
+        a = gnp_random_graph(20, 0.4, seed=1)
+        b = gnp_random_graph(20, 0.4, seed=1)
+        c = gnp_random_graph(20, 0.4, seed=2)
+        assert a == b
+        assert a != c
+
+    def test_gnp_extreme_probabilities(self):
+        assert gnp_random_graph(6, 0.0, seed=1).num_edges == 0
+        assert gnp_random_graph(6, 1.0, seed=1).num_edges == 15
+
+    def test_gnp_invalid_probability(self):
+        with pytest.raises(ValueError):
+            gnp_random_graph(5, 1.5, seed=0)
+
+    def test_gnm_exact_edge_count(self):
+        g = gnm_random_graph(10, 17, seed=4)
+        assert g.num_edges == 17
+        assert g.num_nodes == 10
+
+    def test_gnm_too_many_edges_raises(self):
+        with pytest.raises(ValueError):
+            gnm_random_graph(4, 7, seed=0)
+
+    def test_random_tree_is_tree(self):
+        for seed in range(5):
+            g = random_tree(12, seed=seed)
+            assert g.num_edges == 11
+            assert is_connected(g)
+
+    def test_random_tree_small(self):
+        assert random_tree(0, seed=1).num_nodes == 0
+        assert random_tree(1, seed=1).num_nodes == 1
+        assert random_tree(2, seed=1).num_edges == 1
+
+    def test_random_k_tree_is_chordal_with_known_width(self):
+        from repro.chordal.cliques import tree_width
+
+        for seed in range(4):
+            g = random_k_tree(10, 3, seed=seed)
+            assert is_chordal(g)
+            assert tree_width(g) == 3
+
+    def test_random_k_tree_validation(self):
+        with pytest.raises(ValueError):
+            random_k_tree(3, 0, seed=1)
+        with pytest.raises(ValueError):
+            random_k_tree(2, 3, seed=1)
+
+    def test_random_chordal_graph_is_chordal(self):
+        for seed in range(8):
+            g = random_chordal_graph(12, 0.4, seed=seed)
+            assert is_chordal(g)
+
+    def test_random_chordal_density_validation(self):
+        with pytest.raises(ValueError):
+            random_chordal_graph(5, 0.0, seed=1)
+
+    def test_random_connected_gnp(self):
+        for seed in range(4):
+            g = random_connected_gnp(15, 0.15, seed=seed)
+            assert is_connected(g)
+            assert g.num_nodes == 15

@@ -1,0 +1,124 @@
+"""Unit tests for generalized hypertree decompositions (repro.hypergraph.ghd)."""
+
+from __future__ import annotations
+
+import itertools
+
+import pytest
+
+from repro.decomposition.tree_decomposition import TreeDecomposition
+from repro.hypergraph.ghd import (
+    GeneralizedHypertreeDecomposition,
+    enumerate_ghds,
+    ghd_from_tree_decomposition,
+    ghw_upper_bound,
+)
+from repro.hypergraph.hypergraph import Hypergraph
+from repro.workloads.tpch import tpch_hypergraph, tpch_query
+
+
+def triangle() -> Hypergraph:
+    return Hypergraph({"R": ("x", "y"), "S": ("y", "z"), "T": ("z", "x")})
+
+
+def cycle4() -> Hypergraph:
+    return Hypergraph(
+        {"R": ("a", "b"), "S": ("b", "c"), "T": ("c", "d"), "U": ("d", "a")}
+    )
+
+
+class TestGhdConstruction:
+    def test_triangle_single_bag(self):
+        ghd = ghd_from_tree_decomposition(
+            triangle(), TreeDecomposition.build([{"x", "y", "z"}])
+        )
+        ghd.validate(triangle())
+        assert ghd.width == 2
+
+    def test_greedy_vs_exact(self):
+        h = triangle()
+        d = TreeDecomposition.build([{"x", "y", "z"}])
+        exact = ghd_from_tree_decomposition(h, d, exact_covers=True)
+        greedy = ghd_from_tree_decomposition(h, d, exact_covers=False)
+        assert exact.width <= greedy.width
+
+    def test_validate_rejects_bad_cover(self):
+        h = triangle()
+        d = TreeDecomposition.build([{"x", "y", "z"}])
+        bad = GeneralizedHypertreeDecomposition(d, (("R",),))
+        with pytest.raises(ValueError, match="misses"):
+            bad.validate(h)
+
+    def test_validate_rejects_cover_count_mismatch(self):
+        h = cycle4()
+        d = TreeDecomposition.build(
+            [{"a", "b", "c"}, {"a", "c", "d"}], [(0, 1)]
+        )
+        with pytest.raises(ValueError, match="one cover per bag"):
+            GeneralizedHypertreeDecomposition(d, (("R",),)).validate(h)
+
+    def test_repr(self):
+        ghd = ghd_from_tree_decomposition(
+            triangle(), TreeDecomposition.build([{"x", "y", "z"}])
+        )
+        assert "width=2" in repr(ghd)
+
+
+class TestEnumeration:
+    def test_cycle4_ghds(self):
+        produced = list(enumerate_ghds(cycle4()))
+        # Two minimal triangulations of the 4-cycle primal graph.
+        assert len(produced) == 2
+        for ghd in produced:
+            ghd.validate(cycle4())
+            assert ghd.width == 2
+
+    def test_every_ghd_valid_on_tpch(self):
+        h = tpch_hypergraph("Q5")
+        for ghd in itertools.islice(enumerate_ghds(h), 5):
+            ghd.validate(h)
+
+    def test_full_enumeration_mode(self):
+        produced = list(enumerate_ghds(cycle4(), per_class=False))
+        assert len(produced) >= 2
+
+
+class TestGhwUpperBound:
+    def test_acyclic_reaches_one(self):
+        h = Hypergraph({"R": ("a", "b"), "S": ("b", "c"), "T": ("c", "d")})
+        assert ghw_upper_bound(h) == 1
+
+    def test_triangle_is_two(self):
+        assert ghw_upper_bound(triangle()) == 2
+
+    def test_cycle4_is_two(self):
+        assert ghw_upper_bound(cycle4()) == 2
+
+    def test_empty(self):
+        assert ghw_upper_bound(Hypergraph({})) == 0
+
+    def test_wide_acyclic_star(self):
+        h = Hypergraph(
+            {"F": ("k1", "k2", "k3", "k4"), "D1": ("k1", "a"), "D2": ("k2", "b")}
+        )
+        assert ghw_upper_bound(h) == 1
+
+    def test_tpch_queries_have_small_ghw(self):
+        for name in ("Q3", "Q5", "Q7", "Q9"):
+            h = tpch_hypergraph(name)
+            bound = ghw_upper_bound(h, time_budget=5.0, max_decompositions=30)
+            assert 1 <= bound <= 3, name
+
+    def test_budget_zero_still_returns_a_bound(self):
+        bound = ghw_upper_bound(triangle(), time_budget=0.0)
+        assert bound >= 1
+
+
+class TestTpchHypergraphs:
+    def test_primal_matches_query_graph(self):
+        for name in ("Q1", "Q5", "Q7"):
+            assert tpch_hypergraph(name).primal_graph() == tpch_query(name)
+
+    def test_unknown_query(self):
+        with pytest.raises(KeyError):
+            tpch_hypergraph("Q99")

@@ -1,0 +1,252 @@
+"""Unit tests for the graph substrate (repro.graph.graph)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import (
+    EdgeNotFoundError,
+    NodeNotFoundError,
+    SelfLoopError,
+)
+from repro.graph.graph import Graph, edge_key
+
+
+class TestConstruction:
+    def test_empty(self):
+        g = Graph()
+        assert g.num_nodes == 0
+        assert g.num_edges == 0
+        assert g.nodes() == []
+        assert g.edges() == []
+
+    def test_nodes_only(self):
+        g = Graph(nodes=[3, 1, 2])
+        assert g.nodes() == [1, 2, 3]
+        assert g.num_edges == 0
+
+    def test_edges_add_endpoints(self):
+        g = Graph(edges=[(1, 2), (2, 3)])
+        assert g.nodes() == [1, 2, 3]
+        assert g.num_edges == 2
+
+    def test_duplicate_edges_collapse(self):
+        g = Graph(edges=[(1, 2), (2, 1), (1, 2)])
+        assert g.num_edges == 1
+
+    def test_self_loop_rejected(self):
+        with pytest.raises(SelfLoopError):
+            Graph(edges=[(1, 1)])
+
+    def test_string_nodes(self):
+        g = Graph(edges=[("a", "b")])
+        assert g.has_edge("b", "a")
+
+    def test_from_graph_copies(self):
+        g = Graph(edges=[(1, 2)])
+        h = Graph.from_graph(g)
+        h.add_edge(2, 3)
+        assert not g.has_node(3)
+
+
+class TestMutation:
+    def test_add_node_idempotent(self):
+        g = Graph()
+        g.add_node(1)
+        g.add_node(1)
+        assert g.num_nodes == 1
+
+    def test_remove_node_drops_incident_edges(self):
+        g = Graph(edges=[(1, 2), (2, 3), (1, 3)])
+        g.remove_node(2)
+        assert g.num_edges == 1
+        assert g.has_edge(1, 3)
+        assert not g.has_node(2)
+
+    def test_remove_missing_node_raises(self):
+        with pytest.raises(NodeNotFoundError):
+            Graph().remove_node(42)
+
+    def test_remove_edge(self):
+        g = Graph(edges=[(1, 2)])
+        g.remove_edge(2, 1)
+        assert g.num_edges == 0
+        assert g.num_nodes == 2
+
+    def test_remove_missing_edge_raises(self):
+        g = Graph(nodes=[1, 2])
+        with pytest.raises(EdgeNotFoundError):
+            g.remove_edge(1, 2)
+
+    def test_remove_nodes_bulk(self):
+        g = Graph(edges=[(1, 2), (2, 3), (3, 4)])
+        g.remove_nodes([2, 3])
+        assert g.nodes() == [1, 4]
+        assert g.num_edges == 0
+
+    def test_saturate_returns_added_edges(self):
+        g = Graph(edges=[(1, 2)])
+        g.add_node(3)
+        added = g.saturate([1, 2, 3])
+        assert added == [(1, 3), (2, 3)]
+        assert g.is_clique([1, 2, 3])
+
+    def test_saturate_on_clique_adds_nothing(self):
+        g = Graph(edges=[(1, 2), (2, 3), (1, 3)])
+        assert g.saturate([1, 2, 3]) == []
+
+    def test_saturate_missing_node_raises(self):
+        g = Graph(nodes=[1])
+        with pytest.raises(NodeNotFoundError):
+            g.saturate([1, 99])
+
+
+class TestQueries:
+    def test_degree_and_neighbors(self):
+        g = Graph(edges=[(1, 2), (1, 3)])
+        assert g.degree(1) == 2
+        assert g.neighbors(1) == {2, 3}
+        assert g.adjacency(3) == frozenset({1})
+
+    def test_neighbors_returns_copy(self):
+        g = Graph(edges=[(1, 2)])
+        neigh = g.neighbors(1)
+        neigh.add(99)
+        assert g.neighbors(1) == {2}
+
+    def test_degree_missing_raises(self):
+        with pytest.raises(NodeNotFoundError):
+            Graph().degree(0)
+
+    def test_neighborhood_of_set(self):
+        g = Graph(edges=[(1, 2), (2, 3), (3, 4)])
+        assert g.neighborhood_of_set({2, 3}) == {1, 4}
+
+    def test_closed_neighborhood(self):
+        g = Graph(edges=[(1, 2)])
+        assert g.closed_neighborhood(1) == {1, 2}
+
+    def test_is_clique(self):
+        g = Graph(edges=[(1, 2), (2, 3), (1, 3), (3, 4)])
+        assert g.is_clique([1, 2, 3])
+        assert not g.is_clique([1, 2, 4])
+        assert g.is_clique([1])
+        assert g.is_clique([])
+
+    def test_is_independent_set(self):
+        g = Graph(edges=[(1, 2), (3, 4)])
+        assert g.is_independent_set([1, 3])
+        assert not g.is_independent_set([1, 2])
+
+    def test_missing_edges(self):
+        g = Graph(edges=[(1, 2)])
+        g.add_nodes([3])
+        assert g.missing_edges() == [(1, 3), (2, 3)]
+        assert g.missing_edges([1, 2]) == []
+
+    def test_contains(self):
+        g = Graph(nodes=[1])
+        assert 1 in g
+        assert 2 not in g
+
+    def test_edges_sorted_canonical(self):
+        g = Graph(edges=[(3, 1), (2, 1)])
+        assert g.edges() == [(1, 2), (1, 3)]
+
+    def test_edge_key(self):
+        assert edge_key(2, 1) == (1, 2)
+        assert edge_key("b", "a") == ("a", "b")
+
+
+class TestDerivedGraphs:
+    def test_subgraph(self):
+        g = Graph(edges=[(1, 2), (2, 3), (1, 3), (3, 4)])
+        sub = g.subgraph([1, 2, 3])
+        assert sub.num_nodes == 3
+        assert sub.num_edges == 3
+        assert not sub.has_node(4)
+
+    def test_subgraph_missing_node_raises(self):
+        with pytest.raises(NodeNotFoundError):
+            Graph(nodes=[1]).subgraph([1, 2])
+
+    def test_subgraph_is_independent_copy(self):
+        g = Graph(edges=[(1, 2)])
+        sub = g.subgraph([1, 2])
+        sub_adj = sub.neighbors(1)
+        assert sub_adj == {2}
+
+    def test_without_nodes(self):
+        g = Graph(edges=[(1, 2), (2, 3)])
+        rest = g.without_nodes([2])
+        assert rest.nodes() == [1, 3]
+        assert rest.num_edges == 0
+        # Original untouched.
+        assert g.num_edges == 2
+
+    def test_saturated(self):
+        g = Graph(nodes=[1, 2, 3, 4])
+        h = g.saturated([[1, 2, 3], [3, 4]])
+        assert h.is_clique([1, 2, 3])
+        assert h.has_edge(3, 4)
+        assert g.num_edges == 0
+
+    def test_complement(self):
+        g = Graph(edges=[(1, 2)])
+        g.add_node(3)
+        comp = g.complement()
+        assert not comp.has_edge(1, 2)
+        assert comp.has_edge(1, 3)
+        assert comp.has_edge(2, 3)
+
+    def test_complement_involution(self):
+        g = Graph(edges=[(1, 2), (3, 4), (1, 4)])
+        assert g.complement().complement() == g
+
+    def test_relabeled(self):
+        g = Graph(edges=[(1, 2)])
+        h = g.relabeled({1: "a", 2: "b"})
+        assert h.has_edge("a", "b")
+        assert g.has_edge(1, 2)
+
+    def test_relabeled_partial_mapping(self):
+        g = Graph(edges=[(1, 2)])
+        h = g.relabeled({1: 10})
+        assert h.has_edge(10, 2)
+
+    def test_relabeled_non_injective_raises(self):
+        g = Graph(nodes=[1, 2])
+        with pytest.raises(ValueError):
+            g.relabeled({1: "x", 2: "x"})
+
+
+class TestDunders:
+    def test_equality_by_structure(self):
+        g = Graph(edges=[(1, 2)])
+        h = Graph(edges=[(2, 1)])
+        assert g == h
+        h.add_node(3)
+        assert g != h
+
+    def test_equality_other_type(self):
+        assert Graph() != "not a graph"
+
+    def test_hash_consistent_with_eq(self):
+        g = Graph(edges=[(1, 2)])
+        h = Graph(edges=[(1, 2)])
+        assert hash(g) == hash(h)
+
+    def test_len_and_iter(self):
+        g = Graph(nodes=[2, 1])
+        assert len(g) == 2
+        assert list(g) == [1, 2]
+
+    def test_repr_and_summary(self):
+        g = Graph(edges=[(1, 2)])
+        assert "num_nodes=2" in repr(g)
+        assert "2 nodes" in g.summary()
+
+    def test_mixed_node_types_deterministic(self):
+        g = Graph(nodes=["b", 1, "a", 2])
+        assert g.nodes() == g.nodes()
+        assert len(g.nodes()) == 4

@@ -1,0 +1,164 @@
+"""Unit tests for the hypergraph substrate and covers (repro.hypergraph)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.hypergraph.covers import (
+    UncoverableBagError,
+    greedy_cover,
+    minimum_cover,
+)
+from repro.hypergraph.hypergraph import Hypergraph
+
+
+def triangle() -> Hypergraph:
+    return Hypergraph({"R": ("x", "y"), "S": ("y", "z"), "T": ("z", "x")})
+
+
+class TestHypergraphBasics:
+    def test_vertices_collected_from_scopes(self):
+        h = triangle()
+        assert h.vertices() == ["x", "y", "z"]
+        assert h.num_vertices == 3
+        assert h.num_edges == 3
+
+    def test_extra_isolated_vertices(self):
+        h = Hypergraph({"R": ("a",)}, vertices=["b"])
+        assert h.vertices() == ["a", "b"]
+
+    def test_edge_access(self):
+        h = triangle()
+        assert h.edge("R") == frozenset({"x", "y"})
+        with pytest.raises(KeyError):
+            h.edge("missing")
+
+    def test_edges_containing(self):
+        assert triangle().edges_containing("x") == ["R", "T"]
+
+    def test_rank(self):
+        assert triangle().rank() == 2
+        assert Hypergraph({}).rank() == 0
+        assert Hypergraph({"R": ("a", "b", "c")}).rank() == 3
+
+    def test_primal_graph(self):
+        primal = triangle().primal_graph()
+        assert primal.num_nodes == 3
+        assert primal.num_edges == 3
+
+    def test_primal_graph_saturates_wide_edges(self):
+        h = Hypergraph({"R": ("a", "b", "c")})
+        assert h.primal_graph().is_clique(["a", "b", "c"])
+
+    def test_dual_hypergraph(self):
+        dual = triangle().dual_hypergraph()
+        assert set(dual.vertex_set()) == {"R", "S", "T"}
+        assert dual.num_edges == 3
+
+    def test_restricted_to(self):
+        h = triangle().restricted_to({"x", "y"})
+        assert h.vertex_set() == frozenset({"x", "y"})
+        assert h.edge("R") == frozenset({"x", "y"})
+        assert h.edge("S") == frozenset({"y"})
+
+    def test_equality_and_hash(self):
+        assert triangle() == triangle()
+        assert hash(triangle()) == hash(triangle())
+        assert triangle() != Hypergraph({"R": ("x", "y")})
+
+    def test_repr(self):
+        assert "num_vertices=3" in repr(triangle())
+
+
+class TestAcyclicity:
+    def test_triangle_is_cyclic(self):
+        assert not triangle().is_alpha_acyclic()
+
+    def test_path_query_is_acyclic(self):
+        h = Hypergraph({"R": ("a", "b"), "S": ("b", "c"), "T": ("c", "d")})
+        assert h.is_alpha_acyclic()
+
+    def test_star_join_is_acyclic(self):
+        h = Hypergraph(
+            {"F": ("k1", "k2", "k3"), "D1": ("k1", "a"), "D2": ("k2", "b")}
+        )
+        assert h.is_alpha_acyclic()
+
+    def test_alpha_but_not_berge(self):
+        # The classic example: a big edge plus all its sub-pairs is
+        # alpha-acyclic despite the cycles in the primal graph.
+        h = Hypergraph(
+            {
+                "big": ("a", "b", "c"),
+                "ab": ("a", "b"),
+                "bc": ("b", "c"),
+                "ca": ("c", "a"),
+            }
+        )
+        assert h.is_alpha_acyclic()
+
+    def test_empty_hypergraph(self):
+        assert Hypergraph({}).is_alpha_acyclic()
+
+
+class TestCovers:
+    EDGES = {
+        "R": frozenset({"x", "y"}),
+        "S": frozenset({"y", "z"}),
+        "T": frozenset({"z", "x"}),
+        "W": frozenset({"x", "y", "z"}),
+    }
+
+    def test_greedy_prefers_large_edges(self):
+        assert greedy_cover({"x", "y", "z"}, self.EDGES) == ["W"]
+
+    def test_minimum_cover_exact(self):
+        edges = {k: v for k, v in self.EDGES.items() if k != "W"}
+        cover = minimum_cover({"x", "y", "z"}, edges)
+        assert len(cover) == 2
+
+    def test_empty_bag(self):
+        assert greedy_cover(set(), self.EDGES) == []
+        assert minimum_cover(set(), self.EDGES) == []
+
+    def test_uncoverable_bag(self):
+        with pytest.raises(UncoverableBagError) as excinfo:
+            greedy_cover({"x", "q"}, self.EDGES)
+        assert excinfo.value.missing == frozenset({"q"})
+        with pytest.raises(UncoverableBagError):
+            minimum_cover({"q"}, self.EDGES)
+
+    def test_minimum_never_worse_than_greedy(self):
+        import itertools
+        import random
+
+        rng = random.Random(5)
+        universe = list("abcdefg")
+        for __ in range(25):
+            edges = {
+                f"e{i}": frozenset(rng.sample(universe, rng.randint(1, 4)))
+                for i in range(rng.randint(2, 7))
+            }
+            covered = frozenset(v for scope in edges.values() for v in scope)
+            bag = frozenset(rng.sample(sorted(covered), min(4, len(covered))))
+            exact = minimum_cover(bag, edges)
+            greedy = greedy_cover(bag, edges)
+            assert len(exact) <= len(greedy)
+            # Both actually cover.
+            for cover in (exact, greedy):
+                union = frozenset(v for name in cover for v in edges[name])
+                assert bag <= union
+            # Exactness: no smaller subset covers.
+            for size in range(len(exact)):
+                for subset in itertools.combinations(sorted(edges), size):
+                    union = frozenset(
+                        v for name in subset for v in edges[name]
+                    )
+                    assert not bag <= union
+
+    def test_deterministic_tie_break(self):
+        edges = {
+            "b": frozenset({"x"}),
+            "a": frozenset({"x"}),
+        }
+        assert minimum_cover({"x"}, edges) == ["a"]

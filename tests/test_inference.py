@@ -1,0 +1,194 @@
+"""Unit/integration tests for junction-tree inference (repro.inference)."""
+
+from __future__ import annotations
+
+import itertools
+
+import numpy as np
+import pytest
+
+from repro.core.enumerate import enumerate_minimal_triangulations
+from repro.decomposition.tree_decomposition import TreeDecomposition
+from repro.errors import InvalidTreeDecompositionError
+from repro.graph.generators import cycle_graph, gnp_random_graph, grid_graph, path_graph
+from repro.inference.factor import Factor
+from repro.inference.junction_tree import calibrate, partition_function
+from repro.inference.model import MarkovNetwork
+
+
+class TestFactor:
+    def test_constant(self):
+        f = Factor.constant(3.0)
+        assert f.variables == ()
+        assert f.total() == 3.0
+
+    def test_duplicate_scope_rejected(self):
+        with pytest.raises(ValueError, match="duplicate"):
+            Factor(("a", "a"), np.ones((2, 2)))
+
+    def test_shape_mismatch_rejected(self):
+        with pytest.raises(ValueError, match="axes"):
+            Factor(("a",), np.ones((2, 2)))
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError, match="non-negative"):
+            Factor(("a",), [-1.0, 1.0])
+
+    def test_multiply_shared_variable(self):
+        domains = {"a": 2, "b": 2}
+        f = Factor(("a",), [1.0, 2.0])
+        g = Factor(("a", "b"), [[1.0, 10.0], [100.0, 1000.0]])
+        product = f.multiply(g, domains)
+        assert set(product.variables) == {"a", "b"}
+        aligned = product.align_to(("a", "b"), domains)
+        assert aligned[1][1] == 2000.0
+
+    def test_multiply_disjoint_scopes(self):
+        domains = {"a": 2, "b": 3}
+        f = Factor(("a",), [1.0, 2.0])
+        g = Factor(("b",), [1.0, 2.0, 3.0])
+        product = f.multiply(g, domains)
+        assert product.num_entries == 6
+        assert product.total() == pytest.approx(3.0 * 6.0)
+
+    def test_marginalize(self):
+        f = Factor(("a", "b"), [[1.0, 2.0], [3.0, 4.0]])
+        m = f.marginalize(["b"])
+        assert m.variables == ("a",)
+        assert list(m.table) == [3.0, 7.0]
+
+    def test_marginalize_unknown(self):
+        with pytest.raises(ValueError, match="unknown"):
+            Factor(("a",), [1.0, 1.0]).marginalize(["z"])
+
+    def test_project_onto(self):
+        f = Factor(("a", "b"), [[1.0, 2.0], [3.0, 4.0]])
+        p = f.project_onto(["b"])
+        assert p.variables == ("b",)
+        assert list(p.table) == [4.0, 6.0]
+
+    def test_normalize(self):
+        f = Factor(("a",), [1.0, 3.0])
+        assert list(f.normalize().table) == [0.25, 0.75]
+        with pytest.raises(ValueError):
+            Factor(("a",), [0.0, 0.0]).normalize()
+
+    def test_align_requires_superset(self):
+        f = Factor(("a", "b"), np.ones((2, 2)))
+        with pytest.raises(ValueError, match="misses"):
+            f.align_to(("a",), {"a": 2})
+
+
+class TestMarkovNetwork:
+    def test_validation(self):
+        with pytest.raises(ValueError, match="unknown variable"):
+            MarkovNetwork({"a": 2}, [Factor(("b",), [1.0, 1.0])])
+        with pytest.raises(ValueError, match="expected"):
+            MarkovNetwork({"a": 3}, [Factor(("a",), [1.0, 1.0])])
+        with pytest.raises(ValueError, match="positive"):
+            MarkovNetwork({"a": 0}, [])
+
+    def test_primal_graph_matches_generator(self):
+        g = grid_graph(2, 3)
+        model = MarkovNetwork.random(g, seed=1)
+        assert model.primal_graph() == g
+
+    def test_random_deterministic(self):
+        g = path_graph(3)
+        a = MarkovNetwork.random(g, seed=7)
+        b = MarkovNetwork.random(g, seed=7)
+        assert np.allclose(a.factors[0].table, b.factors[0].table)
+
+    def test_brute_force_small(self):
+        # Independent two-variable model: Z = (sum f_a)(sum f_b).
+        model = MarkovNetwork(
+            {"a": 2, "b": 2},
+            [Factor(("a",), [1.0, 2.0]), Factor(("b",), [3.0, 4.0])],
+        )
+        assert model.brute_force_partition_function() == pytest.approx(21.0)
+        assert model.brute_force_marginal("a") == pytest.approx([7.0, 14.0])
+
+
+class TestCalibration:
+    @pytest.mark.parametrize(
+        "graph_factory",
+        [
+            lambda: path_graph(5),
+            lambda: cycle_graph(5),
+            lambda: grid_graph(2, 3),
+            lambda: gnp_random_graph(7, 0.35, seed=9),
+        ],
+    )
+    def test_partition_function_matches_brute_force(self, graph_factory):
+        graph = graph_factory()
+        model = MarkovNetwork.random(graph, seed=3)
+        expected = model.brute_force_partition_function()
+        triangulation = next(iter(enumerate_minimal_triangulations(graph)))
+        result = calibrate(model, triangulation.tree_decomposition())
+        assert result.partition_function == pytest.approx(expected, rel=1e-9)
+
+    def test_z_invariant_across_decompositions(self):
+        graph = cycle_graph(6)
+        model = MarkovNetwork.random(graph, seed=5)
+        values = set()
+        for triangulation in itertools.islice(
+            enumerate_minimal_triangulations(graph), 6
+        ):
+            z = partition_function(model, triangulation.tree_decomposition())
+            values.add(round(z, 9))
+        assert len(values) == 1
+
+    def test_marginals_match_brute_force(self):
+        graph = grid_graph(2, 3)
+        model = MarkovNetwork.random(graph, seed=11)
+        triangulation = next(iter(enumerate_minimal_triangulations(graph)))
+        result = calibrate(model, triangulation.tree_decomposition())
+        for variable in graph.nodes():
+            expected = model.brute_force_marginal(variable)
+            assert result.marginal(variable) == pytest.approx(expected, rel=1e-9)
+
+    def test_normalized_marginals_sum_to_one(self):
+        graph = cycle_graph(4)
+        model = MarkovNetwork.random(graph, seed=13)
+        triangulation = next(iter(enumerate_minimal_triangulations(graph)))
+        result = calibrate(model, triangulation.tree_decomposition())
+        for variable in graph.nodes():
+            assert sum(result.normalized_marginal(variable)) == pytest.approx(1.0)
+
+    def test_unknown_variable_marginal(self):
+        graph = path_graph(3)
+        model = MarkovNetwork.random(graph, seed=1)
+        t = next(iter(enumerate_minimal_triangulations(graph)))
+        result = calibrate(model, t.tree_decomposition())
+        with pytest.raises(KeyError):
+            result.marginal("nope")
+
+    def test_invalid_decomposition_rejected(self):
+        graph = cycle_graph(4)
+        model = MarkovNetwork.random(graph, seed=2)
+        bad = TreeDecomposition.build([{0, 1}, {2, 3}], [(0, 1)])
+        with pytest.raises(InvalidTreeDecompositionError):
+            calibrate(model, bad)
+
+    def test_table_statistics(self):
+        graph = grid_graph(2, 4)
+        model = MarkovNetwork.random(graph, seed=17)
+        t = next(iter(enumerate_minimal_triangulations(graph)))
+        result = calibrate(model, t.tree_decomposition())
+        assert result.max_table_entries >= 2 ** (t.width + 1)
+        assert result.total_table_entries >= result.max_table_entries
+
+    def test_width_drives_table_size(self):
+        # A lower-width decomposition calibrates with smaller tables.
+        graph = grid_graph(3, 3)
+        model = MarkovNetwork.random(graph, seed=19)
+        sizes = {}
+        for triangulation in itertools.islice(
+            enumerate_minimal_triangulations(graph), 12
+        ):
+            result = calibrate(model, triangulation.tree_decomposition())
+            sizes.setdefault(triangulation.width, set()).add(
+                result.max_table_entries
+            )
+        for width, entries in sizes.items():
+            assert min(entries) >= 2 ** (width + 1)

@@ -1,0 +1,110 @@
+"""Cross-module integration scenarios (the examples, as assertions)."""
+
+from __future__ import annotations
+
+import itertools
+
+import pytest
+
+from repro.core.enumerate import enumerate_minimal_triangulations
+from repro.core.ranked import anytime_treewidth
+from repro.db import EvaluationStatistics, Relation, evaluate_naive, evaluate_with_ghd
+from repro.decomposition.metrics import log_table_volume
+from repro.decomposition.nice import max_weight_independent_set
+from repro.graph.generators import grid_graph
+from repro.hypergraph import Hypergraph, enumerate_ghds, ghw_upper_bound
+from repro.inference import BayesianNetwork, MarkovNetwork, calibrate
+from repro.workloads.pgm import object_detection_like
+from repro.workloads.tpch import tpch_hypergraph, tpch_query
+
+
+class TestInferencePipeline:
+    """Enumerate decompositions → pick by table volume → calibrate."""
+
+    def test_full_pipeline_grid_mrf(self):
+        graph = grid_graph(3, 3)
+        model = MarkovNetwork.random(graph, seed=23)
+        candidates = [
+            (
+                log_table_volume(t.tree_decomposition(), 2),
+                t.tree_decomposition(),
+            )
+            for t in itertools.islice(
+                enumerate_minimal_triangulations(graph), 20
+            )
+        ]
+        candidates.sort(key=lambda item: item[0])
+        best_result = calibrate(model, candidates[0][1])
+        worst_result = calibrate(model, candidates[-1][1])
+        assert best_result.partition_function == pytest.approx(
+            worst_result.partition_function, rel=1e-9
+        )
+        assert (
+            best_result.total_table_entries
+            <= worst_result.total_table_entries
+        )
+
+    def test_bayesian_network_through_moralisation(self):
+        bn = BayesianNetwork.random(10, 2, seed=31)
+        moral = bn.moral_graph()
+        best = min(
+            itertools.islice(enumerate_minimal_triangulations(moral), 10),
+            key=lambda t: t.width,
+        )
+        result = calibrate(bn.to_markov_network(), best.tree_decomposition())
+        assert result.partition_function == pytest.approx(1.0)
+
+
+class TestDatabasePipeline:
+    """Query hypergraph → GHD enumeration → Yannakakis evaluation."""
+
+    def test_tpch_q5_instance_evaluation(self):
+        hypergraph = tpch_hypergraph("Q5")
+        instance = {
+            name: Relation.random(
+                tuple(sorted(map(str, hypergraph.edge(name)))), 25, 5, seed=i
+            )
+            for i, name in enumerate(hypergraph.edge_names())
+        }
+        expected = evaluate_naive(hypergraph, instance)
+        seen = 0
+        for ghd in itertools.islice(enumerate_ghds(hypergraph), 3):
+            stats = EvaluationStatistics()
+            result = evaluate_with_ghd(hypergraph, instance, ghd, stats)
+            assert result == expected.project(result.attributes)
+            seen += 1
+        assert seen == 3
+
+    def test_ghw_bounded_by_primal_treewidth(self):
+        for name in ("Q5", "Q8"):
+            hypergraph = tpch_hypergraph(name)
+            width, __, __optimal = anytime_treewidth(
+                hypergraph.primal_graph(), max_results=30
+            )
+            ghw = ghw_upper_bound(hypergraph, max_decompositions=20)
+            # Every bag of size w+1 is coverable by ≤ w+1 hyperedges.
+            assert ghw <= width + 1
+
+
+class TestCombinatorialPipeline:
+    """Treewidth certificate → nice decomposition → DP application."""
+
+    def test_anytime_treewidth_feeds_mis_dp(self):
+        graph = object_detection_like(seed=2)
+        width, best, __ = anytime_treewidth(graph, max_results=3)
+        value, witness = max_weight_independent_set(
+            graph, decomposition=best.tree_decomposition()
+        )
+        assert graph.is_independent_set(witness)
+        assert value == len(witness) >= graph.num_nodes / (
+            1 + max(graph.degree(v) for v in graph.nodes())
+        )
+
+    def test_tpch_primal_treewidth_exact_tiny(self):
+        from repro.core.treewidth import treewidth_exact
+
+        for name in ("Q4", "Q6", "Q13"):
+            graph = tpch_query(name)
+            width, __, optimal = anytime_treewidth(graph)
+            assert optimal
+            assert width == treewidth_exact(graph)

@@ -1,0 +1,149 @@
+"""Unit tests for graph I/O (repro.graph.io)."""
+
+from __future__ import annotations
+
+import io
+
+import pytest
+
+from repro.errors import ParseError
+from repro.graph.generators import cycle_graph
+from repro.graph.io import (
+    parse_dimacs,
+    parse_edge_list,
+    parse_uai_model,
+    read_edge_list,
+    write_dimacs,
+    write_edge_list,
+)
+
+
+class TestEdgeList:
+    def test_round_trip(self, tmp_path):
+        g = cycle_graph(5)
+        g.add_node(99)
+        path = tmp_path / "g.edges"
+        write_edge_list(g, path)
+        assert read_edge_list(path) == g
+
+    def test_parse_with_comments_and_blanks(self):
+        g = parse_edge_list("# header\n1 2\n\n2 3  # inline\n7\n")
+        assert g.num_edges == 2
+        assert g.has_node(7)
+
+    def test_string_tokens(self):
+        g = parse_edge_list("a b\n")
+        assert g.has_edge("a", "b")
+
+    def test_integer_coercion(self):
+        g = parse_edge_list("1 2\n")
+        assert g.has_edge(1, 2)
+        assert not g.has_node("1")
+
+    def test_self_loop_rejected(self):
+        with pytest.raises(ParseError):
+            parse_edge_list("1 1\n")
+
+    def test_too_many_tokens(self):
+        with pytest.raises(ParseError) as excinfo:
+            parse_edge_list("1 2 3\n")
+        assert excinfo.value.line_number == 1
+
+    def test_write_to_stream(self):
+        buffer = io.StringIO()
+        write_edge_list(cycle_graph(3), buffer)
+        assert "0 1" in buffer.getvalue()
+
+
+class TestDimacs:
+    def test_round_trip(self, tmp_path):
+        g = cycle_graph(6)
+        path = tmp_path / "g.col"
+        write_dimacs(g, path)
+        loaded = parse_dimacs(path.read_text())
+        # DIMACS relabels to 1..n.
+        assert loaded.num_nodes == 6
+        assert loaded.num_edges == 6
+
+    def test_parse_basic(self):
+        g = parse_dimacs("c comment\np edge 3 2\ne 1 2\ne 2 3\n")
+        assert g.nodes() == [1, 2, 3]
+        assert g.num_edges == 2
+
+    def test_isolated_nodes_from_problem_line(self):
+        g = parse_dimacs("p edge 4 1\ne 1 2\n")
+        assert g.num_nodes == 4
+
+    def test_missing_problem_line(self):
+        with pytest.raises(ParseError):
+            parse_dimacs("e 1 2\n")
+
+    def test_duplicate_problem_line(self):
+        with pytest.raises(ParseError):
+            parse_dimacs("p edge 2 0\np edge 2 0\n")
+
+    def test_malformed_edge(self):
+        with pytest.raises(ParseError):
+            parse_dimacs("p edge 2 1\ne 1\n")
+
+    def test_non_integer_endpoint(self):
+        with pytest.raises(ParseError):
+            parse_dimacs("p edge 2 1\ne 1 x\n")
+
+    def test_self_loop(self):
+        with pytest.raises(ParseError):
+            parse_dimacs("p edge 2 1\ne 1 1\n")
+
+    def test_unknown_line_type(self):
+        with pytest.raises(ParseError):
+            parse_dimacs("p edge 1 0\nq nonsense\n")
+
+
+class TestUai:
+    MARKOV_DOC = """MARKOV
+3
+2 2 2
+2
+2 0 1
+3 0 1 2
+"""
+
+    def test_markov_primal_graph(self):
+        g = parse_uai_model(self.MARKOV_DOC)
+        assert g.num_nodes == 3
+        # Factor {0,1,2} saturates everything.
+        assert g.num_edges == 3
+
+    def test_bayes_accepted(self):
+        g = parse_uai_model("BAYES\n2\n2 2\n1\n2 0 1\n")
+        assert g.has_edge(0, 1)
+
+    def test_function_tables_ignored(self):
+        doc = self.MARKOV_DOC + "\n4\n0.1 0.2 0.3 0.4\n"
+        g = parse_uai_model(doc)
+        assert g.num_nodes == 3
+
+    def test_pairwise_factors_only(self):
+        g = parse_uai_model("MARKOV\n4\n2 2 2 2\n3\n2 0 1\n2 1 2\n2 2 3\n")
+        assert g.num_edges == 3
+        assert not g.has_edge(0, 3)
+
+    def test_empty_document(self):
+        with pytest.raises(ParseError):
+            parse_uai_model("")
+
+    def test_unknown_type(self):
+        with pytest.raises(ParseError):
+            parse_uai_model("FACTOR\n1\n2\n0\n")
+
+    def test_bad_variable_reference(self):
+        with pytest.raises(ParseError):
+            parse_uai_model("MARKOV\n2\n2 2\n1\n2 0 5\n")
+
+    def test_truncated_document(self):
+        with pytest.raises(ParseError):
+            parse_uai_model("MARKOV\n2\n2 2\n1\n3 0 1\n")
+
+    def test_non_positive_cardinality(self):
+        with pytest.raises(ParseError):
+            parse_uai_model("MARKOV\n1\n0\n0\n")

@@ -1,0 +1,81 @@
+"""Unit tests for LEX-M (repro.chordal.lexm)."""
+
+from __future__ import annotations
+
+from conftest import small_chordal_graphs, small_random_graphs
+from repro.chordal.lexm import lex_m
+from repro.chordal.peo import is_perfect_elimination_ordering
+from repro.chordal.sandwich import is_minimal_triangulation
+from repro.chordal.triangulate import get_triangulator
+from repro.graph.generators import cycle_graph, grid_graph, path_graph
+from repro.graph.graph import Graph
+
+
+def filled_with(graph: Graph, fill) -> Graph:
+    out = graph.copy()
+    out.add_edges(fill)
+    return out
+
+
+class TestLexM:
+    def test_chordal_input_gets_no_fill(self):
+        for g in small_chordal_graphs(20, seed=91):
+            fill, order = lex_m(g)
+            assert fill == []
+            assert sorted(order, key=repr) == sorted(g.nodes(), key=repr)
+
+    def test_produces_minimal_triangulation(self):
+        for g in small_random_graphs(30, max_nodes=9, seed=3401):
+            fill, __ = lex_m(g)
+            assert is_minimal_triangulation(g, filled_with(g, fill))
+
+    def test_order_is_peo_of_filled_graph(self):
+        for g in small_random_graphs(20, max_nodes=9, seed=3407):
+            fill, order = lex_m(g)
+            assert is_perfect_elimination_ordering(filled_with(g, fill), order)
+
+    def test_cycle_fill_size(self):
+        for n in (4, 5, 6, 8):
+            fill, __ = lex_m(cycle_graph(n))
+            assert len(fill) == n - 3
+
+    def test_grid(self):
+        g = grid_graph(4, 4)
+        fill, __ = lex_m(g)
+        assert is_minimal_triangulation(g, filled_with(g, fill))
+
+    def test_empty_and_trivial(self):
+        assert lex_m(Graph()) == ([], [])
+        fill, order = lex_m(Graph(nodes=[1]))
+        assert fill == [] and order == [1]
+
+    def test_path(self):
+        fill, __ = lex_m(path_graph(6))
+        assert fill == []
+
+
+class TestRegistryIntegration:
+    def test_registered(self):
+        t = get_triangulator("lex_m")
+        assert t.guarantees_minimal
+
+    def test_enumeration_count_unchanged(self):
+        from repro.core.enumerate import count_minimal_triangulations
+
+        assert count_minimal_triangulations(
+            cycle_graph(6), triangulator="lex_m"
+        ) == 14
+
+    def test_same_result_set_as_mcs_m(self):
+        from repro.core.enumerate import enumerate_minimal_triangulations
+
+        for g in small_random_graphs(10, max_nodes=7, seed=3413):
+            via_lexm = {
+                t.fill_edges
+                for t in enumerate_minimal_triangulations(g, triangulator="lex_m")
+            }
+            via_mcsm = {
+                t.fill_edges
+                for t in enumerate_minimal_triangulations(g, triangulator="mcs_m")
+            }
+            assert via_lexm == via_mcsm

@@ -1,0 +1,117 @@
+"""Unit tests for decomposition metrics (repro.decomposition.metrics)."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.decomposition.metrics import (
+    adhesion_sizes,
+    adhesion_skew,
+    bag_size_histogram,
+    caching_score,
+    fill,
+    log_table_volume,
+    max_adhesion,
+    summary,
+    width,
+)
+from repro.decomposition.tree_decomposition import TreeDecomposition
+from repro.graph.generators import cycle_graph, path_graph
+
+
+def chain() -> TreeDecomposition:
+    return TreeDecomposition.build(
+        [{0, 1, 2}, {1, 2, 3}, {3, 4}], [(0, 1), (1, 2)]
+    )
+
+
+class TestBasics:
+    def test_width(self):
+        assert width(chain()) == 2
+
+    def test_fill(self):
+        g = cycle_graph(5)
+        d = TreeDecomposition.build(
+            [{0, 1, 2}, {0, 2, 3}, {0, 3, 4}], [(0, 1), (1, 2)]
+        )
+        assert fill(d, g) == 2
+
+    def test_adhesion_sizes(self):
+        assert sorted(adhesion_sizes(chain())) == [1, 2]
+        assert max_adhesion(chain()) == 2
+
+    def test_single_bag(self):
+        single = TreeDecomposition.build([{0, 1}])
+        assert adhesion_sizes(single) == []
+        assert max_adhesion(single) == 0
+        assert adhesion_skew(single) == 1.0
+        assert caching_score(single) == 0.0
+
+    def test_adhesion_skew(self):
+        # Adhesions 2 and 1 -> max/mean = 2 / 1.5.
+        assert adhesion_skew(chain()) == pytest.approx(2 / 1.5)
+
+    def test_caching_score(self):
+        assert caching_score(chain()) == 2**2 + 2**1
+
+    def test_bag_size_histogram(self):
+        assert bag_size_histogram(chain()) == {3: 2, 2: 1}
+
+
+class TestTableVolume:
+    def test_uniform_binary(self):
+        # Bags of sizes 3, 3, 2 -> volume 8 + 8 + 4 = 20.
+        assert log_table_volume(chain(), 2) == pytest.approx(math.log2(20))
+
+    def test_per_variable_domains(self):
+        d = TreeDecomposition.build([{0, 1}])
+        volume = log_table_volume(d, {0: 3, 1: 4})
+        assert volume == pytest.approx(math.log2(12))
+
+    def test_empty_decomposition(self):
+        assert log_table_volume(TreeDecomposition.build([]), 2) == float("-inf")
+
+
+class TestSummary:
+    def test_summary_keys(self):
+        g = path_graph(5)
+        from repro.decomposition.clique_tree import clique_tree
+
+        report = summary(clique_tree(g), g)
+        for key in (
+            "width",
+            "num_bags",
+            "log_table_volume",
+            "max_adhesion",
+            "adhesion_skew",
+            "caching_score",
+            "fill",
+        ):
+            assert key in report
+        assert report["fill"] == 0.0
+        assert report["width"] == 1.0
+
+    def test_summary_without_graph(self):
+        report = summary(chain())
+        assert "fill" not in report
+
+    def test_metrics_usable_as_ranking_cost(self):
+        # Integration: rank enumerated triangulations by table volume.
+        from repro.core.ranked import enumerate_minimal_triangulations_prioritized
+        from repro.graph.generators import grid_graph
+
+        g = grid_graph(2, 4)
+        produced = list(
+            enumerate_minimal_triangulations_prioritized(
+                g,
+                cost=lambda t: log_table_volume(t.tree_decomposition(), 2),
+            )
+        )
+        assert produced
+        volumes = [
+            log_table_volume(t.tree_decomposition(), 2) for t in produced
+        ]
+        # The first result is never the worst one under this priority.
+        assert volumes[0] <= max(volumes)

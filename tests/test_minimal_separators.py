@@ -1,0 +1,144 @@
+"""Unit tests for minimal separator enumeration and crossing (S7–S8)."""
+
+from __future__ import annotations
+
+import itertools
+
+from conftest import small_random_graphs
+from repro.baselines.brute_force import brute_force_minimal_separators
+from repro.chordal.minimal_separators import (
+    all_minimal_separators,
+    are_crossing,
+    are_parallel,
+    count_minimal_separators,
+    is_minimal_separator,
+    is_pairwise_parallel,
+    minimal_separators,
+)
+from repro.graph.generators import (
+    complete_graph,
+    cycle_graph,
+    grid_graph,
+    path_graph,
+    star_graph,
+)
+from repro.graph.graph import Graph
+
+
+class TestEnumeration:
+    def test_complete_graph_has_none(self):
+        assert all_minimal_separators(complete_graph(5)) == set()
+
+    def test_path_separators_are_internal_nodes(self):
+        seps = all_minimal_separators(path_graph(5))
+        assert seps == {frozenset({1}), frozenset({2}), frozenset({3})}
+
+    def test_cycle_separators_are_nonadjacent_pairs(self):
+        # C_n has exactly n(n-3)/2 minimal separators: the
+        # non-adjacent pairs.
+        for n in (4, 5, 6, 7, 8):
+            g = cycle_graph(n)
+            seps = all_minimal_separators(g)
+            assert len(seps) == n * (n - 3) // 2
+            expected = {
+                frozenset({u, v})
+                for u, v in itertools.combinations(range(n), 2)
+                if not g.has_edge(u, v)
+            }
+            assert seps == expected
+
+    def test_star_center(self):
+        assert all_minimal_separators(star_graph(5)) == {frozenset({0})}
+
+    def test_empty_and_single(self):
+        assert all_minimal_separators(Graph()) == set()
+        assert all_minimal_separators(Graph(nodes=[1])) == set()
+
+    def test_disconnected_includes_empty_separator(self):
+        g = Graph(edges=[(0, 1), (1, 2)])
+        g.add_node(9)
+        seps = all_minimal_separators(g)
+        assert frozenset() in seps
+        assert frozenset({1}) in seps
+        assert len(seps) == 2
+
+    def test_no_duplicates(self):
+        for g in small_random_graphs(20, seed=101):
+            produced = list(minimal_separators(g))
+            assert len(produced) == len(set(produced))
+
+    def test_matches_brute_force(self):
+        for g in small_random_graphs(40, max_nodes=8, seed=103):
+            assert all_minimal_separators(g) == brute_force_minimal_separators(g)
+
+    def test_every_output_is_a_minimal_separator(self):
+        for g in small_random_graphs(20, seed=107):
+            for sep in minimal_separators(g):
+                assert is_minimal_separator(g, sep)
+
+    def test_count(self):
+        assert count_minimal_separators(cycle_graph(6)) == 9
+
+    def test_lazy_first_result(self):
+        # The generator must produce the first separator without
+        # draining the space (polynomial delay property, weak check).
+        g = grid_graph(5, 5)
+        iterator = minimal_separators(g)
+        first = next(iterator)
+        assert is_minimal_separator(g, first)
+
+
+class TestCrossing:
+    def test_cycle_pairs_cross_iff_interleaved(self):
+        g = cycle_graph(6)
+        # {0,3} and {1,4} interleave around the cycle -> crossing.
+        assert are_crossing(g, {0, 3}, {1, 4})
+        # {0,2} and {0,4} share node 0 and do not interleave.
+        assert are_parallel(g, {0, 2}, {0, 4})
+
+    def test_symmetric(self):
+        for g in small_random_graphs(15, max_nodes=7, seed=109):
+            seps = sorted(all_minimal_separators(g), key=sorted)
+            for s, t in itertools.combinations(seps, 2):
+                assert are_crossing(g, s, t) == are_crossing(g, t, s)
+
+    def test_self_parallel(self):
+        g = cycle_graph(5)
+        for sep in all_minimal_separators(g):
+            assert are_parallel(g, sep, sep)
+
+    def test_subset_is_parallel(self):
+        g = path_graph(5)
+        assert are_parallel(g, {1}, {1})
+        assert are_parallel(g, {2}, {1})
+
+    def test_crossing_matches_definition(self):
+        # S crosses T iff S separates some pair of T (definition 2.2).
+        from repro.graph.components import separates
+
+        for g in small_random_graphs(15, max_nodes=7, seed=113):
+            seps = sorted(all_minimal_separators(g), key=sorted)
+            for s, t in itertools.combinations(seps, 2):
+                by_definition = any(
+                    separates(g, s, u, v)
+                    for u, v in itertools.combinations(sorted(t - s), 2)
+                )
+                assert are_crossing(g, s, t) == by_definition
+
+    def test_pairwise_parallel_helper(self):
+        g = cycle_graph(6)
+        assert is_pairwise_parallel(g, [{0, 2}, {0, 3}])
+        assert not is_pairwise_parallel(g, [{0, 3}, {1, 4}])
+        assert is_pairwise_parallel(g, [])
+
+
+class TestIsMinimalSeparator:
+    def test_examples(self):
+        g = path_graph(4)
+        assert is_minimal_separator(g, {1})
+        assert not is_minimal_separator(g, {0})
+        assert not is_minimal_separator(g, {1, 2})
+
+    def test_empty_set_connected_vs_disconnected(self):
+        assert not is_minimal_separator(path_graph(3), set())
+        assert is_minimal_separator(Graph(nodes=[1, 2]), set())

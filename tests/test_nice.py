@@ -1,0 +1,121 @@
+"""Unit tests for nice tree decompositions and the MIS DP (repro.decomposition.nice)."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from conftest import small_random_graphs
+from repro.baselines.brute_force import brute_force_maximal_independent_sets
+from repro.core.enumerate import minimal_triangulation
+from repro.decomposition.nice import (
+    make_nice,
+    max_weight_independent_set,
+)
+from repro.decomposition.tree_decomposition import TreeDecomposition
+from repro.graph.generators import (
+    complete_graph,
+    cycle_graph,
+    grid_graph,
+    path_graph,
+    star_graph,
+)
+from repro.graph.graph import Graph
+
+
+class TestMakeNice:
+    def test_shape_and_width_preserved(self):
+        for g in small_random_graphs(25, max_nodes=9, seed=2301):
+            decomposition = minimal_triangulation(g).tree_decomposition()
+            nice = make_nice(decomposition, g)
+            nice.validate(g)
+            assert nice.width == decomposition.width
+
+    def test_single_bag(self):
+        g = complete_graph(3)
+        nice = make_nice(TreeDecomposition.build([{0, 1, 2}]), g)
+        nice.validate(g)
+        kinds = {node.kind for node in nice.nodes}
+        assert kinds <= {"leaf", "introduce", "forget"}
+
+    def test_join_nodes_appear_for_branching(self):
+        g = star_graph(3)
+        decomposition = TreeDecomposition.build(
+            [{0, 1}, {0, 2}, {0, 3}], [(0, 1), (0, 2)]
+        )
+        nice = make_nice(decomposition, g)
+        nice.validate(g)
+        assert any(node.kind == "join" for node in nice.nodes)
+
+    def test_root_is_empty_bag(self):
+        g = path_graph(4)
+        nice = make_nice(minimal_triangulation(g).tree_decomposition(), g)
+        assert nice.nodes[nice.root].bag == frozenset()
+
+    def test_empty_graph(self):
+        nice = make_nice(TreeDecomposition.build([]), Graph())
+        assert nice.width <= 0
+
+    def test_invalid_decomposition_rejected(self):
+        from repro.errors import InvalidTreeDecompositionError
+
+        g = cycle_graph(4)
+        with pytest.raises(InvalidTreeDecompositionError):
+            make_nice(TreeDecomposition.build([{0, 1}]), g)
+
+
+class TestMaxWeightIndependentSet:
+    def test_unweighted_matches_brute_force(self):
+        for g in small_random_graphs(25, max_nodes=9, seed=2307):
+            value, witness = max_weight_independent_set(g)
+            assert g.is_independent_set(witness)
+            expected = max(
+                len(s) for s in brute_force_maximal_independent_sets(g)
+            )
+            assert value == expected
+            assert len(witness) == expected
+
+    def test_weighted_matches_brute_force(self):
+        rng = random.Random(9)
+        for g in small_random_graphs(20, max_nodes=8, seed=2311):
+            weights = {v: float(rng.randint(1, 20)) for v in g.node_set()}
+            value, witness = max_weight_independent_set(g, weights)
+            assert g.is_independent_set(witness)
+            assert value == pytest.approx(sum(weights[v] for v in witness))
+            expected = max(
+                sum(weights[v] for v in s)
+                for s in brute_force_maximal_independent_sets(g)
+            )
+            assert value == pytest.approx(expected)
+
+    def test_known_graphs(self):
+        assert max_weight_independent_set(cycle_graph(6))[0] == 3
+        assert max_weight_independent_set(complete_graph(5))[0] == 1
+        assert max_weight_independent_set(star_graph(5))[0] == 5
+        assert max_weight_independent_set(grid_graph(3, 3))[0] == 5
+
+    def test_empty_graph(self):
+        assert max_weight_independent_set(Graph()) == (0.0, frozenset())
+
+    def test_explicit_decomposition(self):
+        g = cycle_graph(5)
+        decomposition = TreeDecomposition.build(
+            [{0, 1, 2}, {0, 2, 3}, {0, 3, 4}], [(0, 1), (1, 2)]
+        )
+        value, witness = max_weight_independent_set(
+            g, decomposition=decomposition
+        )
+        assert value == 2
+
+    def test_weights_must_cover_nodes(self):
+        g = path_graph(3)
+        with pytest.raises(ValueError, match="cover"):
+            max_weight_independent_set(g, weights={0: 1.0})
+
+    def test_heavy_single_vertex_dominates(self):
+        g = star_graph(4)
+        weights = {0: 100.0, 1: 1.0, 2: 1.0, 3: 1.0, 4: 1.0}
+        value, witness = max_weight_independent_set(g, weights)
+        assert witness == frozenset({0})
+        assert value == 100.0

@@ -1,0 +1,131 @@
+"""Unit tests for the PACE formats (.gr graphs, .td tree decompositions)."""
+
+from __future__ import annotations
+
+import io
+
+import pytest
+
+from repro.decomposition.clique_tree import clique_tree
+from repro.decomposition.io import parse_pace_td, read_pace_td, write_pace_td
+from repro.decomposition.tree_decomposition import TreeDecomposition
+from repro.errors import ParseError
+from repro.graph.generators import cycle_graph, grid_graph, path_graph
+from repro.graph.io import parse_pace_graph, write_pace_graph
+
+
+class TestPaceGraph:
+    def test_round_trip(self, tmp_path):
+        g = grid_graph(3, 3)
+        path = tmp_path / "g.gr"
+        write_pace_graph(g, path)
+        loaded = parse_pace_graph(path.read_text())
+        assert loaded.num_nodes == 9
+        assert loaded.num_edges == 12
+
+    def test_parse_basic(self):
+        g = parse_pace_graph("c comment\np tw 3 2\n1 2\n2 3\n")
+        assert g.nodes() == [1, 2, 3]
+        assert g.num_edges == 2
+
+    def test_isolated_nodes(self):
+        g = parse_pace_graph("p tw 5 1\n1 2\n")
+        assert g.num_nodes == 5
+
+    def test_missing_problem_line(self):
+        with pytest.raises(ParseError, match="problem line"):
+            parse_pace_graph("1 2\n")
+
+    def test_duplicate_problem_line(self):
+        with pytest.raises(ParseError):
+            parse_pace_graph("p tw 2 0\np tw 2 0\n")
+
+    def test_wrong_descriptor(self):
+        with pytest.raises(ParseError):
+            parse_pace_graph("p edge 2 1\n1 2\n")
+
+    def test_out_of_range_endpoint(self):
+        with pytest.raises(ParseError, match="out of range"):
+            parse_pace_graph("p tw 2 1\n1 5\n")
+
+    def test_self_loop(self):
+        with pytest.raises(ParseError):
+            parse_pace_graph("p tw 2 1\n1 1\n")
+
+    def test_write_to_stream(self):
+        buffer = io.StringIO()
+        write_pace_graph(cycle_graph(3), buffer)
+        assert buffer.getvalue().startswith("p tw 3 3")
+
+
+class TestPaceTd:
+    def test_round_trip(self, tmp_path):
+        g = path_graph(4)
+        decomposition = clique_tree(g)
+        path = tmp_path / "d.td"
+        mapping = write_pace_td(decomposition, g, path)
+        # Node i maps to i+1 (sorted ints).
+        assert mapping == {0: 1, 1: 2, 2: 3, 3: 4}
+        loaded = read_pace_td(path)
+        assert loaded.num_bags == decomposition.num_bags
+        assert loaded.width == decomposition.width
+        relabeled = g.relabeled(mapping)
+        loaded.validate(relabeled)
+
+    def test_round_trip_cycle_triangulation(self, tmp_path):
+        from repro.core.enumerate import enumerate_minimal_triangulations
+
+        g = cycle_graph(6)
+        t = next(iter(enumerate_minimal_triangulations(g)))
+        decomposition = t.tree_decomposition()
+        buffer = io.StringIO()
+        mapping = write_pace_td(decomposition, g, buffer)
+        loaded = parse_pace_td(buffer.getvalue())
+        assert loaded.width == decomposition.width
+        loaded.validate(g.relabeled(mapping))
+
+    def test_parse_basic(self):
+        d = parse_pace_td("c hi\ns td 2 2 3\nb 1 1 2\nb 2 2 3\n1 2\n")
+        assert d.num_bags == 2
+        assert d.width == 1
+        assert d.tree_edges == ((0, 1),)
+
+    def test_empty_bag_line(self):
+        d = parse_pace_td("s td 1 0 0\nb 1\n")
+        assert d.bags == (frozenset(),)
+
+    def test_missing_solution_line(self):
+        with pytest.raises(ParseError, match="solution line"):
+            parse_pace_td("b 1 1\n")
+
+    def test_duplicate_solution_line(self):
+        with pytest.raises(ParseError):
+            parse_pace_td("s td 1 1 1\ns td 1 1 1\nb 1 1\n")
+
+    def test_duplicate_bag(self):
+        with pytest.raises(ParseError, match="duplicate bag"):
+            parse_pace_td("s td 2 1 1\nb 1 1\nb 1 1\n")
+
+    def test_bag_ids_must_be_contiguous(self):
+        with pytest.raises(ParseError, match="expected bags"):
+            parse_pace_td("s td 2 1 1\nb 1 1\nb 3 1\n")
+
+    def test_malformed_edge(self):
+        with pytest.raises(ParseError):
+            parse_pace_td("s td 1 1 1\nb 1 1\n1 2 3\n")
+
+
+class TestPaceGraphFileRead:
+    def test_read_from_path(self, tmp_path):
+        from repro.graph.io import read_pace_graph
+
+        path = tmp_path / "g.gr"
+        path.write_text("p tw 3 2\n1 2\n2 3\n")
+        g = read_pace_graph(path)
+        assert g.num_edges == 2
+
+    def test_read_td_from_path(self, tmp_path):
+        path = tmp_path / "d.td"
+        path.write_text("s td 1 2 2\nb 1 1 2\n")
+        d = read_pace_td(path)
+        assert d.num_bags == 1

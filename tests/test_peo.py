@@ -1,0 +1,192 @@
+"""Unit tests for chordality recognition (repro.chordal.peo)."""
+
+from __future__ import annotations
+
+import pytest
+
+from conftest import small_chordal_graphs, small_random_graphs
+from repro.chordal.peo import (
+    elimination_fill_in,
+    is_chordal,
+    is_perfect_elimination_ordering,
+    lex_bfs,
+    maximum_cardinality_search,
+    monotone_adjacencies,
+    peo_or_none,
+    require_chordal,
+    width_of_peo,
+)
+from repro.errors import NotChordalError
+from repro.graph.generators import (
+    complete_graph,
+    cycle_graph,
+    grid_graph,
+    path_graph,
+    random_chordal_graph,
+)
+from repro.graph.graph import Graph
+
+
+class TestMCS:
+    def test_visits_every_node_once(self):
+        g = grid_graph(3, 3)
+        order = maximum_cardinality_search(g)
+        assert sorted(order) == g.nodes()
+
+    def test_first_node_respected(self):
+        g = path_graph(5)
+        assert maximum_cardinality_search(g, first=3)[0] == 3
+
+    def test_unknown_first_raises(self):
+        with pytest.raises(KeyError):
+            maximum_cardinality_search(path_graph(3), first=99)
+
+    def test_reverse_is_peo_on_chordal(self):
+        for g in small_chordal_graphs(20):
+            order = maximum_cardinality_search(g)
+            order.reverse()
+            assert is_perfect_elimination_ordering(g, order)
+
+    def test_deterministic(self):
+        g = grid_graph(4, 4)
+        assert maximum_cardinality_search(g) == maximum_cardinality_search(g)
+
+
+class TestLexBfs:
+    def test_visits_every_node_once(self):
+        g = grid_graph(3, 3)
+        order = lex_bfs(g)
+        assert sorted(order) == g.nodes()
+
+    def test_reverse_is_peo_on_chordal(self):
+        for g in small_chordal_graphs(20, seed=13):
+            order = lex_bfs(g)
+            order.reverse()
+            assert is_perfect_elimination_ordering(g, order)
+
+    def test_empty_graph(self):
+        assert lex_bfs(Graph()) == []
+
+
+class TestIsPeo:
+    def test_path_natural_order(self):
+        g = path_graph(4)
+        assert is_perfect_elimination_ordering(g, [0, 1, 2, 3])
+
+    def test_cycle_has_no_peo(self):
+        import itertools
+
+        g = cycle_graph(4)
+        for order in itertools.permutations(g.nodes()):
+            assert not is_perfect_elimination_ordering(g, list(order))
+
+    def test_non_permutation_raises(self):
+        with pytest.raises(ValueError):
+            is_perfect_elimination_ordering(path_graph(3), [0, 1])
+
+    def test_matches_bruteforce_definition(self):
+        # Cross-check the RTL parent test against the quadratic
+        # definition on random graphs and random orders.
+        import random
+
+        rng = random.Random(5)
+        for g in small_random_graphs(25, max_nodes=7):
+            order = g.nodes()
+            rng.shuffle(order)
+            madj = monotone_adjacencies(g, order)
+            naive = all(
+                g.is_clique(madj[node]) for node in order
+            )
+            assert is_perfect_elimination_ordering(g, order) == naive
+
+
+class TestIsChordal:
+    def test_known_chordal(self):
+        assert is_chordal(complete_graph(5))
+        assert is_chordal(path_graph(6))
+        assert is_chordal(Graph())
+        assert is_chordal(Graph(nodes=[1]))
+
+    def test_known_non_chordal(self):
+        assert not is_chordal(cycle_graph(4))
+        assert not is_chordal(cycle_graph(7))
+        assert not is_chordal(grid_graph(3, 3))
+
+    def test_triangle_is_chordal(self):
+        assert is_chordal(cycle_graph(3))
+
+    def test_matches_networkx(self):
+        import networkx as nx
+
+        for g in small_random_graphs(40, max_nodes=9, seed=31):
+            nxg = nx.Graph(g.edges())
+            nxg.add_nodes_from(g.nodes())
+            assert is_chordal(g) == nx.is_chordal(nxg)
+
+    def test_disconnected_chordal(self):
+        g = Graph(edges=[(0, 1), (2, 3), (3, 4), (2, 4)])
+        assert is_chordal(g)
+
+    def test_require_chordal_raises(self):
+        with pytest.raises(NotChordalError):
+            require_chordal(cycle_graph(5))
+
+    def test_peo_or_none(self):
+        assert peo_or_none(cycle_graph(4)) is None
+        assert peo_or_none(path_graph(3)) is not None
+
+
+class TestEliminationFill:
+    def test_no_fill_along_peo(self):
+        for g in small_chordal_graphs(15, seed=3):
+            peo = require_chordal(g)
+            assert elimination_fill_in(g, peo) == []
+
+    def test_fill_makes_chordal(self):
+        import random
+
+        rng = random.Random(17)
+        for g in small_random_graphs(25, max_nodes=8, seed=23):
+            order = g.nodes()
+            rng.shuffle(order)
+            fill = elimination_fill_in(g, order)
+            filled = g.copy()
+            filled.add_edges(fill)
+            assert is_chordal(filled)
+            # The order is a PEO of the filled graph.
+            assert is_perfect_elimination_ordering(filled, order)
+
+    def test_cycle_natural_order(self):
+        g = cycle_graph(4)
+        fill = elimination_fill_in(g, [0, 1, 2, 3])
+        assert fill == [(1, 3)]
+
+    def test_bad_order_raises(self):
+        with pytest.raises(ValueError):
+            elimination_fill_in(path_graph(3), [0, 1])
+
+    def test_fill_edges_are_new(self):
+        g = cycle_graph(6)
+        fill = elimination_fill_in(g, g.nodes())
+        for u, v in fill:
+            assert not g.has_edge(u, v)
+
+
+class TestWidthOfPeo:
+    def test_path_width_one(self):
+        g = path_graph(5)
+        assert width_of_peo(g, require_chordal(g)) == 1
+
+    def test_complete_graph(self):
+        g = complete_graph(6)
+        assert width_of_peo(g, require_chordal(g)) == 5
+
+    def test_empty(self):
+        assert width_of_peo(Graph(), []) == -1
+
+    def test_matches_clique_forest_width(self):
+        from repro.chordal.cliques import tree_width
+
+        for g in small_chordal_graphs(15, seed=29):
+            peo = require_chordal(g)
+            assert width_of_peo(g, peo) == tree_width(g)

@@ -1,0 +1,128 @@
+"""Integration tests for proper tree decomposition enumeration (S22)."""
+
+from __future__ import annotations
+
+from conftest import small_random_graphs
+from repro.core.enumerate import enumerate_minimal_triangulations
+from repro.decomposition.clique_tree import clique_graph, clique_tree
+from repro.decomposition.proper import (
+    enumerate_proper_tree_decompositions,
+    tree_decompositions_of_triangulation,
+)
+from repro.graph.generators import (
+    complete_graph,
+    cycle_graph,
+    path_graph,
+    star_graph,
+)
+from repro.graph.graph import Graph
+
+
+class TestCliqueTree:
+    def test_clique_tree_is_valid_decomposition(self):
+        for g in small_random_graphs(10, max_nodes=8, seed=801):
+            for t in enumerate_minimal_triangulations(g):
+                decomposition = clique_tree(t.graph)
+                decomposition.validate(t.graph)
+                decomposition.validate(g)
+
+    def test_disconnected_chordal_graph_linked(self):
+        g = Graph(edges=[(0, 1), (5, 6), (6, 7), (5, 7)])
+        decomposition = clique_tree(g)
+        assert decomposition.is_tree()
+        decomposition.validate(g)
+
+    def test_empty_graph(self):
+        decomposition = clique_tree(Graph())
+        assert decomposition.num_bags == 1
+
+    def test_clique_graph_weights(self):
+        g = path_graph(4)
+        cliques, edges = clique_graph(g)
+        assert len(cliques) == 3
+        assert all(w == 1 for *_ , w in edges)
+
+
+class TestPerClassEnumeration:
+    def test_one_representative_per_triangulation(self):
+        g = cycle_graph(6)
+        classes = list(
+            enumerate_proper_tree_decompositions(g, per_class=True)
+        )
+        assert len(classes) == 14
+        bag_sets = {d.bag_set() for d in classes}
+        assert len(bag_sets) == 14
+
+    def test_every_representative_proper(self):
+        for g in small_random_graphs(8, max_nodes=7, seed=809):
+            for d in enumerate_proper_tree_decompositions(g, per_class=True):
+                assert d.is_proper(g)
+
+
+class TestFullEnumeration:
+    def test_star_class_has_many_trees(self):
+        # The star K_{1,n} is chordal with n bags {0, leaf}; every bag
+        # pair overlaps in {0}, so any spanning tree over the n bags is
+        # a clique tree: n^{n-2} trees by Cayley.
+        g = star_graph(4)
+        decompositions = list(enumerate_proper_tree_decompositions(g))
+        assert len(decompositions) == 16  # 4^{4-2}
+        for d in decompositions:
+            assert d.is_proper(g)
+
+    def test_all_results_distinct(self):
+        g = cycle_graph(5)
+        produced = list(enumerate_proper_tree_decompositions(g))
+        assert len(produced) == len(set(produced))
+
+    def test_all_results_proper_and_valid(self):
+        for g in small_random_graphs(8, max_nodes=6, seed=811):
+            for d in enumerate_proper_tree_decompositions(g):
+                d.validate(g)
+                assert d.is_proper(g)
+
+    def test_path_single_decomposition(self):
+        g = path_graph(4)
+        produced = list(enumerate_proper_tree_decompositions(g))
+        assert len(produced) == 1
+        assert produced[0].bag_set() == {
+            frozenset({0, 1}),
+            frozenset({1, 2}),
+            frozenset({2, 3}),
+        }
+
+    def test_complete_graph(self):
+        g = complete_graph(4)
+        produced = list(enumerate_proper_tree_decompositions(g))
+        assert len(produced) == 1
+        assert produced[0].num_bags == 1
+
+    def test_classes_partition_by_bag_set(self):
+        # Within per_class=False output, grouping by bag set must give
+        # exactly the number of minimal triangulations.
+        g = cycle_graph(5)
+        produced = list(enumerate_proper_tree_decompositions(g))
+        classes = {d.bag_set() for d in produced}
+        assert len(classes) == 5
+
+
+class TestTriangulationClassEnumeration:
+    def test_accepts_triangulation_and_graph(self):
+        g = cycle_graph(4)
+        t = next(iter(enumerate_minimal_triangulations(g)))
+        from_triangulation = set(tree_decompositions_of_triangulation(t))
+        from_graph = set(tree_decompositions_of_triangulation(t.graph))
+        assert from_triangulation == from_graph
+
+    def test_bags_always_max_cliques(self):
+        from repro.chordal.cliques import maximal_cliques
+
+        g = cycle_graph(6)
+        for t in enumerate_minimal_triangulations(g):
+            expected = frozenset(maximal_cliques(t.graph))
+            for d in tree_decompositions_of_triangulation(t):
+                assert d.bag_set() == expected
+
+    def test_empty_graph_class(self):
+        produced = list(tree_decompositions_of_triangulation(Graph()))
+        assert len(produced) == 1

@@ -1,0 +1,132 @@
+"""Property-based tests (hypothesis) for chordal-graph machinery."""
+
+from __future__ import annotations
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.chordal.chordal_separators import minimal_separators_of_chordal
+from repro.chordal.cliques import maximal_cliques, mcs_clique_forest
+from repro.chordal.minimal_separators import (
+    all_minimal_separators,
+    are_crossing,
+    is_minimal_separator,
+)
+from repro.chordal.peo import (
+    elimination_fill_in,
+    is_chordal,
+    is_perfect_elimination_ordering,
+    maximum_cardinality_search,
+)
+from repro.chordal.sandwich import (
+    is_minimal_triangulation,
+    minimal_triangulation_sandwich,
+)
+from repro.chordal.triangulate import lb_triang, mcs_m
+from repro.graph.generators import random_chordal_graph
+from repro.graph.graph import Graph
+
+
+@st.composite
+def graphs(draw, max_nodes: int = 9):
+    n = draw(st.integers(min_value=1, max_value=max_nodes))
+    g = Graph(nodes=range(n))
+    if n >= 2:
+        pairs = [(u, v) for u in range(n) for v in range(u + 1, n)]
+        g.add_edges(
+            draw(st.lists(st.sampled_from(pairs), unique=True, max_size=len(pairs)))
+        )
+    return g
+
+
+@st.composite
+def chordal_graphs(draw, max_nodes: int = 12):
+    n = draw(st.integers(min_value=1, max_value=max_nodes))
+    density = draw(st.sampled_from([0.2, 0.5, 0.8, 1.0]))
+    seed = draw(st.integers(min_value=0, max_value=10_000))
+    return random_chordal_graph(n, density, seed)
+
+
+@given(chordal_graphs())
+def test_mcs_reverse_is_peo_on_chordal(g):
+    order = maximum_cardinality_search(g)
+    order.reverse()
+    assert is_perfect_elimination_ordering(g, order)
+
+
+@given(chordal_graphs())
+def test_clique_forest_reconstructs_graph(g):
+    # Union of clique edge sets = graph edge set.
+    forest = mcs_clique_forest(g)
+    edges = set()
+    for clique in forest.cliques:
+        members = sorted(clique)
+        for i, u in enumerate(members):
+            for v in members[i + 1 :]:
+                edges.add(frozenset({u, v}))
+    assert edges == set(g.edge_set())
+
+
+@given(chordal_graphs())
+def test_cliques_are_maximal_cliques(g):
+    for clique in maximal_cliques(g):
+        assert g.is_clique(clique)
+        for node in g.nodes():
+            if node not in clique:
+                assert not g.is_clique(set(clique) | {node})
+
+
+@given(chordal_graphs())
+def test_chordal_separator_extraction_matches_enumerator(g):
+    assert minimal_separators_of_chordal(g) == all_minimal_separators(g)
+
+
+@given(chordal_graphs())
+def test_chordal_separators_are_parallel_cliques(g):
+    # Dirac: minimal separators of a chordal graph are cliques, and by
+    # Parra-Scheffler they are pairwise parallel.
+    seps = sorted(minimal_separators_of_chordal(g), key=sorted)
+    for sep in seps:
+        if sep:
+            assert g.is_clique(sep)
+    for i, s in enumerate(seps):
+        for t in seps[i + 1 :]:
+            assert not are_crossing(g, s, t)
+
+
+@given(graphs())
+@settings(max_examples=60)
+def test_mcs_m_fill_is_minimal_triangulation(g):
+    fill, order = mcs_m(g)
+    filled = g.copy()
+    filled.add_edges(fill)
+    assert is_minimal_triangulation(g, filled)
+    assert is_perfect_elimination_ordering(filled, order)
+
+
+@given(graphs())
+@settings(max_examples=40)
+def test_lb_triang_fill_is_minimal_triangulation(g):
+    filled = g.copy()
+    filled.add_edges(lb_triang(g))
+    assert is_minimal_triangulation(g, filled)
+
+
+@given(graphs(), st.permutations(list(range(9))))
+@settings(max_examples=40)
+def test_elimination_game_triangulates_any_order(g, permutation):
+    order = [v for v in permutation if g.has_node(v)]
+    fill = elimination_fill_in(g, order)
+    filled = g.copy()
+    filled.add_edges(fill)
+    assert is_chordal(filled)
+    minimal, kept = minimal_triangulation_sandwich(g, fill)
+    assert is_minimal_triangulation(g, minimal)
+    assert set(kept) <= set(fill)
+
+
+@given(graphs(max_nodes=8))
+@settings(max_examples=40)
+def test_enumerated_separators_are_minimal(g):
+    for sep in all_minimal_separators(g):
+        assert is_minimal_separator(g, sep)

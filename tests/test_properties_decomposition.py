@@ -1,0 +1,97 @@
+"""Property-based tests (hypothesis) for tree decompositions."""
+
+from __future__ import annotations
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.chordal.cliques import maximal_cliques
+from repro.decomposition.clique_tree import clique_tree
+from repro.decomposition.proper import enumerate_proper_tree_decompositions
+from repro.decomposition.spanning_trees import (
+    enumerate_maximum_spanning_trees,
+    maximum_spanning_weight,
+)
+from repro.graph.generators import random_chordal_graph
+from repro.graph.graph import Graph
+
+
+@st.composite
+def graphs(draw, max_nodes: int = 6):
+    n = draw(st.integers(min_value=1, max_value=max_nodes))
+    g = Graph(nodes=range(n))
+    if n >= 2:
+        pairs = [(u, v) for u in range(n) for v in range(u + 1, n)]
+        g.add_edges(
+            draw(st.lists(st.sampled_from(pairs), unique=True, max_size=len(pairs)))
+        )
+    return g
+
+
+@st.composite
+def chordal_graphs(draw, max_nodes: int = 10):
+    n = draw(st.integers(min_value=1, max_value=max_nodes))
+    density = draw(st.sampled_from([0.3, 0.6, 1.0]))
+    seed = draw(st.integers(min_value=0, max_value=5_000))
+    return random_chordal_graph(n, density, seed)
+
+
+@st.composite
+def weighted_multigraphs(draw):
+    n = draw(st.integers(min_value=1, max_value=5))
+    num_edges = draw(st.integers(min_value=0, max_value=8))
+    edges = []
+    for __ in range(num_edges):
+        u = draw(st.integers(min_value=0, max_value=n - 1))
+        v = draw(st.integers(min_value=0, max_value=n - 1))
+        if u == v:
+            continue
+        w = draw(st.integers(min_value=1, max_value=3))
+        edges.append((u, v, w))
+    return n, edges
+
+
+@given(chordal_graphs())
+@settings(max_examples=60)
+def test_clique_tree_is_valid_decomposition(g):
+    decomposition = clique_tree(g)
+    decomposition.validate(g)
+    assert decomposition.bag_set() == frozenset(maximal_cliques(g))
+
+
+@given(chordal_graphs())
+@settings(max_examples=40)
+def test_clique_tree_of_chordal_graph_is_proper(g):
+    assert clique_tree(g).is_proper(g)
+
+
+@given(graphs())
+@settings(max_examples=20, deadline=None)
+def test_proper_enumeration_yields_valid_proper_decompositions(g):
+    seen = set()
+    for d in enumerate_proper_tree_decompositions(g):
+        assert d not in seen
+        seen.add(d)
+        d.validate(g)
+        assert d.is_proper(g)
+
+
+@given(graphs(max_nodes=5))
+@settings(max_examples=20, deadline=None)
+def test_per_class_count_equals_triangulation_count(g):
+    from repro.core.enumerate import count_minimal_triangulations
+
+    classes = list(enumerate_proper_tree_decompositions(g, per_class=True))
+    assert len(classes) == count_minimal_triangulations(g)
+
+
+@given(weighted_multigraphs())
+@settings(max_examples=60, deadline=None)
+def test_maximum_spanning_trees_all_have_max_weight(case):
+    n, edges = case
+    best = maximum_spanning_weight(n, edges)
+    produced = list(enumerate_maximum_spanning_trees(n, edges))
+    assert produced
+    assert len(produced) == len(set(produced))
+    for tree in produced:
+        assert sum(edges[i][2] for i in tree) == best

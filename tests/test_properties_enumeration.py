@@ -1,0 +1,93 @@
+"""Property-based tests (hypothesis) for the enumeration pipeline."""
+
+from __future__ import annotations
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.baselines.brute_force import (
+    brute_force_maximal_independent_sets,
+    brute_force_minimal_triangulations,
+)
+from repro.chordal.minimal_separators import is_pairwise_parallel
+from repro.core.enumerate import enumerate_minimal_triangulations
+from repro.core.extend import extend_parallel_set
+from repro.graph.graph import Graph
+from repro.sgr.base import ExplicitSGR
+from repro.sgr.enum_mis import enumerate_maximal_independent_sets
+
+
+@st.composite
+def graphs(draw, min_nodes: int = 1, max_nodes: int = 7):
+    n = draw(st.integers(min_value=min_nodes, max_value=max_nodes))
+    g = Graph(nodes=range(n))
+    if n >= 2:
+        pairs = [(u, v) for u in range(n) for v in range(u + 1, n)]
+        g.add_edges(
+            draw(st.lists(st.sampled_from(pairs), unique=True, max_size=len(pairs)))
+        )
+    return g
+
+
+@given(graphs(max_nodes=8))
+@settings(max_examples=40, deadline=None)
+def test_enum_mis_equals_brute_force(g):
+    produced = list(enumerate_maximal_independent_sets(ExplicitSGR(g)))
+    assert len(produced) == len(set(produced))
+    assert set(produced) == brute_force_maximal_independent_sets(g)
+
+
+@given(graphs(max_nodes=6))
+@settings(max_examples=30, deadline=None)
+def test_minimal_triangulations_match_brute_force(g):
+    ours = {
+        frozenset(frozenset(e) for e in t.fill_edges)
+        for t in enumerate_minimal_triangulations(g)
+    }
+    assert ours == brute_force_minimal_triangulations(g)
+
+
+@given(graphs(max_nodes=7), st.sampled_from(["mcs_m", "lb_triang", "min_fill"]))
+@settings(max_examples=30, deadline=None)
+def test_triangulator_choice_does_not_change_result_set(g, triangulator):
+    baseline = {
+        t.fill_edges for t in enumerate_minimal_triangulations(g)
+    }
+    variant = {
+        t.fill_edges
+        for t in enumerate_minimal_triangulations(g, triangulator=triangulator)
+    }
+    assert baseline == variant
+
+
+@given(graphs(max_nodes=7))
+@settings(max_examples=30, deadline=None)
+def test_every_result_is_chordal_and_minimal(g):
+    from repro.chordal.peo import is_chordal
+
+    for t in enumerate_minimal_triangulations(g):
+        assert is_chordal(t.graph)
+        assert t.is_minimal()
+        # Fill edges are disjoint from base edges.
+        for u, v in t.fill_edges:
+            assert not g.has_edge(u, v)
+
+
+@given(graphs(max_nodes=7))
+@settings(max_examples=25, deadline=None)
+def test_extend_returns_parallel_superset(g):
+    family = extend_parallel_set(g, [])
+    assert is_pairwise_parallel(g, family)
+    # Extending the result again is a fixpoint.
+    assert extend_parallel_set(g, family) == family
+
+
+@given(graphs(max_nodes=6))
+@settings(max_examples=25, deadline=None)
+def test_width_never_below_exact_treewidth(g):
+    from repro.core.treewidth import treewidth_exact
+
+    optimum = treewidth_exact(g)
+    widths = [t.width for t in enumerate_minimal_triangulations(g)]
+    assert min(widths) == optimum
+    assert all(w >= optimum for w in widths)

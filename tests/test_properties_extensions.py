@@ -1,0 +1,139 @@
+"""Property-based tests (hypothesis) for the extension modules."""
+
+from __future__ import annotations
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.baselines.brute_force import brute_force_maximal_independent_sets
+from repro.chordal.atoms import atoms, clique_minimal_separators
+from repro.core.enumerate import enumerate_minimal_triangulations
+from repro.graph.graph import Graph
+from repro.hypergraph.covers import greedy_cover, minimum_cover
+from repro.hypergraph.hypergraph import Hypergraph
+from repro.sgr.reverse_search import poly_space_maximal_independent_sets
+
+
+@st.composite
+def graphs(draw, min_nodes: int = 1, max_nodes: int = 8):
+    n = draw(st.integers(min_value=min_nodes, max_value=max_nodes))
+    g = Graph(nodes=range(n))
+    if n >= 2:
+        pairs = [(u, v) for u in range(n) for v in range(u + 1, n)]
+        g.add_edges(
+            draw(st.lists(st.sampled_from(pairs), unique=True, max_size=len(pairs)))
+        )
+    return g
+
+
+@st.composite
+def hypergraphs(draw):
+    num_vertices = draw(st.integers(min_value=1, max_value=6))
+    universe = [f"v{i}" for i in range(num_vertices)]
+    num_edges = draw(st.integers(min_value=1, max_value=5))
+    edges = {}
+    for index in range(num_edges):
+        size = draw(st.integers(min_value=1, max_value=min(3, num_vertices)))
+        scope = draw(
+            st.lists(
+                st.sampled_from(universe),
+                min_size=size,
+                max_size=size,
+                unique=True,
+            )
+        )
+        edges[f"e{index}"] = tuple(scope)
+    return Hypergraph(edges)
+
+
+@given(graphs())
+@settings(max_examples=60, deadline=None)
+def test_poly_space_mis_matches_brute_force(g):
+    produced = list(poly_space_maximal_independent_sets(g))
+    assert len(produced) == len(set(produced))
+    assert set(produced) == brute_force_maximal_independent_sets(g)
+
+
+@given(graphs())
+@settings(max_examples=40, deadline=None)
+def test_atoms_cover_and_overlap_in_cliques(g):
+    decomposition = atoms(g)
+    covered = set()
+    for atom in decomposition:
+        covered |= atom
+    assert covered == g.node_set()
+    for i, a in enumerate(decomposition):
+        for b in decomposition[i + 1 :]:
+            assert g.is_clique(a & b)
+
+
+@given(graphs(max_nodes=7))
+@settings(max_examples=25, deadline=None)
+def test_atom_decomposed_enumeration_is_identical(g):
+    plain = {t.fill_edges for t in enumerate_minimal_triangulations(g)}
+    split = {
+        t.fill_edges
+        for t in enumerate_minimal_triangulations(g, decompose="atoms")
+    }
+    assert plain == split
+
+
+@given(graphs())
+@settings(max_examples=40, deadline=None)
+def test_clique_minimal_separators_are_clique_and_minimal(g):
+    from repro.chordal.minimal_separators import is_minimal_separator
+
+    for separator in clique_minimal_separators(g):
+        assert g.is_clique(separator)
+        assert is_minimal_separator(g, separator)
+
+
+@given(hypergraphs())
+@settings(max_examples=50, deadline=None)
+def test_primal_graph_covers_every_scope(h):
+    primal = h.primal_graph()
+    for name in h.edge_names():
+        assert primal.is_clique(h.edge(name))
+
+
+@given(hypergraphs(), st.data())
+@settings(max_examples=50, deadline=None)
+def test_covers_actually_cover(h, data):
+    vertices = h.vertices()
+    bag = frozenset(
+        data.draw(
+            st.lists(st.sampled_from(vertices), unique=True, max_size=4)
+        )
+    )
+    edges = h.edges()
+    coverable = frozenset(v for scope in edges.values() for v in scope)
+    if not bag <= coverable:
+        return
+    exact = minimum_cover(bag, edges)
+    greedy = greedy_cover(bag, edges)
+    for cover in (exact, greedy):
+        union = frozenset(v for name in cover for v in edges[name])
+        assert bag <= union
+    assert len(exact) <= len(greedy)
+
+
+@given(hypergraphs())
+@settings(max_examples=30, deadline=None)
+def test_acyclic_hypergraphs_have_ghw_one(h):
+    from repro.hypergraph.ghd import ghw_upper_bound
+
+    if h.is_alpha_acyclic() and h.num_vertices > 0:
+        assert ghw_upper_bound(h, max_decompositions=8) == 1
+
+
+@given(graphs(max_nodes=7), st.sampled_from(["width", "fill"]))
+@settings(max_examples=20, deadline=None)
+def test_prioritized_enumeration_is_complete(g, cost):
+    from repro.core.ranked import enumerate_minimal_triangulations_prioritized
+
+    plain = {t.fill_edges for t in enumerate_minimal_triangulations(g)}
+    ranked = {
+        t.fill_edges
+        for t in enumerate_minimal_triangulations_prioritized(g, cost=cost)
+    }
+    assert plain == ranked

@@ -1,0 +1,113 @@
+"""Property-based tests (hypothesis) for the graph substrate."""
+
+from __future__ import annotations
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.graph.components import (
+    components_without,
+    connected_components,
+    is_separator,
+)
+from repro.graph.graph import Graph, edge_key
+
+
+@st.composite
+def graphs(draw, max_nodes: int = 10):
+    """Random simple graphs on nodes 0..n-1."""
+    n = draw(st.integers(min_value=0, max_value=max_nodes))
+    g = Graph(nodes=range(n))
+    if n >= 2:
+        pairs = [(u, v) for u in range(n) for v in range(u + 1, n)]
+        chosen = draw(
+            st.lists(st.sampled_from(pairs), unique=True, max_size=len(pairs))
+        )
+        g.add_edges(chosen)
+    return g
+
+
+@given(graphs())
+def test_components_partition_nodes(g):
+    comps = connected_components(g)
+    union = set()
+    for comp in comps:
+        assert not (union & comp)
+        union |= comp
+    assert union == g.node_set()
+
+
+@given(graphs(), st.data())
+def test_components_without_exclude_removed(g, data):
+    removed = data.draw(
+        st.lists(st.sampled_from(sorted(g.node_set()) or [0]), unique=True)
+        if g.num_nodes
+        else st.just([])
+    )
+    removed = [r for r in removed if g.has_node(r)]
+    comps = components_without(g, removed)
+    for comp in comps:
+        assert not (comp & set(removed))
+
+
+@given(graphs())
+def test_complement_involution(g):
+    assert g.complement().complement() == g
+
+
+@given(graphs())
+def test_complement_edge_count(g):
+    n = g.num_nodes
+    assert g.num_edges + g.complement().num_edges == n * (n - 1) // 2
+
+
+@given(graphs())
+def test_copy_is_equal_but_independent(g):
+    h = g.copy()
+    assert g == h
+    h.add_node("sentinel")
+    assert not g.has_node("sentinel")
+
+
+@given(graphs(), st.data())
+def test_saturate_makes_clique(g, data):
+    if g.num_nodes == 0:
+        return
+    subset = data.draw(
+        st.lists(st.sampled_from(g.nodes()), unique=True, min_size=1)
+    )
+    added = g.saturate(subset)
+    assert g.is_clique(subset)
+    for u, v in added:
+        assert edge_key(u, v) == (u, v)
+    # Saturating again adds nothing.
+    assert g.saturate(subset) == []
+
+
+@given(graphs(), st.data())
+def test_subgraph_edges_are_restriction(g, data):
+    subset = data.draw(
+        st.lists(st.sampled_from(g.nodes()), unique=True)
+        if g.num_nodes
+        else st.just([])
+    )
+    sub = g.subgraph(subset)
+    assert sub.node_set() == frozenset(subset)
+    for u in subset:
+        for v in subset:
+            if u != v:
+                assert sub.has_edge(u, v) == g.has_edge(u, v)
+
+
+@given(graphs())
+@settings(max_examples=50)
+def test_degree_sum_equals_twice_edges(g):
+    assert sum(g.degree(v) for v in g.nodes()) == 2 * g.num_edges
+
+
+@given(graphs(max_nodes=8), st.data())
+def test_separator_check_stable_under_node_order(g, data):
+    if g.num_nodes < 3:
+        return
+    subset = data.draw(st.lists(st.sampled_from(g.nodes()), unique=True, max_size=3))
+    assert is_separator(g, subset) == is_separator(g, list(reversed(subset)))

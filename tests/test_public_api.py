@@ -1,0 +1,91 @@
+"""Tests for the top-level public API surface (repro/__init__.py)."""
+
+from __future__ import annotations
+
+import repro
+
+
+class TestExports:
+    def test_all_names_resolve(self):
+        for name in repro.__all__:
+            assert hasattr(repro, name), name
+
+    def test_version(self):
+        assert repro.__version__.count(".") == 2
+
+    def test_docstring_example(self):
+        square = repro.Graph(edges=[(1, 2), (2, 3), (3, 4), (4, 1)])
+        fills = sorted(
+            t.fill_edges
+            for t in repro.enumerate_minimal_triangulations(square)
+        )
+        assert fills == [((1, 3),), ((2, 4),)]
+
+
+class TestErrorHierarchy:
+    def test_all_errors_derive_from_base(self):
+        from repro import errors
+
+        for name in dir(errors):
+            obj = getattr(errors, name)
+            if (
+                isinstance(obj, type)
+                and issubclass(obj, Exception)
+                and obj.__module__ == "repro.errors"
+                and obj is not errors.ReproError
+            ):
+                assert issubclass(obj, errors.ReproError), name
+
+    def test_node_not_found_is_keyerror(self):
+        from repro.errors import NodeNotFoundError
+
+        assert issubclass(NodeNotFoundError, KeyError)
+
+    def test_parse_error_carries_line(self):
+        from repro.errors import ParseError
+
+        err = ParseError("bad token", line_number=7)
+        assert "line 7" in str(err)
+        assert err.line_number == 7
+
+
+class TestEndToEndSmoke:
+    def test_full_pipeline_on_grid(self):
+        """The README pipeline: graph -> triangulations -> decompositions."""
+        from repro.graph.generators import grid_graph
+
+        graph = grid_graph(3, 3)
+        best = None
+        for i, t in enumerate(
+            repro.enumerate_minimal_triangulations(graph, triangulator="lb_triang")
+        ):
+            if best is None or t.width < best.width:
+                best = t
+            if i >= 20:
+                break
+        assert best is not None
+        decomposition = best.tree_decomposition()
+        decomposition.validate(graph)
+        assert decomposition.width == best.width
+        assert decomposition.is_proper(graph)
+
+    def test_custom_triangulator_registration(self):
+        from repro.chordal.triangulate import Triangulator
+
+        calls = []
+
+        def tracking_fill(graph):
+            calls.append(graph.num_nodes)
+            from repro.chordal.triangulate import mcs_m
+
+            return mcs_m(graph)[0]
+
+        custom = Triangulator("tracking", tracking_fill, guarantees_minimal=True)
+        results = list(
+            repro.enumerate_minimal_triangulations(
+                repro.Graph(edges=[(0, 1), (1, 2), (2, 3), (3, 0)]),
+                triangulator=custom,
+            )
+        )
+        assert len(results) == 2
+        assert calls  # the custom heuristic was exercised

@@ -1,0 +1,106 @@
+"""Unit tests for cost-guided enumeration (repro.core.ranked)."""
+
+from __future__ import annotations
+
+import pytest
+
+from conftest import small_random_graphs
+from repro.core.enumerate import enumerate_minimal_triangulations
+from repro.core.ranked import (
+    best_triangulation,
+    enumerate_minimal_triangulations_prioritized,
+)
+from repro.core.treewidth import min_fill_in_exact, treewidth_exact
+from repro.graph.generators import cycle_graph, grid_graph
+from repro.graph.graph import Graph
+
+
+class TestCompleteness:
+    def test_same_result_set_as_plain(self):
+        for g in small_random_graphs(20, max_nodes=8, seed=1401):
+            plain = {t.fill_edges for t in enumerate_minimal_triangulations(g)}
+            ranked = {
+                t.fill_edges
+                for t in enumerate_minimal_triangulations_prioritized(g)
+            }
+            assert plain == ranked
+
+    def test_no_duplicates(self):
+        g = cycle_graph(7)
+        produced = list(enumerate_minimal_triangulations_prioritized(g))
+        assert len(produced) == len(set(produced))
+
+    def test_fill_cost_same_set(self):
+        g = grid_graph(2, 4)
+        plain = {t.fill_edges for t in enumerate_minimal_triangulations(g)}
+        ranked = {
+            t.fill_edges
+            for t in enumerate_minimal_triangulations_prioritized(g, cost="fill")
+        }
+        assert plain == ranked
+
+    def test_disconnected_falls_back(self):
+        g = Graph(edges=[(0, 1), (1, 2), (2, 0), (5, 6), (6, 7), (7, 8), (8, 5)])
+        produced = list(enumerate_minimal_triangulations_prioritized(g))
+        assert len(produced) == 2
+
+
+class TestOrderBias:
+    def test_first_result_is_heuristic_baseline(self):
+        # The first answer is Extend(∅) in both variants.
+        g = grid_graph(3, 3)
+        plain_first = next(iter(enumerate_minimal_triangulations(g)))
+        ranked_first = next(
+            iter(enumerate_minimal_triangulations_prioritized(g))
+        )
+        assert plain_first == ranked_first
+
+    def test_optimum_found_early_on_grid(self):
+        # With width priority the exact treewidth must appear within
+        # the first few percent of the (132-result) enumeration.
+        g = grid_graph(3, 3)
+        optimum = treewidth_exact(g)
+        widths = [
+            t.width
+            for t in enumerate_minimal_triangulations_prioritized(g, cost="width")
+        ]
+        assert optimum in widths
+        first_hit = widths.index(optimum)
+        assert first_hit <= len(widths) // 4
+
+    def test_custom_cost_function(self):
+        g = cycle_graph(6)
+        produced = list(
+            enumerate_minimal_triangulations_prioritized(
+                g, cost=lambda t: max(t.fill_edges)
+            )
+        )
+        assert len(produced) == 14
+
+    def test_invalid_cost_name(self):
+        with pytest.raises(ValueError, match="unknown cost"):
+            list(
+                enumerate_minimal_triangulations_prioritized(
+                    cycle_graph(4), cost="beauty"
+                )
+            )
+
+
+class TestBestTriangulation:
+    def test_exhaustive_finds_exact_optimum(self):
+        for g in small_random_graphs(10, max_nodes=7, seed=1409):
+            by_width = best_triangulation(g, cost="width", max_results=None)
+            assert by_width.width == treewidth_exact(g)
+            by_fill = best_triangulation(g, cost="fill", max_results=None)
+            assert by_fill.fill == min_fill_in_exact(g)
+
+    def test_bounded_search_returns_valid_result(self):
+        g = grid_graph(3, 4)
+        result = best_triangulation(g, max_results=10)
+        assert result.is_minimal()
+
+    def test_budgeted_no_worse_than_first(self):
+        g = grid_graph(3, 3)
+        first = next(iter(enumerate_minimal_triangulations(g)))
+        found = best_triangulation(g, max_results=30)
+        assert found.width <= first.width

@@ -1,0 +1,84 @@
+"""Tests for polynomial-space reverse search (repro.sgr.reverse_search)."""
+
+from __future__ import annotations
+
+from conftest import small_random_graphs
+from repro.baselines.brute_force import brute_force_maximal_independent_sets
+from repro.graph.generators import (
+    complete_graph,
+    cycle_graph,
+    empty_graph,
+    path_graph,
+    star_graph,
+)
+from repro.graph.graph import Graph
+from repro.sgr.reverse_search import poly_space_maximal_independent_sets
+
+
+def collect(graph: Graph) -> list[frozenset]:
+    return list(poly_space_maximal_independent_sets(graph))
+
+
+class TestKnownGraphs:
+    def test_empty_graph(self):
+        assert collect(Graph()) == [frozenset()]
+
+    def test_edgeless(self):
+        assert collect(empty_graph(4)) == [frozenset({0, 1, 2, 3})]
+
+    def test_single_edge(self):
+        assert set(collect(path_graph(2))) == {frozenset({0}), frozenset({1})}
+
+    def test_complete_graph(self):
+        assert set(collect(complete_graph(4))) == {
+            frozenset({v}) for v in range(4)
+        }
+
+    def test_star(self):
+        assert set(collect(star_graph(5))) == {
+            frozenset({0}),
+            frozenset(range(1, 6)),
+        }
+
+    def test_cycle_counts(self):
+        # Number of maximal independent sets of C_n follows the
+        # Perrin-like recurrence; spot values: C5 -> 5, C6 -> 5, C7 -> 7.
+        assert len(collect(cycle_graph(5))) == 5
+        assert len(collect(cycle_graph(6))) == 5
+        assert len(collect(cycle_graph(7))) == 7
+
+    def test_greedy_set_is_produced(self):
+        produced = collect(path_graph(5))
+        assert frozenset({0, 2, 4}) in produced
+
+
+class TestAgainstOracles:
+    def test_matches_brute_force(self):
+        for g in small_random_graphs(50, max_nodes=9, seed=1501):
+            produced = collect(g)
+            assert len(produced) == len(set(produced))
+            assert set(produced) == brute_force_maximal_independent_sets(g)
+
+    def test_matches_enum_mis(self):
+        from repro.sgr.base import ExplicitSGR
+        from repro.sgr.enum_mis import enumerate_maximal_independent_sets
+
+        for g in small_random_graphs(25, max_nodes=8, seed=1503):
+            via_enum_mis = set(
+                enumerate_maximal_independent_sets(ExplicitSGR(g))
+            )
+            assert set(collect(g)) == via_enum_mis
+
+    def test_every_answer_maximal(self):
+        for g in small_random_graphs(20, max_nodes=9, seed=1507):
+            for answer in collect(g):
+                assert g.is_independent_set(answer)
+                for node in g.nodes():
+                    if node not in answer:
+                        assert not g.is_independent_set(set(answer) | {node})
+
+    def test_lazy_streaming(self):
+        g = cycle_graph(9)
+        iterator = poly_space_maximal_independent_sets(g)
+        first = next(iterator)
+        assert g.is_independent_set(first)

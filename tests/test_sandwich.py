@@ -1,0 +1,117 @@
+"""Unit tests for the minimal triangulation sandwich (repro.chordal.sandwich)."""
+
+from __future__ import annotations
+
+import pytest
+
+from conftest import small_random_graphs
+from repro.chordal.peo import is_chordal
+from repro.chordal.sandwich import (
+    is_minimal_triangulation,
+    minimal_triangulation_sandwich,
+)
+from repro.chordal.triangulate import elimination_game_triangulation
+from repro.errors import NotATriangulationError
+from repro.graph.generators import complete_graph, cycle_graph, path_graph
+from repro.graph.graph import Graph
+
+
+class TestSandwich:
+    def test_complete_filling_shrinks_to_minimal(self):
+        g = cycle_graph(6)
+        minimal, fill = minimal_triangulation_sandwich(g, g.missing_edges())
+        assert is_minimal_triangulation(g, minimal)
+        assert len(fill) == 3  # C6 minimal triangulations have 3 chords
+
+    def test_result_edges_between_input_and_triangulation(self):
+        for g in small_random_graphs(20, max_nodes=8, seed=301):
+            loose_fill = elimination_game_triangulation(g, "natural")
+            minimal, fill = minimal_triangulation_sandwich(g, loose_fill)
+            assert set(fill) <= set(loose_fill)
+            assert g.edge_set() <= minimal.edge_set()
+
+    def test_accepts_graph_argument(self):
+        g = cycle_graph(5)
+        over = g.copy()
+        over.add_edges(g.missing_edges())
+        minimal, fill = minimal_triangulation_sandwich(g, over)
+        assert is_minimal_triangulation(g, minimal)
+        assert len(fill) == 2
+
+    def test_already_minimal_is_unchanged(self):
+        g = cycle_graph(5)
+        minimal_fill = [(0, 2), (0, 3)]
+        result, fill = minimal_triangulation_sandwich(g, minimal_fill)
+        assert sorted(fill) == minimal_fill
+
+    def test_chordal_input_empty_fill(self):
+        g = path_graph(4)
+        result, fill = minimal_triangulation_sandwich(g, [])
+        assert fill == []
+        assert result == g
+
+    def test_non_chordal_supergraph_rejected(self):
+        g = cycle_graph(6)
+        with pytest.raises(NotATriangulationError):
+            minimal_triangulation_sandwich(g, [(0, 3)])  # still has C4s
+
+    def test_wrong_node_set_rejected(self):
+        g = path_graph(3)
+        other = complete_graph(4)
+        with pytest.raises(NotATriangulationError):
+            minimal_triangulation_sandwich(g, other)
+
+    def test_non_supergraph_rejected(self):
+        g = cycle_graph(4)
+        other = Graph(nodes=g.nodes())
+        other.add_edge(0, 2)
+        with pytest.raises(NotATriangulationError):
+            minimal_triangulation_sandwich(g, other)
+
+    def test_input_not_mutated(self):
+        g = cycle_graph(6)
+        over = g.copy()
+        over.add_edges(g.missing_edges())
+        before = over.num_edges
+        minimal_triangulation_sandwich(g, over)
+        assert over.num_edges == before
+
+
+class TestIsMinimalTriangulation:
+    def test_true_cases(self):
+        g = cycle_graph(4)
+        h = g.copy()
+        h.add_edge(0, 2)
+        assert is_minimal_triangulation(g, h)
+        assert is_minimal_triangulation(path_graph(3), path_graph(3))
+
+    def test_non_chordal_is_false(self):
+        g = cycle_graph(4)
+        assert not is_minimal_triangulation(g, g)
+
+    def test_redundant_fill_is_false(self):
+        g = cycle_graph(4)
+        h = g.copy()
+        h.add_edge(0, 2)
+        h.add_edge(1, 3)
+        assert not is_minimal_triangulation(g, h)
+
+    def test_wrong_node_set_is_false(self):
+        assert not is_minimal_triangulation(path_graph(3), path_graph(4))
+
+    def test_missing_base_edge_is_false(self):
+        g = path_graph(3)
+        h = Graph(nodes=g.nodes())
+        assert not is_minimal_triangulation(g, h)
+
+    def test_matches_brute_force_minimality(self):
+        from repro.baselines.brute_force import brute_force_minimal_triangulations
+
+        for g in small_random_graphs(12, max_nodes=6, seed=307):
+            oracle = brute_force_minimal_triangulations(g)
+            fill_sets = {frozenset(map(frozenset, fs)) for fs in oracle}
+            # Build each oracle triangulation and confirm the checker.
+            for fill in fill_sets:
+                h = g.copy()
+                h.add_edges(tuple(edge) for edge in fill)
+                assert is_minimal_triangulation(g, h)

@@ -1,0 +1,112 @@
+"""Unit tests for the separator-graph SGR and Extend (S14–S15)."""
+
+from __future__ import annotations
+
+import pytest
+
+from conftest import small_random_graphs
+from repro.baselines.brute_force import brute_force_maximal_parallel_families
+from repro.chordal.chordal_separators import minimal_separators_of_chordal
+from repro.chordal.minimal_separators import (
+    all_minimal_separators,
+    are_crossing,
+    is_pairwise_parallel,
+)
+from repro.core.extend import extend_parallel_set, minimal_triangulation_via
+from repro.chordal.sandwich import is_minimal_triangulation
+from repro.graph.generators import cycle_graph, grid_graph, path_graph
+from repro.sgr.enum_mis import enumerate_maximal_independent_sets
+from repro.sgr.separator_graph import MinimalSeparatorSGR
+
+
+class TestSGRInterface:
+    def test_nodes_are_minimal_separators(self):
+        g = cycle_graph(5)
+        sgr = MinimalSeparatorSGR(g)
+        assert set(sgr.iter_nodes()) == all_minimal_separators(g)
+
+    def test_edges_are_crossings(self):
+        g = cycle_graph(6)
+        sgr = MinimalSeparatorSGR(g)
+        s, t = frozenset({0, 3}), frozenset({1, 4})
+        assert sgr.has_edge(s, t) == are_crossing(g, s, t)
+        assert sgr.has_edge(s, t)
+
+    def test_properties(self):
+        g = cycle_graph(4)
+        sgr = MinimalSeparatorSGR(g, triangulator="lb_triang")
+        assert sgr.graph is g
+        assert sgr.triangulator.name == "lb_triang"
+
+    def test_unknown_triangulator_rejected(self):
+        with pytest.raises(ValueError):
+            MinimalSeparatorSGR(cycle_graph(4), triangulator="nope")
+
+
+class TestExtend:
+    def test_empty_input_gives_maximal_family(self):
+        for g in small_random_graphs(20, max_nodes=8, seed=601):
+            family = extend_parallel_set(g, [])
+            assert is_pairwise_parallel(g, family)
+            families = brute_force_maximal_parallel_families(g)
+            assert frozenset(family) in families
+
+    def test_extension_contains_input(self):
+        g = cycle_graph(6)
+        phi = [frozenset({0, 2})]
+        family = extend_parallel_set(g, phi)
+        assert frozenset({0, 2}) in family
+        assert is_pairwise_parallel(g, family)
+
+    def test_extension_is_maximal(self):
+        for g in small_random_graphs(15, max_nodes=7, seed=607):
+            family = extend_parallel_set(g, [])
+            for candidate in all_minimal_separators(g):
+                if candidate in family:
+                    continue
+                # Adding any other separator must cross something.
+                assert any(
+                    are_crossing(g, candidate, member) for member in family
+                )
+
+    def test_all_triangulators_give_valid_extensions(self):
+        g = grid_graph(3, 3)
+        phi = []
+        for name in ("mcs_m", "lb_triang", "min_fill", "min_degree", "complete"):
+            family = extend_parallel_set(g, phi, triangulator=name)
+            assert is_pairwise_parallel(g, family)
+            assert family  # a 3x3 grid has separators
+
+    def test_result_identifies_minimal_triangulation(self):
+        # g[extend(phi)] must be a minimal triangulation whose minimal
+        # separators are exactly the returned family (Thm 4.1).
+        for g in small_random_graphs(12, max_nodes=7, seed=613):
+            family = extend_parallel_set(g, [])
+            saturated = g.saturated(family)
+            assert is_minimal_triangulation(g, saturated)
+            assert minimal_separators_of_chordal(saturated) == set(family)
+
+    def test_chordal_graph_family_is_full_minsep(self):
+        g = path_graph(5)
+        family = extend_parallel_set(g, [])
+        assert set(family) == all_minimal_separators(g)
+
+
+class TestMinimalTriangulationVia:
+    def test_minimal_for_all_backends(self):
+        for name in ("mcs_m", "lb_triang", "min_fill", "natural", "complete"):
+            for g in small_random_graphs(8, max_nodes=7, seed=617):
+                filled = minimal_triangulation_via(g, name)
+                assert is_minimal_triangulation(g, filled)
+
+
+class TestEndToEndMIS:
+    def test_families_match_brute_force(self):
+        for g in small_random_graphs(15, max_nodes=7, seed=619):
+            from repro.graph.components import is_connected
+
+            if not is_connected(g):
+                continue
+            sgr = MinimalSeparatorSGR(g)
+            produced = set(enumerate_maximal_independent_sets(sgr))
+            assert produced == brute_force_maximal_parallel_families(g)

@@ -1,0 +1,134 @@
+"""Tests for the Section 3.3 SETH lower-bound construction (repro.sgr.seth)."""
+
+from __future__ import annotations
+
+import itertools
+
+import pytest
+
+from repro.sgr.enum_mis import enumerate_maximal_independent_sets
+from repro.sgr.seth import BOTTOM_A, BOTTOM_B, KSatSGR, evaluate_formula
+
+
+class TestFormulaEvaluation:
+    def test_positive_and_negative_literals(self):
+        clauses = [(1, -2)]
+        assert evaluate_formula(clauses, (1, 1))
+        assert evaluate_formula(clauses, (0, 0))
+        assert not evaluate_formula(clauses, (0, 1))
+
+    def test_empty_formula_is_true(self):
+        assert evaluate_formula([], (0, 1))
+
+    def test_empty_clause_is_false(self):
+        assert not evaluate_formula([()], (0, 1))
+
+
+class TestConstruction:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            KSatSGR(3, [])  # odd n
+        with pytest.raises(ValueError):
+            KSatSGR(2, [(0,)])
+        with pytest.raises(ValueError):
+            KSatSGR(2, [(5,)])
+
+    def test_node_count(self):
+        sgr = KSatSGR(4, [])
+        nodes = list(sgr.iter_nodes())
+        # 2 * 2^(n/2) assignment nodes + two apexes.
+        assert len(nodes) == 2 * 4 + 2
+        assert BOTTOM_A in nodes and BOTTOM_B in nodes
+
+    def test_va_vb_are_cliques(self):
+        sgr = KSatSGR(4, [])
+        va = [n for n in sgr.iter_nodes() if n[0] == "A"]
+        for u, v in itertools.combinations(va, 2):
+            assert sgr.has_edge(u, v)
+
+    def test_apex_edges(self):
+        sgr = KSatSGR(2, [])
+        assert sgr.has_edge(BOTTOM_A, BOTTOM_B)
+        assert sgr.has_edge(("A", 0), BOTTOM_A)
+        assert not sgr.has_edge(("A", 0), BOTTOM_B)
+
+    def test_cross_edges_iff_falsifying(self):
+        # φ = x1 ∨ x2 over n=2: ("A",a1) - ("B",a2) adjacent iff both 0.
+        sgr = KSatSGR(2, [(1, 2)])
+        assert sgr.has_edge(("A", 0), ("B", 0))
+        assert not sgr.has_edge(("A", 1), ("B", 0))
+        assert not sgr.has_edge(("A", 0), ("B", 1))
+
+    def test_extend_always_maximal(self):
+        sgr = KSatSGR(4, [(1, 2), (-3, 4)])
+        for seed in (
+            frozenset(),
+            frozenset({BOTTOM_A}),
+            frozenset({BOTTOM_B}),
+            frozenset({("A", 0, 1)}),
+            frozenset({("B", 1, 0)}),
+        ):
+            extended = sgr.extend(seed)
+            assert seed <= extended
+            assert len(extended) == 2
+            assert sgr.is_independent(extended)
+
+
+class TestProposition36:
+    def test_mis_structure_matches_proof(self):
+        # MaxInd = IA ∪ IB ∪ Isat, all of size 2 (paper's proof).
+        clauses = [(1, -2)]
+        sgr = KSatSGR(2, clauses)
+        answers = set(enumerate_maximal_independent_sets(sgr))
+        assert all(len(a) == 2 for a in answers)
+        ia = {frozenset({("A", b), BOTTOM_B}) for b in (0, 1)}
+        ib = {frozenset({("B", b), BOTTOM_A}) for b in (0, 1)}
+        isat = {
+            frozenset({("A", a), ("B", b)})
+            for a in (0, 1)
+            for b in (0, 1)
+            if evaluate_formula(clauses, (a, b))
+        }
+        assert answers == ia | ib | isat
+
+    def test_threshold(self):
+        assert KSatSGR(4, []).satisfiability_threshold() == 8
+        assert KSatSGR(6, []).satisfiability_threshold() == 16
+
+    @pytest.mark.parametrize(
+        "num_variables,clauses",
+        [
+            (2, [(1,), (-1,)]),                       # unsat
+            (2, [(1, 2)]),                            # sat
+            (4, [(1, 2), (-1, 3), (2, -4)]),          # sat
+            (4, [(1,), (-1, 2), (-2,)]),              # unsat
+            (4, [(1, 2, 3), (-1, -2), (-3, 4), (-4,)]),
+            (6, [(1, -2, 3), (-1, 2), (4, 5), (-5, -6), (6, -4)]),
+        ],
+    )
+    def test_reduction_decides_satisfiability(self, num_variables, clauses):
+        sgr = KSatSGR(num_variables, clauses)
+        assert (
+            sgr.is_satisfiable_via_enumeration()
+            == sgr.brute_force_satisfiable()
+        )
+
+    def test_random_formulas(self):
+        import random
+
+        rng = random.Random(42)
+        for __ in range(15):
+            n = rng.choice((2, 4))
+            clauses = []
+            for __c in range(rng.randint(1, 6)):
+                size = rng.randint(1, 3)
+                clause = tuple(
+                    rng.choice((1, -1)) * rng.randint(1, n)
+                    for __l in range(size)
+                )
+                clauses.append(clause)
+            sgr = KSatSGR(n, clauses)
+            assert (
+                sgr.is_satisfiable_via_enumeration()
+                == sgr.brute_force_satisfiable()
+            )

@@ -1,0 +1,138 @@
+"""Unit tests for maximum-spanning-tree enumeration (S21)."""
+
+from __future__ import annotations
+
+import itertools
+import random
+
+from repro.decomposition.spanning_trees import (
+    enumerate_maximum_spanning_trees,
+    enumerate_spanning_trees,
+    maximum_spanning_tree,
+    maximum_spanning_weight,
+)
+
+
+def brute_force_spanning_trees(num_nodes, edges):
+    """All spanning forests (max #edges acyclic sets) by exhaustion."""
+    # Determine forest size = n - #components of the whole graph.
+    def component_count(chosen):
+        parent = list(range(num_nodes))
+
+        def find(x):
+            while parent[x] != x:
+                parent[x] = parent[parent[x]]
+                x = parent[x]
+            return x
+
+        merges = 0
+        for index in chosen:
+            u, v = edges[index][0], edges[index][1]
+            ru, rv = find(u), find(v)
+            if ru != rv:
+                parent[ru] = rv
+                merges += 1
+        return num_nodes - merges
+
+    target_components = component_count(range(len(edges)))
+    size = num_nodes - target_components
+    found = set()
+    for subset in itertools.combinations(range(len(edges)), size):
+        if component_count(subset) == target_components:
+            found.add(frozenset(subset))
+    return found
+
+
+class TestKruskal:
+    def test_simple_triangle(self):
+        edges = [(0, 1, 5), (1, 2, 3), (0, 2, 1)]
+        tree = maximum_spanning_tree(3, edges)
+        assert tree == [0, 1]
+        assert maximum_spanning_weight(3, edges) == 8
+
+    def test_forest_on_disconnected(self):
+        edges = [(0, 1, 2), (2, 3, 7)]
+        assert maximum_spanning_tree(4, edges) == [0, 1]
+
+    def test_empty(self):
+        assert maximum_spanning_tree(3, []) == []
+        assert maximum_spanning_weight(0, []) == 0
+
+
+class TestAllSpanningTrees:
+    def test_triangle_has_three(self):
+        trees = set(enumerate_spanning_trees(3, [(0, 1), (1, 2), (0, 2)]))
+        assert len(trees) == 3
+
+    def test_matches_brute_force(self):
+        rng = random.Random(8)
+        for __ in range(15):
+            n = rng.randint(2, 6)
+            pairs = list(itertools.combinations(range(n), 2))
+            m = rng.randint(1, len(pairs))
+            chosen = rng.sample(pairs, m)
+            edges = [(u, v, 1) for u, v in chosen]
+            ours = set(enumerate_spanning_trees(n, [(u, v) for u, v, _ in edges]))
+            oracle = brute_force_spanning_trees(n, edges)
+            assert ours == oracle
+
+    def test_parallel_edges_distinct(self):
+        # A multigraph with two parallel edges has two spanning trees.
+        trees = set(enumerate_spanning_trees(2, [(0, 1), (0, 1)]))
+        assert trees == {frozenset({0}), frozenset({1})}
+
+    def test_single_node(self):
+        assert set(enumerate_spanning_trees(1, [])) == {frozenset()}
+
+
+class TestAllMaximumSpanningTrees:
+    def test_uniform_weights_equals_all_spanning_trees(self):
+        pairs = [(0, 1), (1, 2), (0, 2), (2, 3)]
+        weighted = [(u, v, 1) for u, v in pairs]
+        msts = set(enumerate_maximum_spanning_trees(4, weighted))
+        all_trees = set(enumerate_spanning_trees(4, pairs))
+        assert msts == all_trees
+
+    def test_unique_maximum(self):
+        edges = [(0, 1, 9), (1, 2, 9), (0, 2, 1)]
+        msts = list(enumerate_maximum_spanning_trees(3, edges))
+        assert msts == [frozenset({0, 1})]
+
+    def test_tie_between_light_edges(self):
+        edges = [(0, 1, 9), (1, 2, 1), (0, 2, 1)]
+        msts = set(enumerate_maximum_spanning_trees(3, edges))
+        assert msts == {frozenset({0, 1}), frozenset({0, 2})}
+
+    def test_matches_brute_force_weighted(self):
+        rng = random.Random(21)
+        for __ in range(20):
+            n = rng.randint(2, 6)
+            pairs = list(itertools.combinations(range(n), 2))
+            m = rng.randint(1, len(pairs))
+            chosen = rng.sample(pairs, m)
+            edges = [(u, v, rng.randint(1, 3)) for u, v in chosen]
+            best = maximum_spanning_weight(n, edges)
+            oracle = {
+                tree
+                for tree in brute_force_spanning_trees(n, edges)
+                if sum(edges[i][2] for i in tree) == best
+            }
+            ours = set(enumerate_maximum_spanning_trees(n, edges))
+            assert ours == oracle
+
+    def test_every_result_has_maximum_weight(self):
+        edges = [(0, 1, 2), (1, 2, 2), (2, 3, 1), (3, 0, 1), (0, 2, 2)]
+        best = maximum_spanning_weight(4, edges)
+        for tree in enumerate_maximum_spanning_trees(4, edges):
+            assert sum(edges[i][2] for i in tree) == best
+
+    def test_no_duplicates(self):
+        pairs = list(itertools.combinations(range(5), 2))
+        edges = [(u, v, 1) for u, v in pairs]
+        produced = list(enumerate_maximum_spanning_trees(5, edges))
+        assert len(produced) == len(set(produced))
+        # Cayley: K5 has 125 spanning trees.
+        assert len(produced) == 125
+
+    def test_zero_nodes(self):
+        assert list(enumerate_maximum_spanning_trees(0, [])) == [frozenset()]

@@ -1,0 +1,51 @@
+"""Unit tests for the synthetic TPC-H instance generator."""
+
+from __future__ import annotations
+
+import itertools
+
+from repro.db import evaluate_naive, evaluate_with_ghd
+from repro.hypergraph import Hypergraph, enumerate_ghds
+from repro.workloads.tpch_data import instance_for, tpch_instance
+
+
+class TestInstanceGeneration:
+    def test_one_relation_per_edge(self):
+        h = Hypergraph({"R": ("x", "y"), "S": ("y", "z")})
+        instance = instance_for(h, rows_per_relation=30, seed=1)
+        assert set(instance) == {"R", "S"}
+        for name, relation in instance.items():
+            assert set(relation.attributes) == set(map(str, h.edge(name)))
+            assert 1 <= len(relation) <= 30
+
+    def test_deterministic(self):
+        h = Hypergraph({"R": ("x", "y")})
+        assert instance_for(h, seed=5) == instance_for(h, seed=5)
+        assert instance_for(h, seed=5) != instance_for(h, seed=6)
+
+    def test_skew_produces_hot_values(self):
+        h = Hypergraph({"R": ("x",)})
+        instance = instance_for(h, rows_per_relation=400, domain=50, skew=1.5, seed=2)
+        values = [row[0] for row in instance["R"].rows]
+        # With heavy skew, low ranks dominate the support.
+        assert min(values) == 0
+
+    def test_tpch_instance_wrapper(self):
+        hypergraph, instance = tpch_instance("Q5", rows_per_relation=20, seed=3)
+        assert set(instance) == set(hypergraph.edge_names())
+
+
+class TestEvaluationOnTpchData:
+    def test_q5_all_plans_agree(self):
+        hypergraph, instance = tpch_instance("Q5", rows_per_relation=25, seed=4)
+        expected = evaluate_naive(hypergraph, instance)
+        for ghd in itertools.islice(enumerate_ghds(hypergraph), 4):
+            result = evaluate_with_ghd(hypergraph, instance, ghd)
+            assert result == expected.project(result.attributes)
+
+    def test_acyclic_query_evaluates(self):
+        hypergraph, instance = tpch_instance("Q3", rows_per_relation=25, seed=5)
+        expected = evaluate_naive(hypergraph, instance)
+        ghd = next(enumerate_ghds(hypergraph))
+        result = evaluate_with_ghd(hypergraph, instance, ghd)
+        assert result == expected.project(result.attributes)

@@ -1,0 +1,168 @@
+"""Unit tests for TreeDecomposition (repro.decomposition.tree_decomposition)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.decomposition.tree_decomposition import TreeDecomposition
+from repro.errors import InvalidTreeDecompositionError
+from repro.graph.generators import cycle_graph, path_graph
+from repro.graph.graph import Graph
+
+
+def fig4_graph() -> Graph:
+    """The paper's Figure 4 graph: 1-2 plus triangle 2-3-4."""
+    return Graph(edges=[(1, 2), (2, 3), (2, 4), (3, 4)])
+
+
+def d1() -> TreeDecomposition:
+    return TreeDecomposition.build([{1, 2}, {2, 3, 4}], [(0, 1)])
+
+
+def d2() -> TreeDecomposition:
+    return TreeDecomposition.build([{1, 2, 3, 4}])
+
+
+def d3() -> TreeDecomposition:
+    return TreeDecomposition.build([{1, 2}, {3, 4}, {2, 3, 4}], [(0, 2), (1, 2)])
+
+
+class TestShape:
+    def test_width(self):
+        assert d1().width == 2
+        assert d2().width == 3
+        assert TreeDecomposition.build([]).width == -1
+
+    def test_num_bags(self):
+        assert d3().num_bags == 3
+
+    def test_bag_set_and_multiset(self):
+        d = TreeDecomposition.build([{1}, {1}, {2}], [(0, 1), (1, 2)])
+        assert d.bag_set() == {frozenset({1}), frozenset({2})}
+        assert len(d.bag_multiset()) == 3
+
+    def test_is_tree(self):
+        assert d1().is_tree()
+        assert not TreeDecomposition.build([{1}, {2}]).is_tree()  # forest
+        cyclic = TreeDecomposition.build(
+            [{1}, {2}, {3}], [(0, 1), (1, 2), (0, 2)]
+        )
+        assert not cyclic.is_tree()
+
+    def test_neighbors(self):
+        adjacency = d3().neighbors()
+        assert sorted(adjacency[2]) == [0, 1]
+
+
+class TestValidation:
+    def test_valid_decompositions(self):
+        g = fig4_graph()
+        for d in (d1(), d2(), d3()):
+            d.validate(g)
+            assert d.is_valid(g)
+
+    def test_uncovered_node(self):
+        g = fig4_graph()
+        d = TreeDecomposition.build([{1, 2}, {2, 3}], [(0, 1)])
+        with pytest.raises(InvalidTreeDecompositionError, match="not covered"):
+            d.validate(g)
+
+    def test_uncovered_edge(self):
+        g = fig4_graph()
+        d = TreeDecomposition.build([{1, 2}, {2, 3}, {2, 4}], [(0, 1), (1, 2)])
+        with pytest.raises(InvalidTreeDecompositionError, match="edge"):
+            d.validate(g)
+
+    def test_junction_violation(self):
+        g = path_graph(3)
+        # Node 0 appears in two non-adjacent bags.
+        d = TreeDecomposition.build(
+            [{0, 1}, {1, 2}, {0, 2}], [(0, 1), (1, 2)]
+        )
+        with pytest.raises(InvalidTreeDecompositionError, match="subtree"):
+            d.validate(g)
+
+    def test_not_a_tree(self):
+        g = path_graph(2)
+        d = TreeDecomposition.build([{0, 1}, {0, 1}])
+        with pytest.raises(InvalidTreeDecompositionError, match="tree"):
+            d.validate(g)
+
+    def test_unknown_nodes_in_bags(self):
+        g = path_graph(2)
+        d = TreeDecomposition.build([{0, 1, 99}])
+        with pytest.raises(InvalidTreeDecompositionError, match="unknown"):
+            d.validate(g)
+
+
+class TestSaturationAndMeasures:
+    def test_saturate_triangulates(self):
+        from repro.chordal.peo import is_chordal
+
+        g = cycle_graph(5)
+        d = TreeDecomposition.build(
+            [{0, 1, 2}, {0, 2, 3}, {0, 3, 4}], [(0, 1), (1, 2)]
+        )
+        h = d.saturate(g)
+        assert is_chordal(h)
+
+    def test_fill_counts_added_edges(self):
+        g = cycle_graph(4)
+        d = TreeDecomposition.build([{0, 1, 2}, {0, 2, 3}], [(0, 1)])
+        assert d.fill(g) == 1
+
+
+class TestSubsumption:
+    def test_paper_figure4_relations(self):
+        # d1 subsumes d2 and d3; nothing subsumes d1.
+        assert d1().strictly_subsumes(d2())
+        assert d1().strictly_subsumes(d3())
+        assert d3().strictly_subsumes(d2())
+        assert not d2().strictly_subsumes(d1())
+        assert not d3().strictly_subsumes(d1())
+
+    def test_refines(self):
+        assert d1().refines(d2())
+        assert not d2().refines(d1())
+
+    def test_no_self_subsumption(self):
+        for d in (d1(), d2(), d3()):
+            assert not d.strictly_subsumes(d)
+
+    def test_multiset_sensitivity(self):
+        single = TreeDecomposition.build([{1, 2}])
+        doubled = TreeDecomposition.build([{1, 2}, {1, 2}], [(0, 1)])
+        assert single.strictly_subsumes(doubled)
+        assert not doubled.strictly_subsumes(single)
+
+
+class TestProperness:
+    def test_paper_figure4(self):
+        g = fig4_graph()
+        assert d1().is_proper(g)
+        assert not d2().is_proper(g)
+        assert not d3().is_proper(g)
+
+    def test_chordal_graph_clique_tree_is_proper(self):
+        from repro.decomposition.clique_tree import clique_tree
+
+        g = path_graph(4)
+        assert clique_tree(g).is_proper(g)
+
+    def test_invalid_decomposition_is_not_proper(self):
+        g = fig4_graph()
+        bad = TreeDecomposition.build([{1, 2}])
+        assert not bad.is_proper(g)
+
+    def test_duplicate_bags_not_proper(self):
+        g = path_graph(2)
+        doubled = TreeDecomposition.build([{0, 1}, {0, 1}], [(0, 1)])
+        assert not doubled.is_proper(g)
+
+    def test_non_minimal_saturation_not_proper(self):
+        g = cycle_graph(4)
+        # Saturating a single 4-bag is a non-minimal triangulation.
+        assert not TreeDecomposition.build([{0, 1, 2, 3}]).is_proper(g)
+
+    def test_repr(self):
+        assert "num_bags=2" in repr(d1())

@@ -1,0 +1,100 @@
+"""Unit tests for exact treewidth / minimum fill-in (repro.core.treewidth)."""
+
+from __future__ import annotations
+
+import pytest
+
+from conftest import small_chordal_graphs, small_random_graphs
+from repro.chordal.cliques import tree_width
+from repro.core.treewidth import min_fill_in_exact, treewidth_exact
+from repro.graph.generators import (
+    complete_bipartite_graph,
+    complete_graph,
+    cycle_graph,
+    grid_graph,
+    path_graph,
+    random_k_tree,
+    random_tree,
+    star_graph,
+)
+from repro.graph.graph import Graph
+
+
+class TestTreewidthExact:
+    def test_known_values(self):
+        assert treewidth_exact(Graph()) == -1
+        assert treewidth_exact(Graph(nodes=[1])) == 0
+        assert treewidth_exact(path_graph(6)) == 1
+        assert treewidth_exact(cycle_graph(7)) == 2
+        assert treewidth_exact(complete_graph(5)) == 4
+        assert treewidth_exact(star_graph(6)) == 1
+
+    def test_grid_3xn_is_3(self):
+        assert treewidth_exact(grid_graph(3, 3)) == 3
+        assert treewidth_exact(grid_graph(3, 5)) == 3
+
+    def test_grid_4x4(self):
+        assert treewidth_exact(grid_graph(4, 4)) == 4
+
+    def test_complete_bipartite(self):
+        # tw(K_{m,n}) = min(m, n).
+        assert treewidth_exact(complete_bipartite_graph(2, 4)) == 2
+        assert treewidth_exact(complete_bipartite_graph(3, 3)) == 3
+
+    def test_trees_have_width_one(self):
+        for seed in range(4):
+            assert treewidth_exact(random_tree(9, seed=seed)) == 1
+
+    def test_k_trees(self):
+        for k in (1, 2, 3):
+            g = random_k_tree(8, k, seed=k)
+            assert treewidth_exact(g) == k
+
+    def test_chordal_matches_clique_width(self):
+        for g in small_chordal_graphs(20, max_nodes=10, seed=401):
+            assert treewidth_exact(g) == tree_width(g)
+
+    def test_size_limit(self):
+        with pytest.raises(ValueError):
+            treewidth_exact(path_graph(25))
+
+    def test_disconnected(self):
+        g = Graph(edges=[(0, 1), (1, 2), (0, 2), (5, 6)])
+        assert treewidth_exact(g) == 2
+
+
+class TestMinFillExact:
+    def test_known_values(self):
+        assert min_fill_in_exact(Graph()) == 0
+        assert min_fill_in_exact(path_graph(5)) == 0
+        assert min_fill_in_exact(complete_graph(4)) == 0
+        # Cycles need n - 3 chords.
+        for n in (4, 5, 6, 7):
+            assert min_fill_in_exact(cycle_graph(n)) == n - 3
+
+    def test_chordal_graphs_need_nothing(self):
+        for g in small_chordal_graphs(15, max_nodes=10, seed=409):
+            assert min_fill_in_exact(g) == 0
+
+    def test_grid_3x3(self):
+        assert min_fill_in_exact(grid_graph(3, 3)) == 5
+
+    def test_size_limit(self):
+        with pytest.raises(ValueError):
+            min_fill_in_exact(path_graph(20))
+
+    def test_lower_bounds_every_minimal_triangulation(self):
+        from repro.core.enumerate import enumerate_minimal_triangulations
+
+        for g in small_random_graphs(10, max_nodes=7, seed=419):
+            optimum = min_fill_in_exact(g)
+            fills = [t.fill for t in enumerate_minimal_triangulations(g)]
+            assert min(fills) == optimum
+
+    def test_treewidth_reached_by_some_minimal_triangulation(self):
+        from repro.core.enumerate import enumerate_minimal_triangulations
+
+        for g in small_random_graphs(10, max_nodes=7, seed=421):
+            optimum = treewidth_exact(g)
+            widths = [t.width for t in enumerate_minimal_triangulations(g)]
+            assert min(widths) == optimum

@@ -1,0 +1,94 @@
+"""Unit tests for the Triangulation value object (repro.core.triangulation)."""
+
+from __future__ import annotations
+
+from repro.chordal.chordal_separators import minimal_separators_of_chordal
+from repro.core.triangulation import Triangulation
+from repro.graph.generators import cycle_graph, path_graph
+from repro.graph.graph import Graph
+
+
+class TestConstruction:
+    def test_fill_canonicalised_and_sorted(self):
+        g = cycle_graph(5)
+        t = Triangulation(g, ((3, 0), (2, 0)))
+        assert t.fill_edges == ((0, 2), (0, 3))
+
+    def test_from_chordal_supergraph(self):
+        g = cycle_graph(4)
+        h = g.copy()
+        h.add_edge(0, 2)
+        t = Triangulation.from_chordal_supergraph(g, h)
+        assert t.fill_edges == ((0, 2),)
+        assert t.graph == h
+
+    def test_graph_materialisation(self):
+        g = cycle_graph(4)
+        t = Triangulation(g, ((0, 2),))
+        assert t.graph.has_edge(0, 2)
+        assert t.base is g
+        # The base is not mutated.
+        assert not g.has_edge(0, 2)
+
+
+class TestMeasures:
+    def test_width_and_fill(self):
+        g = cycle_graph(6)
+        t = Triangulation(g, ((0, 2), (0, 3), (0, 4)))
+        assert t.fill == 3
+        assert t.width == 2  # fan triangulation: all triangles
+
+    def test_width_of_chordal_base(self):
+        g = path_graph(5)
+        t = Triangulation(g, ())
+        assert t.width == 1
+        assert t.fill == 0
+
+    def test_minimal_separators_identity(self):
+        # MinSep(h) must match the direct extraction (Parra-Scheffler).
+        g = cycle_graph(5)
+        t = Triangulation(g, ((0, 2), (0, 3)))
+        assert t.minimal_separators == frozenset(
+            minimal_separators_of_chordal(t.graph)
+        )
+
+    def test_clique_forest_cached(self):
+        g = cycle_graph(4)
+        t = Triangulation(g, ((1, 3),))
+        assert t.clique_forest is t.clique_forest
+
+    def test_is_minimal_true_and_false(self):
+        g = cycle_graph(4)
+        assert Triangulation(g, ((0, 2),)).is_minimal()
+        assert not Triangulation(g, ((0, 2), (1, 3))).is_minimal()
+
+
+class TestEqualityAndRepr:
+    def test_equality_by_fill(self):
+        g = cycle_graph(4)
+        assert Triangulation(g, ((0, 2),)) == Triangulation(g, ((2, 0),))
+        assert Triangulation(g, ((0, 2),)) != Triangulation(g, ((1, 3),))
+
+    def test_hashable(self):
+        g = cycle_graph(4)
+        bag = {Triangulation(g, ((0, 2),)), Triangulation(g, ((0, 2),))}
+        assert len(bag) == 1
+
+    def test_eq_other_type(self):
+        g = cycle_graph(4)
+        assert Triangulation(g, ()) != "something"
+
+    def test_repr(self):
+        g = cycle_graph(4)
+        text = repr(Triangulation(g, ((0, 2),)))
+        assert "width=2" in text and "fill=1" in text
+
+
+class TestTreeDecompositionBridge:
+    def test_tree_decomposition_is_valid_and_proper(self):
+        g = cycle_graph(5)
+        t = Triangulation(g, ((0, 2), (0, 3)))
+        decomposition = t.tree_decomposition()
+        decomposition.validate(g)
+        assert decomposition.is_proper(g)
+        assert decomposition.width == t.width

@@ -1,0 +1,155 @@
+"""Unit tests for the benchmark workloads (S25)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.chordal.peo import is_chordal
+from repro.graph.components import is_connected
+from repro.workloads.pgm import (
+    csp_suite,
+    grid_suite,
+    object_detection_like,
+    object_detection_suite,
+    pedigree_like,
+    pedigree_suite,
+    pgm_suites,
+    promedas_like,
+    promedas_suite,
+    segmentation_like,
+    segmentation_suite,
+)
+from repro.workloads.random_graphs import (
+    PAPER_DENSITIES,
+    PAPER_NODE_COUNTS,
+    random_sweep,
+)
+from repro.workloads.tpch import TPCH_ATOMS, tpch_query, tpch_query_names, tpch_suite
+
+
+class TestPgmGenerators:
+    def test_promedas_structure(self):
+        g = promedas_like(num_diseases=10, num_findings=20, seed=1)
+        assert g.num_nodes == 30
+        # Findings never connect to findings (layered noisy-or).
+        finding_nodes = [n for n in g.nodes() if n[0] == "f"]
+        for u in finding_nodes:
+            assert all(v[0] == "d" for v in g.neighbors(u))
+
+    def test_promedas_deterministic(self):
+        assert promedas_like(10, 20, seed=3) == promedas_like(10, 20, seed=3)
+
+    def test_object_detection_band(self):
+        for seed in range(5):
+            g = object_detection_like(seed)
+            assert g.num_nodes == 60
+            assert 135 <= g.num_edges <= 180
+            assert is_connected(g)
+
+    def test_segmentation_band(self):
+        for seed in range(3):
+            g = segmentation_like(seed)
+            assert 226 <= g.num_nodes <= 235
+            assert 600 <= g.num_edges <= 700
+
+    def test_pedigree_band(self):
+        g = pedigree_like(seed=0)
+        assert g.num_nodes == 385
+        assert 880 <= g.num_edges <= 930
+
+    def test_suites_sizes(self):
+        assert len(promedas_suite(count=5)) == 5
+        assert len(object_detection_suite(count=4)) == 4
+        assert len(segmentation_suite(count=2)) == 2
+        assert len(grid_suite(count=4)) == 4
+        assert len(pedigree_suite(count=2)) == 2
+        assert len(csp_suite(count=3)) == 3
+
+    def test_pgm_suites_scaling(self):
+        scaled = pgm_suites(scale=0.1)
+        assert set(scaled) == {
+            "Promedas",
+            "ObjectDetection",
+            "Segmentation",
+            "Grids",
+            "Pedigree",
+            "CSP",
+        }
+        assert len(scaled["Promedas"]) == 3
+        assert all(len(instances) >= 1 for instances in scaled.values())
+
+    def test_promedas_size_range_spans_paper_band(self):
+        suite = promedas_suite(count=33)
+        sizes = [g.num_nodes for __, g in suite]
+        assert min(sizes) <= 30
+        assert max(sizes) >= 1000
+
+
+class TestRandomSweep:
+    def test_paper_grid_is_54_graphs(self):
+        sweep = random_sweep()
+        assert len(sweep) == 54
+        assert len(PAPER_NODE_COUNTS) == 18
+        assert PAPER_DENSITIES == (0.3, 0.5, 0.7)
+
+    def test_shapes(self):
+        sweep = random_sweep(node_counts=(30, 40), densities=(0.5,))
+        assert [(n, p) for __, __, n, p in sweep] == [(30, 0.5), (40, 0.5)]
+        for name, graph, n, __ in sweep:
+            assert graph.num_nodes == n
+            assert name.startswith("gnp_")
+
+
+class TestTpch:
+    def test_all_22_queries_present(self):
+        names = tpch_query_names()
+        assert names[0] == "Q1" and names[-1] == "Q22"
+        assert len(names) == 22
+        assert len(TPCH_ATOMS) == 22
+
+    def test_unknown_query_raises(self):
+        with pytest.raises(KeyError):
+            tpch_query("Q23")
+
+    def test_graph_shapes_match_paper_band(self):
+        # "The queries include up to 22 nodes, and up to 46 edges."
+        for name, g in tpch_suite():
+            assert g.num_nodes <= 22, name
+            assert g.num_edges <= 46, name
+            assert is_connected(g), name
+
+    def test_atoms_become_cliques(self):
+        g = tpch_query("Q5")
+        for __, variables in TPCH_ATOMS["Q5"]:
+            assert g.is_clique(variables)
+
+    def test_about_half_chordal(self):
+        chordal = sum(1 for __, g in tpch_suite() if is_chordal(g))
+        assert 10 <= chordal <= 17
+
+    def test_q7_q9_not_chordal(self):
+        assert not is_chordal(tpch_query("Q7"))
+        assert not is_chordal(tpch_query("Q9"))
+
+    def test_small_queries_have_few_triangulations(self):
+        from repro.core.enumerate import count_minimal_triangulations
+
+        for name in ("Q2", "Q5", "Q8", "Q10", "Q14"):
+            assert count_minimal_triangulations(tpch_query(name)) <= 5, name
+
+    def test_treewidth_band(self):
+        # Paper: "their treewidth is up to 7".  Sampling the first few
+        # minimal triangulations upper-bounds the treewidth.
+        import itertools
+
+        from repro.core.enumerate import enumerate_minimal_triangulations
+
+        for name in ("Q3", "Q5", "Q7"):
+            g = tpch_query(name)
+            best = min(
+                t.width
+                for t in itertools.islice(
+                    enumerate_minimal_triangulations(g), 25
+                )
+            )
+            assert best <= 7
