@@ -1,0 +1,104 @@
+#!/usr/bin/env python
+"""Microbenchmark: enumeration wall-clock versus a recorded baseline.
+
+Measures ``enumerate_minimal_triangulations`` on the canonical
+acceptance graph (seeded 30-node Gnp(0.35), first 200 results) and
+compares against the baseline committed in ``baselines.json``.  The
+shipped baseline was measured from the seed (pre-bitset-core)
+implementation at commit ``eeb433e`` on the reference dev container;
+the refactor of the graph substrate onto the integer-indexed bitset
+core was accepted at ≥3× against it.
+
+Each entry in ``baselines.json`` is ``label → {seconds, ...}``; future
+PRs append their own labelled measurements with ``--record <label>`` so
+the file accumulates a perf trajectory::
+
+    PYTHONPATH=src python benchmarks/microbench_core.py                # compare
+    PYTHONPATH=src python benchmarks/microbench_core.py --record pr7  # append
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import statistics
+import time
+from pathlib import Path
+
+from repro.core.enumerate import enumerate_minimal_triangulations
+from repro.graph.generators import gnp_random_graph
+
+BASELINES_PATH = Path(__file__).parent / "baselines.json"
+
+GRAPH_NODES = 30
+GRAPH_P = 0.35
+GRAPH_SEED = 12345
+RESULTS = 200
+REPEATS = 3
+
+
+def measure_once() -> float:
+    graph = gnp_random_graph(GRAPH_NODES, GRAPH_P, seed=GRAPH_SEED)
+    start = time.perf_counter()
+    produced = 0
+    for __ in enumerate_minimal_triangulations(graph):
+        produced += 1
+        if produced >= RESULTS:
+            break
+    elapsed = time.perf_counter() - start
+    if produced < RESULTS:
+        raise RuntimeError(
+            f"benchmark graph yielded only {produced} < {RESULTS} results"
+        )
+    return elapsed
+
+
+def measure() -> float:
+    return statistics.median(measure_once() for __ in range(REPEATS))
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--record",
+        metavar="LABEL",
+        help="append the measurement to baselines.json under LABEL",
+    )
+    parser.add_argument(
+        "--against",
+        default="seed",
+        help="baseline label to compare against (default: seed)",
+    )
+    args = parser.parse_args()
+
+    baselines = json.loads(BASELINES_PATH.read_text())
+    seconds = measure()
+    print(
+        f"enumerate_minimal_triangulations: Gnp({GRAPH_NODES}, {GRAPH_P}, "
+        f"seed={GRAPH_SEED}), first {RESULTS} results, median of {REPEATS}: "
+        f"{seconds:.3f}s"
+    )
+
+    reference = baselines.get(args.against)
+    if reference is not None:
+        speedup = reference["seconds"] / seconds
+        print(
+            f"baseline '{args.against}': {reference['seconds']:.3f}s "
+            f"→ speedup {speedup:.2f}x"
+        )
+    else:
+        print(f"no baseline named {args.against!r} in {BASELINES_PATH.name}")
+
+    if args.record:
+        baselines[args.record] = {
+            "seconds": round(seconds, 4),
+            "graph": {"n": GRAPH_NODES, "p": GRAPH_P, "seed": GRAPH_SEED},
+            "results": RESULTS,
+            "repeats": REPEATS,
+        }
+        BASELINES_PATH.write_text(json.dumps(baselines, indent=2) + "\n")
+        print(f"recorded as '{args.record}' in {BASELINES_PATH.name}")
+
+
+if __name__ == "__main__":
+    main()

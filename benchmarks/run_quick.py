@@ -1,0 +1,109 @@
+#!/usr/bin/env python
+"""Quick per-stage timing smoke for the enumeration pipeline.
+
+Runs each hot stage of the pipeline on seeded random graphs and prints
+a small timing table — enough to spot a regression at a glance and to
+give CI a perf trajectory without the full benchmark suite.  Sizes are
+tiny by default; scale with ``--nodes`` / ``--results`` locally.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/run_quick.py [--nodes 30] [--p 0.35]
+                                                  [--results 200] [--seed 12345]
+"""
+
+from __future__ import annotations
+
+import argparse
+import time
+
+from repro.chordal.cliques import mcs_clique_forest
+from repro.chordal.minimal_separators import (
+    all_minimal_separators,
+    are_crossing,
+)
+from repro.chordal.triangulate import lb_triang, mcs_m
+from repro.core.enumerate import enumerate_minimal_triangulations
+from repro.core.extend import minimal_triangulation_via
+from repro.graph.components import connected_components
+from repro.graph.generators import gnp_random_graph
+from repro.sgr.enum_mis import EnumMISStatistics
+
+
+def timed(label: str, fn, *args, repeat: int = 1, **kwargs):
+    start = time.perf_counter()
+    result = None
+    for __ in range(repeat):
+        result = fn(*args, **kwargs)
+    elapsed = (time.perf_counter() - start) / repeat
+    print(f"  {label:<38} {elapsed * 1000:10.2f} ms")
+    return result
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--nodes", type=int, default=30)
+    parser.add_argument("--p", type=float, default=0.35)
+    parser.add_argument("--results", type=int, default=200)
+    parser.add_argument("--seed", type=int, default=12345)
+    args = parser.parse_args()
+
+    graph = gnp_random_graph(args.nodes, args.p, seed=args.seed)
+    print(
+        f"graph: Gnp(n={args.nodes}, p={args.p}, seed={args.seed}) — "
+        f"{graph.num_nodes} nodes, {graph.num_edges} edges"
+    )
+    print("per-stage timings (average of repeats):")
+
+    timed("connected_components", connected_components, graph, repeat=20)
+    fill, __ = timed("mcs_m (minimal triangulation)", mcs_m, graph, repeat=5)
+    print(f"    mcs_m fill edges: {len(fill)}")
+    timed("lb_triang (min_fill heuristic)", lb_triang, graph, repeat=3)
+    triangulated = timed(
+        "minimal_triangulation_via('mcs_m')",
+        minimal_triangulation_via,
+        graph,
+        "mcs_m",
+        repeat=5,
+    )
+    timed("mcs_clique_forest (chordal)", mcs_clique_forest, triangulated, repeat=5)
+    separators = timed("all_minimal_separators", all_minimal_separators, graph)
+    print(f"    |MinSep| = {len(separators)}")
+    sample = sorted(separators, key=sorted)[:30]
+
+    def crossing_scan():
+        return sum(
+            1 for s in sample for t in sample if are_crossing(graph, s, t)
+        )
+
+    timed(f"are_crossing ({len(sample)}x{len(sample)} pairs)", crossing_scan)
+
+    stats = EnumMISStatistics()
+
+    def enumerate_some():
+        count = 0
+        for __ in enumerate_minimal_triangulations(graph, stats=stats):
+            count += 1
+            if count >= args.results:
+                break
+        return count
+
+    start = time.perf_counter()
+    produced = enumerate_some()
+    elapsed = time.perf_counter() - start
+    print(
+        f"  enumerate_minimal_triangulations       {elapsed * 1000:10.2f} ms"
+        f"  ({produced} results)"
+    )
+    snap = stats.snapshot()
+    print(
+        "    stats: "
+        f"extend_calls={snap['extend_calls']} "
+        f"edge_oracle_calls={snap['edge_oracle_calls']} "
+        f"cache_hits={snap['edge_cache_hits']} "
+        f"cache_misses={snap['edge_cache_misses']}"
+    )
+
+
+if __name__ == "__main__":
+    main()

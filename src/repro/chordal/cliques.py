@@ -25,11 +25,11 @@ chordal graphs.
 
 from __future__ import annotations
 
-import heapq
 from dataclasses import dataclass, field
 
 from repro.errors import NotChordalError
-from repro.graph.graph import Graph, Node, _sort_nodes
+from repro.graph.core import MaxWeightBuckets, iter_bits
+from repro.graph.graph import Graph, Node
 
 __all__ = ["CliqueForest", "mcs_clique_forest", "maximal_cliques", "tree_width"]
 
@@ -76,12 +76,12 @@ class CliqueForest:
         return max(len(clique) for clique in self.cliques) - 1
 
 
-def _key(node: Node) -> tuple[str, str]:
-    return (type(node).__name__, repr(node))
-
-
 def mcs_clique_forest(graph: Graph) -> CliqueForest:
     """Build the clique forest of a chordal ``graph`` via one MCS pass.
+
+    The search runs on the bitmask core: cliques under construction and
+    the visited set are masks, so the continuation and parent-clique
+    invariants are single integer comparisons.
 
     Raises
     ------
@@ -89,67 +89,79 @@ def mcs_clique_forest(graph: Graph) -> CliqueForest:
         If the construction invariants fail, which happens exactly when
         ``graph`` is not chordal.
     """
-    adj = graph._adj  # noqa: SLF001 - hot path
-    if not adj:
+    core = graph.core
+    adj = core.adj
+    if not core.alive:
         return CliqueForest((), (), (), {})
 
-    weights: dict[Node, int] = {node: 0 for node in adj}
-    heap: list[tuple[int, tuple[str, str], Node]] = []
-    for node in _sort_nodes(adj.keys()):
-        heapq.heappush(heap, (0, _key(node), node))
+    ranks = graph.ranks()
+    weights = [0] * len(adj)
+    # Unvisited vertices bucketed by weight (= number of visited
+    # neighbours); max-weight extraction and weight bumps are mask ops.
+    unvisited = core.alive
+    queue = MaxWeightBuckets(unvisited)
 
-    visit_time: dict[Node, int] = {}
-    cliques: list[set[Node]] = []
+    visited = 0
+    visit_time = [0] * len(adj)
+    n_visited = 0
+    clique_masks: list[int] = []
     parent: list[int | None] = []
-    separators: list[frozenset[Node] | None] = []
-    clique_of: dict[Node, int] = {}
+    separator_masks: list[int | None] = []
+    clique_of_idx = [0] * len(adj)
     current_clique = -1
     prev_card = -1
+    n = core.num_vertices
 
-    while len(visit_time) < len(adj):
-        weight, __, node = heapq.heappop(heap)
-        if node in visit_time or -weight != weights[node]:
-            continue
-        visited_neighbors = {n for n in adj[node] if n in visit_time}
-        card = len(visited_neighbors)
+    while n_visited < n:
+        node = queue.pop_max(ranks)
+        bit_node = 1 << node
+        unvisited &= ~bit_node
+        visited_neighbors = adj[node] & visited
+        card = visited_neighbors.bit_count()
         if card == prev_card + 1 and current_clique >= 0:
             # Continuation: node extends the clique under construction.
-            if visited_neighbors != cliques[current_clique]:
+            if visited_neighbors != clique_masks[current_clique]:
                 raise NotChordalError(
                     f"{graph.summary()} is not chordal "
                     "(MCS clique-continuation invariant failed)"
                 )
-            cliques[current_clique].add(node)
+            clique_masks[current_clique] |= 1 << node
         else:
             # New clique {node} ∪ M(node).
             if card > 0:
-                last_visited = max(visited_neighbors, key=visit_time.__getitem__)
-                parent_index = clique_of[last_visited]
-                if not visited_neighbors <= cliques[parent_index]:
+                last_visited = max(
+                    iter_bits(visited_neighbors), key=visit_time.__getitem__
+                )
+                parent_index = clique_of_idx[last_visited]
+                if visited_neighbors & ~clique_masks[parent_index]:
                     raise NotChordalError(
                         f"{graph.summary()} is not chordal "
                         "(MCS parent-clique invariant failed)"
                     )
                 parent.append(parent_index)
-                separators.append(frozenset(visited_neighbors))
+                separator_masks.append(visited_neighbors)
             else:
                 parent.append(None)
-                separators.append(None)
-            cliques.append(visited_neighbors | {node})
-            current_clique = len(cliques) - 1
-        clique_of[node] = current_clique
-        visit_time[node] = len(visit_time)
+                separator_masks.append(None)
+            clique_masks.append(visited_neighbors | 1 << node)
+            current_clique = len(clique_masks) - 1
+        clique_of_idx[node] = current_clique
+        visit_time[node] = n_visited
+        n_visited += 1
+        visited |= bit_node
         prev_card = card
-        for neigh in adj[node]:
-            if neigh not in visit_time:
-                weights[neigh] += 1
-                heapq.heappush(heap, (-weights[neigh], _key(neigh), neigh))
+        queue.bump_all(adj[node] & unvisited, weights)
 
+    label_set = graph.label_set
+    label_of = graph.label_of
     return CliqueForest(
-        tuple(frozenset(clique) for clique in cliques),
+        tuple(label_set(mask) for mask in clique_masks),
         tuple(parent),
-        tuple(separators),
-        clique_of,
+        tuple(
+            label_set(mask) if mask is not None else None
+            for mask in separator_masks
+        ),
+        {label_of(i): clique_of_idx[i] for i in iter_bits(core.alive)},
     )
 
 

@@ -18,13 +18,10 @@ from __future__ import annotations
 
 import heapq
 
-from repro.graph.graph import Graph, Node, _sort_nodes, edge_key, sort_edges
+from repro.graph.core import iter_bits
+from repro.graph.graph import Graph, Node, edge_key, sort_edges
 
 __all__ = ["lex_m"]
-
-
-def _key(node: Node) -> tuple[str, str]:
-    return (type(node).__name__, repr(node))
 
 
 def lex_m(graph: Graph) -> tuple[list[tuple[Node, Node]], list[Node]]:
@@ -32,65 +29,74 @@ def lex_m(graph: Graph) -> tuple[list[tuple[Node, Node]], list[Node]]:
 
     ``graph + fill`` is a minimal triangulation of ``graph`` and the
     returned ordering (eliminated-first first) is a perfect elimination
-    ordering of it.
+    ordering of it.  Vertices are handled as core indices; the
+    lexicographic labels live in a dense list keyed by index.
     """
-    adj = graph._adj  # noqa: SLF001
-    labels: dict[Node, tuple[int, ...]] = {node: () for node in adj}
-    unnumbered: set[Node] = set(adj)
+    core = graph.core
+    adj = core.adj
+    labels: list[tuple[int, ...]] = [()] * len(adj)
+    sorted_order = graph.sorted_indices()
+    label_of = graph.label_of
+    unnumbered = core.alive
     fill: list[tuple[Node, Node]] = []
     reverse_order: list[Node] = []
-    n = len(adj)
+    n = core.num_vertices
 
     for number in range(n, 0, -1):
-        v = max(
-            _sort_nodes(unnumbered),
-            key=lambda node: labels[node],
-        )
-        unnumbered.discard(v)
-        reverse_order.append(v)
+        # Largest lexicographic label; ties go to the first vertex in
+        # label-sorted order, matching ``max(sorted(nodes), key=...)``.
+        v = -1
+        v_label: tuple[int, ...] | None = None
+        for i in sorted_order:
+            if not unnumbered >> i & 1:
+                continue
+            if v_label is None or labels[i] > v_label:
+                v, v_label = i, labels[i]
+        unnumbered &= ~(1 << v)
+        reverse_order.append(label_of(v))
         reachable = _lexm_reachable(adj, labels, unnumbered, v)
+        adj_v = adj[v]
+        node_v = label_of(v)
         for u in reachable:
             labels[u] = labels[u] + (number,)
-            if u not in adj[v]:
-                fill.append(edge_key(u, v))
+            if not adj_v >> u & 1:
+                fill.append(edge_key(label_of(u), node_v))
 
     reverse_order.reverse()
     return sort_edges(fill), reverse_order
 
 
 def _lexm_reachable(
-    adj: dict[Node, set[Node]],
-    labels: dict[Node, tuple[int, ...]],
-    unnumbered: set[Node],
-    v: Node,
-) -> list[Node]:
+    adj: list[int],
+    labels: list[tuple[int, ...]],
+    unnumbered: int,
+    v: int,
+) -> list[int]:
     """Vertices u reachable from v through strictly smaller-labelled paths.
 
     Minimax Dijkstra over lexicographic labels: ``key(u)`` is the
     minimum over v→u paths of the maximum internal label (``None``
     playing −∞ for direct edges); u qualifies iff ``key(u) < label(u)``.
     """
-    best: dict[Node, tuple[int, ...] | None] = {}
+    best: dict[int, tuple[int, ...] | None] = {}
     counter = 0
-    heap: list[tuple[tuple[int, ...], int, Node]] = []
-    for u in adj[v]:
-        if u in unnumbered:
-            best[u] = None
-            heapq.heappush(heap, ((), counter, u))
-            counter += 1
+    heap: list[tuple[tuple[int, ...], int, int]] = []
+    not_v = ~(1 << v)
+    for u in iter_bits(adj[v] & unnumbered):
+        best[u] = None
+        heap.append(((), counter, u))
+        counter += 1
+    heapq.heapify(heap)
     while heap:
         key_tuple, __, u = heapq.heappop(heap)
         current = best.get(u, ())
-        normalised = () if current is None else key_tuple
         if current is not None and key_tuple != current:
             continue
         through = max(
             key_tuple if current is not None else (),
             labels[u],
         )
-        for x in adj[u]:
-            if x not in unnumbered or x == v:
-                continue
+        for x in iter_bits(adj[u] & unnumbered & not_v):
             existing = best.get(x, _MISSING)
             if existing is _MISSING or (
                 existing is not None and through < existing

@@ -14,6 +14,13 @@ SGR (paper Section 3.1.1):
   a (u, v)-separator for some u, v ∈ T).  The relation is symmetric
   (Parra–Scheffler / Kloks–Kratsch–Spinrad).
 
+Both run entirely on the bitmask core: separators are single-int masks
+while inside the enumeration (so the seen-set hashes machine ints, not
+frozensets), and labels are materialised only when a separator is
+yielded.  The mask-level variants (:func:`minimal_separator_masks`,
+:func:`are_crossing_masks`) are exposed for the SGR layer, which
+interns separator masks and memoizes crossing queries on top of them.
+
 Conventions
 -----------
 For a *disconnected* graph the empty set is, by the paper's
@@ -27,13 +34,16 @@ from __future__ import annotations
 from collections import deque
 from collections.abc import Iterable, Iterator
 
-from repro.graph.components import components_without, full_components
-from repro.graph.graph import Graph, Node, _sort_nodes
+from repro.graph.components import is_separator
+from repro.graph.core import IndexedGraph, iter_bits
+from repro.graph.graph import Graph, Node
 
 __all__ = [
     "minimal_separators",
+    "minimal_separator_masks",
     "all_minimal_separators",
     "are_crossing",
+    "are_crossing_masks",
     "are_parallel",
     "is_minimal_separator",
     "is_pairwise_parallel",
@@ -41,6 +51,49 @@ __all__ = [
 ]
 
 Separator = frozenset[Node]
+
+
+def minimal_separator_masks(graph: Graph) -> Iterator[int]:
+    """Enumerate ``MinSep(graph)`` as vertex bitmasks (paper Figure 2).
+
+    The mask-level engine behind :func:`minimal_separators`: every
+    separator is produced exactly once, as a single int, with the same
+    polynomial delay bound.  Deterministic in label order: candidate
+    vertices *and* component starts are visited in label-sorted order,
+    so the yield order does not depend on node insertion order.
+    """
+    core = graph.core
+    if not core.alive:
+        return
+
+    adj = core.adj
+    order = graph.sorted_indices()
+    ranks = graph.ranks()
+
+    queue: deque[int] = deque()
+    seen: set[int] = set()
+
+    def discover(separator: int) -> None:
+        if separator not in seen:
+            seen.add(separator)
+            queue.append(separator)
+
+    # Seeds: neighbourhoods of the components of g \ N[v] for every v.
+    for v in order:
+        closed = adj[v] | 1 << v
+        for component in core.components(closed, order=order):
+            discover(core.neighborhood_of_set(component))
+
+    # The empty set is a minimal separator iff the graph is disconnected,
+    # in which case it already appeared as a seed (a foreign component
+    # has an empty neighbourhood).  A connected graph never seeds it.
+    while queue:
+        separator = queue.popleft()
+        for x in sorted(iter_bits(separator), key=ranks.__getitem__):
+            removed = separator | adj[x]
+            for component in core.components(removed, order=order):
+                discover(core.neighborhood_of_set(component))
+        yield separator
 
 
 def minimal_separators(graph: Graph) -> Iterator[Separator]:
@@ -51,34 +104,8 @@ def minimal_separators(graph: Graph) -> Iterator[Separator]:
     worst case regardless of |MinSep|, which is what makes it usable as
     the node iterator of the separator-graph SGR.
     """
-    adj = graph._adj  # noqa: SLF001
-    if not adj:
-        return
-
-    queue: deque[Separator] = deque()
-    seen: set[Separator] = set()
-
-    def discover(separator: Separator) -> None:
-        if separator not in seen:
-            seen.add(separator)
-            queue.append(separator)
-
-    # Seeds: neighbourhoods of the components of g \ N[v] for every v.
-    for v in _sort_nodes(adj.keys()):
-        closed = adj[v] | {v}
-        for component in components_without(graph, closed):
-            discover(frozenset(graph.neighborhood_of_set(component)))
-
-    # The empty set is a minimal separator iff the graph is disconnected,
-    # in which case it already appeared as a seed (a foreign component
-    # has an empty neighbourhood).  A connected graph never seeds it.
-    while queue:
-        separator = queue.popleft()
-        for x in _sort_nodes(separator):
-            removed = separator | adj[x]
-            for component in components_without(graph, removed):
-                discover(frozenset(graph.neighborhood_of_set(component)))
-        yield separator
+    for mask in minimal_separator_masks(graph):
+        yield graph.label_set(mask)
 
 
 def all_minimal_separators(graph: Graph) -> set[Separator]:
@@ -88,7 +115,21 @@ def all_minimal_separators(graph: Graph) -> set[Separator]:
 
 def count_minimal_separators(graph: Graph) -> int:
     """Return ``|MinSep(graph)|``."""
-    return sum(1 for __ in minimal_separators(graph))
+    return sum(1 for __ in minimal_separator_masks(graph))
+
+
+def are_crossing_masks(core: IndexedGraph, s: int, t: int) -> bool:
+    """Mask-level crossing test: is S a (u, v)-separator for u, v ∈ T?"""
+    remainder = t & ~s
+    if not remainder:
+        return False
+    touched = 0
+    for component in core.components(s):
+        if component & remainder:
+            touched += 1
+            if touched >= 2:
+                return True
+    return False
 
 
 def are_crossing(graph: Graph, s: Iterable[Node], t: Iterable[Node]) -> bool:
@@ -98,18 +139,11 @@ def are_crossing(graph: Graph, s: Iterable[Node], t: Iterable[Node]) -> bool:
     the nodes of ``T \\ S`` meet at least two connected components of
     ``g \\ S``.  Symmetric for minimal separators.
     """
-    s_set = frozenset(s)
-    t_set = frozenset(t)
-    remainder = t_set - s_set
-    if not remainder:
-        return False
-    touched = 0
-    for component in components_without(graph, s_set):
-        if component & remainder:
-            touched += 1
-            if touched >= 2:
-                return True
-    return False
+    return are_crossing_masks(
+        graph.core,
+        graph.mask_of(set(s), strict=False),
+        graph.mask_of(set(t), strict=False),
+    )
 
 
 def are_parallel(graph: Graph, s: Iterable[Node], t: Iterable[Node]) -> bool:
@@ -119,10 +153,11 @@ def are_parallel(graph: Graph, s: Iterable[Node], t: Iterable[Node]) -> bool:
 
 def is_pairwise_parallel(graph: Graph, separators: Iterable[Iterable[Node]]) -> bool:
     """Return whether every two separators in the collection are parallel."""
-    sets = [frozenset(sep) for sep in separators]
-    for i, s in enumerate(sets):
-        for t in sets[i + 1 :]:
-            if are_crossing(graph, s, t):
+    core = graph.core
+    masks = [graph.mask_of(set(sep)) for sep in separators]
+    for i, s in enumerate(masks):
+        for t in masks[i + 1 :]:
+            if are_crossing_masks(core, s, t):
                 return False
     return True
 
@@ -135,4 +170,4 @@ def is_minimal_separator(graph: Graph, candidate: Iterable[Node]) -> bool:
     ``N(C) = S``).  The empty set qualifies exactly when the graph is
     disconnected.
     """
-    return len(full_components(graph, candidate)) >= 2
+    return is_separator(graph, candidate)

@@ -17,6 +17,13 @@ This module provides:
 * :func:`elimination_fill_in` / :func:`monotone_adjacencies` — the
   *elimination game* bookkeeping shared by the triangulation
   heuristics in :mod:`repro.chordal.triangulate`.
+
+All algorithms run on the integer-indexed bitset core: weights and
+labels live in dense lists keyed by vertex index, adjacency tests are
+single-bit probes, and the clique condition of the PEO check is one
+mask-subset test per vertex.  The label-sorted rank order of the façade
+is used for every tie-break, so results are exactly as deterministic as
+the label-based implementation they replace.
 """
 
 from __future__ import annotations
@@ -25,7 +32,8 @@ import heapq
 from collections.abc import Sequence
 
 from repro.errors import NotChordalError
-from repro.graph.graph import Graph, Node, _sort_nodes, edge_key
+from repro.graph.core import iter_bits
+from repro.graph.graph import Graph, Node, edge_key
 
 __all__ = [
     "maximum_cardinality_search",
@@ -54,34 +62,34 @@ def maximum_cardinality_search(graph: Graph, first: Node | None = None) -> list[
         Optional start node (visited first).  Varying the start node
         yields different PEOs of the same chordal graph.
     """
-    adj = graph._adj  # noqa: SLF001 - hot path
-    if first is not None and first not in adj:
+    core = graph.core
+    adj = core.adj
+    if first is not None and first not in graph:
         raise KeyError(first)
-    weights: dict[Node, int] = {node: 0 for node in adj}
+    weights = [0] * len(adj)
     if first is not None:
-        weights[first] = 1  # forces `first` to be picked first
-    visited: set[Node] = set()
-    order: list[Node] = []
-    # A lazy max-heap over (-weight, sort_key, node); stale entries are
-    # skipped on pop.  sort_key makes tie-breaking deterministic.
-    heap: list[tuple[int, tuple[str, str], Node]] = []
-    for node in _sort_nodes(adj.keys()):
-        heapq.heappush(heap, (-weights[node], _key(node), node))
-    while len(order) < len(adj):
+        weights[graph.index_of(first)] = 1  # forces `first` to be picked first
+    ranks = graph.ranks()
+    visited = 0
+    order: list[int] = []
+    n = core.num_vertices
+    # A lazy max-heap over (-weight, rank, index); stale entries are
+    # skipped on pop.  The label rank makes tie-breaking deterministic.
+    heap: list[tuple[int, int, int]] = [
+        (-weights[i], ranks[i], i) for i in graph.sorted_indices()
+    ]
+    heapq.heapify(heap)
+    while len(order) < n:
         weight, __, node = heapq.heappop(heap)
-        if node in visited or -weight != weights[node]:
+        if visited >> node & 1 or -weight != weights[node]:
             continue
-        visited.add(node)
+        visited |= 1 << node
         order.append(node)
-        for neigh in adj[node]:
-            if neigh not in visited:
-                weights[neigh] += 1
-                heapq.heappush(heap, (-weights[neigh], _key(neigh), neigh))
-    return order
-
-
-def _key(node: Node) -> tuple[str, str]:
-    return (type(node).__name__, repr(node))
+        for neigh in iter_bits(adj[node] & ~visited):
+            weights[neigh] += 1
+            heapq.heappush(heap, (-weights[neigh], ranks[neigh], neigh))
+    label_of = graph.label_of
+    return [label_of(i) for i in order]
 
 
 def lex_bfs(graph: Graph) -> list[Node]:
@@ -91,11 +99,12 @@ def lex_bfs(graph: Graph) -> list[Node]:
     with MCS, the reverse of the visit order is a PEO iff the graph is
     chordal.
     """
-    adj = graph._adj  # noqa: SLF001
-    if not adj:
+    core = graph.core
+    if not core.alive:
         return []
-    buckets: list[list[Node]] = [_sort_nodes(adj.keys())]
-    order: list[Node] = []
+    adj = core.adj
+    buckets: list[list[int]] = [list(graph.sorted_indices())]
+    order: list[int] = []
     while buckets:
         head = buckets[0]
         node = head.pop(0)
@@ -103,16 +112,27 @@ def lex_bfs(graph: Graph) -> list[Node]:
             buckets.pop(0)
         order.append(node)
         neighbours = adj[node]
-        new_buckets: list[list[Node]] = []
+        new_buckets: list[list[int]] = []
         for bucket in buckets:
-            inside = [candidate for candidate in bucket if candidate in neighbours]
-            outside = [candidate for candidate in bucket if candidate not in neighbours]
+            inside = [candidate for candidate in bucket if neighbours >> candidate & 1]
+            outside = [
+                candidate for candidate in bucket if not neighbours >> candidate & 1
+            ]
             if inside:
                 new_buckets.append(inside)
             if outside:
                 new_buckets.append(outside)
         buckets = new_buckets
-    return order
+    label_of = graph.label_of
+    return [label_of(i) for i in order]
+
+
+def _order_indices(graph: Graph, order: Sequence[Node]) -> list[int]:
+    """Translate a node ordering to indices, validating it is a permutation."""
+    if len(order) != graph.num_nodes or set(order) != graph.node_set():
+        raise ValueError("order must be a permutation of the node set")
+    index_of = graph.index_of
+    return [index_of(node) for node in order]
 
 
 def is_perfect_elimination_ordering(graph: Graph, order: Sequence[Node]) -> bool:
@@ -123,20 +143,23 @@ def is_perfect_elimination_ordering(graph: Graph, order: Sequence[Node]) -> bool
     PEO iff for every ``v``, ``madj(v) \\ {p(v)} ⊆ madj(p(v))``.  This
     avoids the quadratic all-pairs clique check.
     """
-    adj = graph._adj  # noqa: SLF001
-    if set(order) != set(adj) or len(order) != len(adj):
-        raise ValueError("order must be a permutation of the node set")
-    position = {node: i for i, node in enumerate(order)}
-    madj: dict[Node, set[Node]] = {
-        node: {neigh for neigh in adj[node] if position[neigh] > position[node]}
-        for node in order
-    }
-    for node in order:
-        later = madj[node]
-        if not later:
+    indices = _order_indices(graph, order)
+    adj = graph.core.adj
+    position = [0] * len(adj)
+    for pos, index in enumerate(indices):
+        position[index] = pos
+    # madj as masks: later neighbours of each vertex.
+    madj = [0] * len(adj)
+    later = 0
+    for index in reversed(indices):
+        madj[index] = adj[index] & later
+        later |= 1 << index
+    for index in indices:
+        later_mask = madj[index]
+        if not later_mask:
             continue
-        parent = min(later, key=position.__getitem__)
-        if not (later - {parent}) <= madj[parent]:
+        parent = min(iter_bits(later_mask), key=position.__getitem__)
+        if (later_mask & ~(1 << parent)) & ~madj[parent]:
             return False
     return True
 
@@ -167,14 +190,19 @@ def monotone_adjacencies(
     graph: Graph, order: Sequence[Node]
 ) -> dict[Node, frozenset[Node]]:
     """Return ``madj(v)`` (later neighbours of v) for every node of ``order``."""
-    position = {node: i for i, node in enumerate(order)}
-    adj = graph._adj  # noqa: SLF001
-    return {
-        node: frozenset(
-            neigh for neigh in adj[node] if position[neigh] > position[node]
-        )
-        for node in order
-    }
+    indices = [graph.index_of(node) for node in order]
+    adj = graph.core.adj
+    label_set = graph.label_set
+    result: dict[Node, frozenset[Node]] = {}
+    later = 0
+    madj_masks: list[int] = []
+    for index in reversed(indices):
+        madj_masks.append(adj[index] & later)
+        later |= 1 << index
+    madj_masks.reverse()
+    for node, mask in zip(order, madj_masks):
+        result[node] = label_set(mask)
+    return result
 
 
 def elimination_fill_in(
@@ -189,29 +217,29 @@ def elimination_fill_in(
     ``graph + fill`` is always a (not necessarily minimal)
     triangulation, and ``order`` is a PEO of it.
     """
-    if set(order) != graph.node_set() or len(order) != graph.num_nodes:
-        raise ValueError("order must be a permutation of the node set")
-    position = {node: i for i, node in enumerate(order)}
-    # Work adjacency restricted to not-yet-eliminated ("later") nodes.
-    later_adj: dict[Node, set[Node]] = {
-        node: {neigh for neigh in graph.neighbors(node) if position[neigh] > position[node]}
-        for node in order
-    }
+    indices = _order_indices(graph, order)
+    adj = graph.core.adj
+    ranks = graph.ranks()
+    label_of = graph.label_of
+    position = [0] * len(adj)
+    for pos, index in enumerate(indices):
+        position[index] = pos
+    # Work adjacency restricted to later-positioned nodes, kept on the
+    # earlier endpoint only and growing as fill accumulates.
+    current = [0] * len(adj)
+    later = 0
+    for index in reversed(indices):
+        current[index] = adj[index] & later
+        later |= 1 << index
     fill: list[tuple[Node, Node]] = []
-    # For the saturation step we need, for each eliminated node, its
-    # *current* higher neighbourhood, which grows as fill accumulates.
-    current: dict[Node, set[Node]] = later_adj
-    for node in order:
-        higher = _sort_nodes(current[node])
+    for index in indices:
+        higher = sorted(iter_bits(current[index]), key=ranks.__getitem__)
         for i, u in enumerate(higher):
             for v in higher[i + 1 :]:
-                if position[u] < position[v]:
-                    low, high = u, v
-                else:
-                    low, high = v, u
-                if high not in current[low]:
-                    current[low].add(high)
-                    fill.append(edge_key(u, v))
+                low, high = (u, v) if position[u] < position[v] else (v, u)
+                if not current[low] >> high & 1:
+                    current[low] |= 1 << high
+                    fill.append(edge_key(label_of(u), label_of(v)))
     return fill
 
 
@@ -223,5 +251,13 @@ def width_of_peo(graph: Graph, peo: Sequence[Node]) -> int:
     """
     if not peo:
         return -1
-    madj = monotone_adjacencies(graph, peo)
-    return max(len(later) for later in madj.values())
+    indices = _order_indices(graph, peo)
+    adj = graph.core.adj
+    later = 0
+    width = 0
+    for index in reversed(indices):
+        size = (adj[index] & later).bit_count()
+        if size > width:
+            width = size
+        later |= 1 << index
+    return width

@@ -27,13 +27,12 @@ heuristic with its minimality guarantee for use by
 
 from __future__ import annotations
 
-import heapq
 from collections.abc import Callable, Sequence
 from dataclasses import dataclass
 
 from repro.chordal.peo import elimination_fill_in
-from repro.graph.components import components_without
-from repro.graph.graph import Graph, Node, _sort_nodes, edge_key, sort_edges
+from repro.graph.core import MaxWeightBuckets, iter_bits
+from repro.graph.graph import Graph, Node, edge_key, sort_edges
 
 __all__ = [
     "mcs_m",
@@ -75,75 +74,95 @@ def mcs_m(graph: Graph, first: Node | None = None) -> tuple[list[tuple[Node, Nod
         Optional vertex forced to receive the highest number (be chosen
         first); varying it diversifies the produced triangulation.
     """
-    adj = graph._adj  # noqa: SLF001
-    weights: dict[Node, int] = {node: 0 for node in adj}
+    core = graph.core
+    adj = core.adj
+    weights = [0] * len(adj)
+    ranks = graph.ranks()
+    unnumbered = core.alive
+    queue = MaxWeightBuckets(unnumbered)
     if first is not None:
-        if first not in adj:
+        if first not in graph:
             raise KeyError(first)
-        weights[first] = 1
-    unnumbered: set[Node] = set(adj)
-    heap: list[tuple[int, tuple[str, str], Node]] = [
-        (-weights[node], _key(node), node) for node in _sort_nodes(adj.keys())
-    ]
-    heapq.heapify(heap)
+        index = graph.index_of(first)
+        weights[index] = 1
+        queue.bump(index, 0)
+    label_of = graph.label_of
     fill: list[tuple[Node, Node]] = []
     reverse_order: list[Node] = []
 
     while unnumbered:
-        while True:
-            weight, __, v = heapq.heappop(heap)
-            if v in unnumbered and -weight == weights[v]:
-                break
-        unnumbered.discard(v)
-        reverse_order.append(v)
-        reachable = _mcs_m_reachable(adj, weights, unnumbered, v)
-        for u in reachable:
-            weights[u] += 1
-            heapq.heappush(heap, (-weights[u], _key(u), u))
-            if u not in adj[v]:
-                fill.append(edge_key(u, v))
+        v = queue.pop_max(ranks)
+        unnumbered &= ~(1 << v)
+        reverse_order.append(label_of(v))
+        update_set = _mcs_m_update_mask(adj, queue.buckets, unnumbered, v)
+        queue.bump_all(update_set, weights)
+        label_v = label_of(v)
+        m = update_set & ~adj[v]
+        while m:
+            low = m & -m
+            m ^= low
+            fill.append(edge_key(label_of(low.bit_length() - 1), label_v))
 
     reverse_order.reverse()
     fill = sort_edges(fill)
     return fill, reverse_order
 
 
-def _mcs_m_reachable(
-    adj: dict[Node, set[Node]],
-    weights: dict[Node, int],
-    unnumbered: set[Node],
-    v: Node,
-) -> list[Node]:
-    """Return the MCS-M update set S for vertex ``v``.
+def _mcs_m_update_mask(
+    adj: list[int],
+    buckets: dict[int, int],
+    unnumbered: int,
+    v: int,
+) -> int:
+    """Return the MCS-M update set S for vertex ``v`` as a bitmask.
 
     ``u ∈ S`` iff there is a path from v to u through unnumbered
-    vertices whose internal vertices all have weight < w(u).  Computed
-    with a minimax Dijkstra: ``key(u)`` is the minimum over paths of
-    the maximum internal weight (−1 when a direct edge exists); then
-    ``u ∈ S ⟺ key(u) < w(u)``.
+    vertices whose internal vertices all have weight < w(u) — i.e.
+    ``key(u) < w(u)`` where ``key(u)`` is the minimum over paths of the
+    maximum internal weight (−1 when a direct edge exists).
+
+    Because MCS-M weights are small integers, the minimax Dijkstra
+    collapses into a *threshold sweep* over the caller's weight-bucket
+    masks: for ascending thresholds t, grow the set reachable through
+    internal vertices of weight ≤ t by whole-mask frontier expansion.
+    A vertex first reached at threshold t has ``key = t`` and qualifies
+    iff ``w > t``; direct neighbours (key −1) always qualify.  Each
+    sweep round costs a few wide integer operations, so the whole
+    update is O(levels · rounds) big-int ops instead of a per-edge heap
+    traversal.
     """
-    key: dict[Node, int] = {}
-    heap: list[tuple[int, tuple[str, str], Node]] = []
-    for u in adj[v]:
-        if u in unnumbered:
-            key[u] = -1
-            heapq.heappush(heap, (-1, _key(u), u))
-    while heap:
-        k, __, u = heapq.heappop(heap)
-        if k != key.get(u):
+    avail = unnumbered
+    reached = adj[v] & avail
+    if not reached:
+        return 0
+    update_set = reached  # key = −1 < w(u) for every unnumbered vertex
+    if reached == avail:
+        return update_set
+
+    processed = 0
+    weight_le = 0
+    for t in sorted(buckets):
+        bucket = buckets[t] & avail
+        if not bucket:
             continue
-        # Expand through u: u becomes an internal vertex.
-        through = max(k, weights[u])
-        for x in adj[u]:
-            if x not in unnumbered or x == v:
-                continue
-            if through < key.get(x, _INF):
-                key[x] = through
-                heapq.heappush(heap, (through, _key(x), x))
-    return [u for u, k in key.items() if k < weights[u]]
-
-
-_INF = float("inf")
+        weight_le |= bucket
+        while True:
+            frontier = reached & weight_le & ~processed
+            if not frontier:
+                break
+            processed |= frontier
+            grown = 0
+            while frontier:
+                low = frontier & -frontier
+                grown |= adj[low.bit_length() - 1]
+                frontier ^= low
+            new = grown & avail & ~reached
+            if new:
+                reached |= new
+                update_set |= new & ~weight_le  # key = t < w(x)
+        if reached == avail:
+            break
+    return update_set
 
 
 # ----------------------------------------------------------------------
@@ -173,66 +192,78 @@ def lb_triang(
     a minimal triangulation for every ordering.
     """
     filled = graph.copy()
-    remaining = set(filled.node_set())
-    explicit = list(order) if order is not None else None
-    if explicit is not None and (
-        set(explicit) != remaining or len(explicit) != len(remaining)
-    ):
-        raise ValueError("order must be a permutation of the node set")
+    core = filled.core
+    adj = core.adj
+    remaining = core.alive
+    label_of = filled.label_of
+    explicit: list[int] | None = None
+    if order is not None:
+        order_list = list(order)
+        if len(order_list) != graph.num_nodes or set(order_list) != graph.node_set():
+            raise ValueError("order must be a permutation of the node set")
+        explicit = [filled.index_of(node) for node in order_list]
     if explicit is None and heuristic not in {"min_fill", "min_degree", "natural"}:
         raise ValueError(f"unknown LB-Triang heuristic {heuristic!r}")
+    sorted_order = filled.sorted_indices()
+    ranks = filled.ranks()
     fill: list[tuple[Node, Node]] = []
     # Fill-deficiency cache for the dynamic min-fill heuristic: an entry
     # goes stale only when the node's neighbourhood or the edges inside
     # it change, i.e. for the endpoints of an added edge and for their
     # common neighbours.
-    deficiency: dict[Node, int] = {}
+    deficiency: dict[int, int] = {}
     step = 0
     while remaining:
         if explicit is not None:
             v = explicit[step]
             step += 1
         else:
-            v = _pick_dynamic(filled, remaining, heuristic, deficiency)
-        remaining.discard(v)
-        closed = filled.adjacency(v) | {v}
-        added_this_step: list[tuple[Node, Node]] = []
-        for component in components_without(filled, closed):
-            separator = filled.neighborhood_of_set(component)
-            added_this_step.extend(filled.saturate(separator))
-        fill.extend(added_this_step)
-        if explicit is None and heuristic == "min_fill":
-            adj = filled._adj  # noqa: SLF001
+            v = _pick_dynamic(core, remaining, heuristic, deficiency, sorted_order)
+        remaining &= ~(1 << v)
+        closed = adj[v] | 1 << v
+        added_this_step: list[tuple[int, int]] = []
+        for component in core.components(closed):
+            separator = core.neighborhood_of_set(component)
+            added_this_step.extend(core.saturate(separator))
+        for a, b in added_this_step:
+            fill.append(edge_key(label_of(a), label_of(b)))
+        if explicit is None and heuristic == "min_fill" and added_this_step:
             for a, b in added_this_step:
                 deficiency.pop(a, None)
                 deficiency.pop(b, None)
-                for common in adj[a] & adj[b]:
+                for common in iter_bits(adj[a] & adj[b]):
                     deficiency.pop(common, None)
     return sort_edges(fill)
 
 
 def _pick_dynamic(
-    filled: Graph,
-    remaining: set[Node],
+    core,
+    remaining: int,
     heuristic: str,
-    deficiency: dict[Node, int],
-) -> Node:
-    candidates = _sort_nodes(remaining)
+    deficiency: dict[int, int],
+    sorted_order: list[int],
+) -> int:
+    adj = core.adj
     if heuristic == "natural":
-        return candidates[0]
-    if heuristic == "min_degree":
-        return min(candidates, key=lambda node: (filled.degree(node), _key(node)))
-    best: Node | None = None
-    best_score: tuple[int, tuple[str, str]] | None = None
-    for node in candidates:
-        score = deficiency.get(node)
-        if score is None:
-            score = len(filled.missing_edges(filled.adjacency(node)))
-            deficiency[node] = score
-        ranked = (score, _key(node))
-        if best_score is None or ranked < best_score:
-            best, best_score = node, ranked
-    assert best is not None
+        for i in sorted_order:
+            if remaining >> i & 1:
+                return i
+        raise AssertionError("no remaining vertex")
+    best = -1
+    best_score = -1
+    for i in sorted_order:
+        if not remaining >> i & 1:
+            continue
+        if heuristic == "min_degree":
+            score = adj[i].bit_count()
+        else:
+            score = deficiency.get(i)
+            if score is None:
+                score = core.missing_pair_count(adj[i])
+                deficiency[i] = score
+        if best < 0 or score < best_score:
+            best, best_score = i, score
+    assert best >= 0
     return best
 
 
@@ -243,28 +274,36 @@ def _pick_dynamic(
 
 def min_fill_order(graph: Graph) -> list[Node]:
     """Return a min-fill elimination ordering (greedy, recomputed each step)."""
-    work = graph.copy()
-    order: list[Node] = []
-    while work.num_nodes:
-        node = min(
-            work.nodes(),
-            key=lambda v: (len(work.missing_edges(work.adjacency(v))), _key(v)),
-        )
-        order.append(node)
-        work.saturate(work.adjacency(node))
-        work.remove_node(node)
-    return order
+    return _greedy_elimination_order(graph, "min_fill")
 
 
 def min_degree_order(graph: Graph) -> list[Node]:
     """Return a min-degree elimination ordering (greedy)."""
-    work = graph.copy()
+    return _greedy_elimination_order(graph, "min_degree")
+
+
+def _greedy_elimination_order(graph: Graph, heuristic: str) -> list[Node]:
+    """Greedy elimination on a scratch core: score, saturate, remove."""
+    core = graph.core.copy()
+    adj = core.adj
+    sorted_order = graph.sorted_indices()
+    label_of = graph.label_of
     order: list[Node] = []
-    while work.num_nodes:
-        node = min(work.nodes(), key=lambda v: (work.degree(v), _key(v)))
-        order.append(node)
-        work.saturate(work.adjacency(node))
-        work.remove_node(node)
+    while core.alive:
+        best = -1
+        best_score = -1
+        for i in sorted_order:
+            if not core.alive >> i & 1:
+                continue
+            if heuristic == "min_degree":
+                score = adj[i].bit_count()
+            else:
+                score = core.missing_pair_count(adj[i])
+            if best < 0 or score < best_score:
+                best, best_score = i, score
+        order.append(label_of(best))
+        core.saturate(adj[best])
+        core.remove_vertex(best)
     return order
 
 

@@ -139,12 +139,18 @@ def _enumerate_connected(
     if graph.num_nodes == 0:
         yield Triangulation(graph, ())
         return
-    sgr = MinimalSeparatorSGR(graph, method)
+    sgr = MinimalSeparatorSGR(graph, method, stats=stats)
+    core = graph.core
+    label_of = graph.label_of
     for family in enumerate_maximal_independent_sets(sgr, mode=mode, stats=stats):
-        saturated = graph.copy()
+        # Materialise the fill of g[family] at yield time: saturate the
+        # separator masks on a scratch adjacency copy and translate the
+        # added index pairs back to labels only for the answer object.
+        scratch = core.copy()
         fill: list[tuple[Node, Node]] = []
         for separator in family:
-            fill.extend(saturated.saturate(separator))
+            for u, v in scratch.saturate(graph.mask_of(separator)):
+                fill.append((label_of(u), label_of(v)))
         yield Triangulation(graph, tuple(fill))
 
 

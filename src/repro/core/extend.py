@@ -72,8 +72,12 @@ def extend_parallel_set(
         ``MinSep(h)`` for a minimal triangulation h of ``g[φ]`` — a
         maximal pairwise-parallel family containing φ (Lemma 4.6).
     """
-    phi = [frozenset(sep) for sep in separators]
-    saturated = graph.saturated(phi)
+    # Saturate g[φ] on a scratch bitmask copy: one mask per separator,
+    # no label-level edge bookkeeping (the fill is not needed here).
+    saturated = graph.copy()
+    core = saturated.core
+    for separator in separators:
+        core.saturate(saturated.mask_of(separator))
     triangulated = minimal_triangulation_via(saturated, triangulator)
     extracted = minimal_separators_of_chordal(triangulated)
     return frozenset(extracted)

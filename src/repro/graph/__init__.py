@@ -1,4 +1,10 @@
-"""Graph substrate: data structure, connectivity, generators and I/O."""
+"""Graph substrate: data structure, connectivity, generators and I/O.
+
+The substrate is two-tier: the label-based :class:`Graph` façade over
+the integer-indexed bitset :class:`IndexedGraph` core (see
+:mod:`repro.graph.core`), with a :class:`NodeInterner` translating user
+labels to dense vertex indices at the API boundary.
+"""
 
 from repro.graph.components import (
     component_of,
@@ -9,6 +15,7 @@ from repro.graph.components import (
     is_separator,
     separates,
 )
+from repro.graph.core import IndexedGraph, NodeInterner, bit_list, iter_bits
 from repro.graph.graph import Edge, Graph, Node, edge_key
 
 __all__ = [
@@ -16,6 +23,10 @@ __all__ = [
     "Node",
     "Edge",
     "edge_key",
+    "IndexedGraph",
+    "NodeInterner",
+    "iter_bits",
+    "bit_list",
     "connected_components",
     "components_without",
     "component_of",

@@ -6,17 +6,20 @@ The separator machinery of the paper constantly asks two questions:
 * which of those components are *full* (their neighbourhood is exactly
   the candidate separator).
 
-Everything here is plain breadth-first search over the adjacency
-dictionary, written to avoid building intermediate subgraphs: the
-removed set is passed along and skipped during traversal.
+Everything here delegates to the bitmask core: components are grown by
+frontier expansion that ORs whole adjacency masks
+(:meth:`repro.graph.core.IndexedGraph.expand_component`), so a BFS round
+costs a few wide integer operations instead of per-node hash lookups.
+The label-facing functions translate at the boundary and keep the
+deterministic ordering of the original implementation (components
+sorted by their smallest node).
 """
 
 from __future__ import annotations
 
-from collections import deque
 from collections.abc import Iterable
 
-from repro.graph.graph import Graph, Node, _sort_nodes
+from repro.graph.graph import Graph, Node
 
 __all__ = [
     "connected_components",
@@ -44,35 +47,21 @@ def components_without(graph: Graph, removed: Iterable[Node]) -> list[frozenset[
 
     This is the ``C(U)`` operation of the paper (Section 4.2) and the
     hot path of both the separator enumerator and the crossing test, so
-    it traverses adjacency in place instead of materialising the
-    subgraph.
+    it runs on adjacency bitmasks and only materialises labels for the
+    result.
     """
-    removed_set = set(removed)
-    seen: set[Node] = set()
-    components: list[frozenset[Node]] = []
-    adj = graph._adj  # noqa: SLF001 - hot path, intra-package access
-    for start in _sort_nodes(adj.keys()):
-        if start in removed_set or start in seen:
-            continue
-        component: set[Node] = {start}
-        queue: deque[Node] = deque((start,))
-        while queue:
-            node = queue.popleft()
-            for neigh in adj[node]:
-                if neigh in removed_set or neigh in component:
-                    continue
-                component.add(neigh)
-                queue.append(neigh)
-        seen |= component
-        components.append(frozenset(component))
-    return components
+    removed_mask = graph.mask_of(removed, strict=False)
+    return [
+        graph.label_set(component)
+        for component in graph.core.components(
+            removed_mask, order=graph.sorted_indices()
+        )
+    ]
 
 
 def is_connected(graph: Graph) -> bool:
     """Return whether ``graph`` is connected (the empty graph is connected)."""
-    if graph.num_nodes == 0:
-        return True
-    return len(component_of(graph, next(iter(graph.node_set())))) == graph.num_nodes
+    return graph.core.is_connected()
 
 
 def component_of(
@@ -82,19 +71,11 @@ def component_of(
     removed_set = set(removed)
     if start in removed_set:
         raise ValueError(f"start node {start!r} is in the removed set")
-    adj = graph._adj  # noqa: SLF001
-    if start not in adj:
+    index = graph.interner.get(start)
+    if index is None:
         raise KeyError(start)
-    component: set[Node] = {start}
-    queue: deque[Node] = deque((start,))
-    while queue:
-        node = queue.popleft()
-        for neigh in adj[node]:
-            if neigh in removed_set or neigh in component:
-                continue
-            component.add(neigh)
-            queue.append(neigh)
-    return frozenset(component)
+    removed_mask = graph.mask_of(removed_set, strict=False)
+    return graph.label_set(graph.core.component_of(index, removed_mask))
 
 
 def full_components(
@@ -108,12 +89,17 @@ def full_components(
     components; this predicate backs :func:`is_separator` checks and the
     brute-force oracles.
     """
-    sep = frozenset(separator)
-    result = []
-    for component in components_without(graph, sep):
-        if graph.neighborhood_of_set(component) == sep:
-            result.append(component)
-    return result
+    separator_set = set(separator)
+    sep_mask = graph.mask_of(separator_set, strict=False)
+    if len(separator_set) != sep_mask.bit_count():
+        # A separator containing foreign nodes can never satisfy N(C) = S.
+        return []
+    core = graph.core
+    return [
+        graph.label_set(component)
+        for component in core.components(sep_mask, order=graph.sorted_indices())
+        if core.neighborhood_of_set(component) == sep_mask
+    ]
 
 
 def is_separator(graph: Graph, candidate: Iterable[Node]) -> bool:
@@ -123,7 +109,12 @@ def is_separator(graph: Graph, candidate: Iterable[Node]) -> bool:
     to the paper's definition (S is a minimal (u, v)-separator for some
     pair u, v).
     """
-    return len(full_components(graph, candidate)) >= 2
+    candidate_set = set(candidate)
+    sep_mask = graph.mask_of(candidate_set, strict=False)
+    if len(candidate_set) != sep_mask.bit_count():
+        # A candidate containing foreign nodes can never satisfy N(C) = S.
+        return False
+    return len(graph.core.full_components(sep_mask)) >= 2
 
 
 def separates(graph: Graph, candidate: Iterable[Node], u: Node, v: Node) -> bool:
@@ -131,7 +122,9 @@ def separates(graph: Graph, candidate: Iterable[Node], u: Node, v: Node) -> bool
 
     ``u`` and ``v`` must not belong to the candidate set.
     """
-    removed = set(candidate)
-    if u in removed or v in removed:
+    candidate_set = set(candidate)
+    if u in candidate_set or v in candidate_set:
         raise ValueError("endpoints may not belong to the separator candidate")
-    return v not in component_of(graph, u, removed)
+    removed_mask = graph.mask_of(candidate_set, strict=False)
+    iu, iv = graph.index_of(u), graph.index_of(v)
+    return not graph.core.component_of(iu, removed_mask) >> iv & 1

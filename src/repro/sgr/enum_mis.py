@@ -58,6 +58,10 @@ class EnumMISStatistics:
     nodes_generated: int = 0
     answers: int = 0
     duplicates_suppressed: int = 0
+    # Maintained by SGRs with a memoized edge oracle (e.g. the
+    # separator-graph SGR's canonical-pair crossing cache).
+    edge_cache_hits: int = 0
+    edge_cache_misses: int = 0
     redundant_extensions: dict[str, int] = field(default_factory=dict)
 
     def snapshot(self) -> dict[str, int]:
@@ -68,6 +72,8 @@ class EnumMISStatistics:
             "nodes_generated": self.nodes_generated,
             "answers": self.answers,
             "duplicates_suppressed": self.duplicates_suppressed,
+            "edge_cache_hits": self.edge_cache_hits,
+            "edge_cache_misses": self.edge_cache_misses,
         }
 
 
@@ -144,6 +150,13 @@ def enumerate_maximal_independent_sets(
         raise ValueError(f"mode must be 'UG' or 'UP', got {mode!r}")
     if stats is None:
         stats = EnumMISStatistics()
+    # SGRs with a memoized edge oracle report cache hits/misses through
+    # the same statistics object as every other counter of this run, so
+    # one snapshot() is always internally consistent — even when the
+    # SGR is reused across enumerations with different stats objects.
+    attach = getattr(sgr, "attach_statistics", None)
+    if attach is not None:
+        attach(stats)
 
     def extend(independent: frozenset[SGRNode]) -> frozenset[SGRNode]:
         stats.extend_calls += 1

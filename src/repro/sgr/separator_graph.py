@@ -19,17 +19,40 @@ The three SGR components:
 Tractable expansion holds because a chordal graph has fewer minimal
 separators than nodes (Rose; paper Corollary 4.3), so every
 independent set of MSGraph has size < |V(g)|.
+
+Performance
+-----------
+EnumMIS hammers the edge oracle: every direction step queries
+``has_edge`` for each member of the current answer, and the same
+separator pairs recur across answers.  This SGR therefore
+
+* *interns* each separator frozenset to its vertex bitmask once,
+* caches the connected components of ``g \\ S`` per separator (the
+  expensive half of a crossing test), and
+* memoizes ``has_edge`` under a canonical pair key (crossing is
+  symmetric for minimal separators), exposing hit/miss counters
+  through :class:`~repro.sgr.enum_mis.EnumMISStatistics`.
+
+Repeated edge queries against the same separator pair are then free.
+
+The caches are unbounded for the lifetime of the SGR — a deliberate
+space-for-time trade: EnumMIS touches O(answers · |MinSep seen|) pairs,
+and recomputing a crossing costs a full component decomposition.  For
+multi-hour anytime runs on graphs with huge ``MinSep`` a size cap (or
+dropping ``_components_of``, the larger of the caches) may be needed;
+see the ROADMAP open item on enumeration backends.
 """
 
 from __future__ import annotations
 
 from collections.abc import Iterator
 
-from repro.chordal.minimal_separators import are_crossing, minimal_separators
+from repro.chordal.minimal_separators import minimal_separator_masks
 from repro.chordal.triangulate import Triangulator, get_triangulator
 from repro.core.extend import extend_parallel_set
 from repro.graph.graph import Graph, Node
 from repro.sgr.base import SuccinctGraphRepresentation
+from repro.sgr.enum_mis import EnumMISStatistics
 
 __all__ = ["MinimalSeparatorSGR"]
 
@@ -47,13 +70,24 @@ class MinimalSeparatorSGR(SuccinctGraphRepresentation):
     triangulator:
         The heuristic plugged into the ``Extend`` expansion
         (``"mcs_m"``, ``"lb_triang"``, ``"min_fill"``, …).
+    stats:
+        Optional :class:`~repro.sgr.enum_mis.EnumMISStatistics` whose
+        ``edge_cache_hits`` / ``edge_cache_misses`` counters are
+        updated by the memoized edge oracle.
     """
 
     def __init__(
-        self, graph: Graph, triangulator: str | Triangulator = "mcs_m"
+        self,
+        graph: Graph,
+        triangulator: str | Triangulator = "mcs_m",
+        stats: EnumMISStatistics | None = None,
     ) -> None:
         self._graph = graph
         self._triangulator = get_triangulator(triangulator)
+        self._stats = stats
+        self._mask_of: dict[Separator, int] = {}
+        self._components_of: dict[int, tuple[int, ...]] = {}
+        self._edge_cache: dict[tuple[int, int], bool] = {}
 
     @property
     def graph(self) -> Graph:
@@ -65,13 +99,81 @@ class MinimalSeparatorSGR(SuccinctGraphRepresentation):
         """The triangulation heuristic used by :meth:`extend`."""
         return self._triangulator
 
+    @property
+    def edge_cache_size(self) -> int:
+        """Number of memoized separator-pair crossing results."""
+        return len(self._edge_cache)
+
+    @property
+    def statistics(self) -> EnumMISStatistics | None:
+        """The statistics object receiving cache counters, if any."""
+        return self._stats
+
+    def attach_statistics(self, stats: EnumMISStatistics | None) -> None:
+        """Point the cache hit/miss counters at ``stats`` (or detach)."""
+        self._stats = stats
+
+    def _intern(self, separator: Separator) -> int:
+        mask = self._mask_of.get(separator)
+        if mask is None:
+            mask = self._graph.mask_of(separator)
+            self._mask_of[separator] = mask
+        return mask
+
+    def _components(self, separator_mask: int) -> tuple[int, ...]:
+        components = self._components_of.get(separator_mask)
+        if components is None:
+            components = tuple(self._graph.core.components(separator_mask))
+            self._components_of[separator_mask] = components
+        return components
+
     def iter_nodes(self) -> Iterator[Separator]:
-        """Enumerate ``MinSep(g)`` with polynomial delay."""
-        return minimal_separators(self._graph)
+        """Enumerate ``MinSep(g)`` with polynomial delay.
+
+        Separator masks are interned on the way out, so later
+        ``has_edge`` calls on yielded separators skip the label → mask
+        translation entirely.
+        """
+        graph = self._graph
+        mask_cache = self._mask_of
+        for mask in minimal_separator_masks(graph):
+            separator = graph.label_set(mask)
+            mask_cache[separator] = mask
+            yield separator
 
     def has_edge(self, u: Separator, v: Separator) -> bool:
-        """Return whether two minimal separators cross (``u ♮ v``)."""
-        return are_crossing(self._graph, u, v)
+        """Return whether two minimal separators cross (``u ♮ v``).
+
+        Memoized per canonical pair; the crossing relation is symmetric
+        for minimal separators (Parra–Scheffler), so ``(u, v)`` and
+        ``(v, u)`` share one cache entry.
+        """
+        mask_u = self._intern(u)
+        mask_v = self._intern(v)
+        key = (mask_u, mask_v) if mask_u <= mask_v else (mask_v, mask_u)
+        cached = self._edge_cache.get(key)
+        stats = self._stats
+        if cached is not None:
+            if stats is not None:
+                stats.edge_cache_hits += 1
+            return cached
+        if stats is not None:
+            stats.edge_cache_misses += 1
+        result = self._crossing(mask_u, mask_v)
+        self._edge_cache[key] = result
+        return result
+
+    def _crossing(self, mask_u: int, mask_v: int) -> bool:
+        remainder = mask_v & ~mask_u
+        if not remainder:
+            return False
+        touched = 0
+        for component in self._components(mask_u):
+            if component & remainder:
+                touched += 1
+                if touched >= 2:
+                    return True
+        return False
 
     def extend(self, independent_set: frozenset[Separator]) -> frozenset[Separator]:
         """Extend a pairwise-parallel family to a maximal one (Figure 3)."""

@@ -1,44 +1,27 @@
-"""Shared fixtures and helpers for the test-suite."""
+"""Shared fixtures for the test-suite.
+
+Plain helper functions (the random-graph corpora, ``edge_set``) live in
+:mod:`helpers` so that test modules can import them without relying on
+``conftest`` being importable by name — see tests/helpers.py.
+"""
 
 from __future__ import annotations
 
-import random
-
 import pytest
+
+# Re-exported for any straggler that still does `from conftest import …`
+# when tests/ is collected on its own.
+from helpers import edge_set, small_chordal_graphs, small_random_graphs  # noqa: F401
 
 from repro.graph.generators import (
     complete_graph,
     cycle_graph,
-    gnp_random_graph,
     grid_graph,
     path_graph,
-    random_chordal_graph,
     random_k_tree,
     star_graph,
 )
 from repro.graph.graph import Graph
-
-
-def small_random_graphs(count: int, max_nodes: int = 8, seed: int = 99) -> list[Graph]:
-    """A deterministic corpus of small random graphs for oracle tests."""
-    rng = random.Random(seed)
-    graphs = []
-    for index in range(count):
-        n = rng.randint(3, max_nodes)
-        p = rng.choice([0.2, 0.35, 0.5, 0.7])
-        graphs.append(gnp_random_graph(n, p, seed=seed * 1000 + index))
-    return graphs
-
-
-def small_chordal_graphs(count: int, max_nodes: int = 12, seed: int = 7) -> list[Graph]:
-    """A deterministic corpus of small chordal graphs."""
-    rng = random.Random(seed)
-    graphs = []
-    for index in range(count):
-        n = rng.randint(2, max_nodes)
-        density = rng.choice([0.2, 0.4, 0.7, 1.0])
-        graphs.append(random_chordal_graph(n, density, seed=seed * 131 + index))
-    return graphs
 
 
 @pytest.fixture
@@ -75,8 +58,3 @@ def named_graphs() -> dict[str, Graph]:
             edges=[(0, 1), (1, 2), (2, 0), (10, 11), (11, 12), (12, 10)]
         ),
     }
-
-
-def edge_set(graph: Graph) -> set[frozenset]:
-    """Edges as a set of frozensets (order-free comparison helper)."""
-    return set(graph.edge_set())

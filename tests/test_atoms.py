@@ -2,7 +2,7 @@
 
 from __future__ import annotations
 
-from conftest import small_chordal_graphs, small_random_graphs
+from helpers import small_chordal_graphs, small_random_graphs
 from repro.chordal.atoms import atoms, clique_minimal_separators
 from repro.chordal.cliques import maximal_cliques
 from repro.chordal.minimal_separators import all_minimal_separators

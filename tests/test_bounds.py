@@ -2,7 +2,7 @@
 
 from __future__ import annotations
 
-from conftest import small_chordal_graphs, small_random_graphs
+from helpers import small_chordal_graphs, small_random_graphs
 from repro.chordal.cliques import tree_width
 from repro.core.bounds import (
     clique_lower_bound,

@@ -8,7 +8,7 @@ from __future__ import annotations
 
 import pytest
 
-from conftest import small_random_graphs
+from helpers import small_random_graphs
 from repro.baselines.brute_force import (
     brute_force_maximal_cliques,
     brute_force_maximal_independent_sets,

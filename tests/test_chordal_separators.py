@@ -4,7 +4,7 @@ from __future__ import annotations
 
 import pytest
 
-from conftest import small_chordal_graphs
+from helpers import small_chordal_graphs
 from repro.chordal.chordal_separators import minimal_separators_of_chordal
 from repro.chordal.minimal_separators import all_minimal_separators
 from repro.errors import NotChordalError

@@ -4,7 +4,7 @@ from __future__ import annotations
 
 import pytest
 
-from conftest import small_chordal_graphs
+from helpers import small_chordal_graphs
 from repro.baselines.brute_force import brute_force_maximal_cliques
 from repro.chordal.cliques import maximal_cliques, mcs_clique_forest, tree_width
 from repro.errors import NotChordalError

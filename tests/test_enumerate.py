@@ -6,7 +6,7 @@ import math
 
 import pytest
 
-from conftest import small_random_graphs
+from helpers import small_random_graphs
 from repro.baselines.brute_force import brute_force_minimal_triangulations
 from repro.chordal.peo import is_chordal
 from repro.core.enumerate import (

@@ -2,7 +2,7 @@
 
 from __future__ import annotations
 
-from conftest import small_chordal_graphs, small_random_graphs
+from helpers import small_chordal_graphs, small_random_graphs
 from repro.chordal.lexm import lex_m
 from repro.chordal.peo import is_perfect_elimination_ordering
 from repro.chordal.sandwich import is_minimal_triangulation

@@ -4,7 +4,7 @@ from __future__ import annotations
 
 import itertools
 
-from conftest import small_random_graphs
+from helpers import small_random_graphs
 from repro.baselines.brute_force import brute_force_minimal_separators
 from repro.chordal.minimal_separators import (
     all_minimal_separators,

@@ -6,7 +6,7 @@ import random
 
 import pytest
 
-from conftest import small_random_graphs
+from helpers import small_random_graphs
 from repro.baselines.brute_force import brute_force_maximal_independent_sets
 from repro.core.enumerate import minimal_triangulation
 from repro.decomposition.nice import (

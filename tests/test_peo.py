@@ -4,7 +4,7 @@ from __future__ import annotations
 
 import pytest
 
-from conftest import small_chordal_graphs, small_random_graphs
+from helpers import small_chordal_graphs, small_random_graphs
 from repro.chordal.peo import (
     elimination_fill_in,
     is_chordal,

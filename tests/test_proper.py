@@ -2,7 +2,7 @@
 
 from __future__ import annotations
 
-from conftest import small_random_graphs
+from helpers import small_random_graphs
 from repro.core.enumerate import enumerate_minimal_triangulations
 from repro.decomposition.clique_tree import clique_graph, clique_tree
 from repro.decomposition.proper import (

@@ -4,7 +4,7 @@ from __future__ import annotations
 
 import pytest
 
-from conftest import small_random_graphs
+from helpers import small_random_graphs
 from repro.core.enumerate import enumerate_minimal_triangulations
 from repro.core.ranked import (
     best_triangulation,

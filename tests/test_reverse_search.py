@@ -2,7 +2,7 @@
 
 from __future__ import annotations
 
-from conftest import small_random_graphs
+from helpers import small_random_graphs
 from repro.baselines.brute_force import brute_force_maximal_independent_sets
 from repro.graph.generators import (
     complete_graph,

@@ -4,7 +4,7 @@ from __future__ import annotations
 
 import pytest
 
-from conftest import small_random_graphs
+from helpers import small_random_graphs
 from repro.baselines.brute_force import brute_force_maximal_parallel_families
 from repro.chordal.chordal_separators import minimal_separators_of_chordal
 from repro.chordal.minimal_separators import (

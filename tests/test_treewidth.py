@@ -4,7 +4,7 @@ from __future__ import annotations
 
 import pytest
 
-from conftest import small_chordal_graphs, small_random_graphs
+from helpers import small_chordal_graphs, small_random_graphs
 from repro.chordal.cliques import tree_width
 from repro.core.treewidth import min_fill_in_exact, treewidth_exact
 from repro.graph.generators import (
