@@ -1,0 +1,149 @@
+#!/usr/bin/env python
+"""Microbenchmark: serial vs sharded enumeration wall-clock.
+
+Enumerates the first ``--results`` (default 1000) minimal
+triangulations of the canonical acceptance graph — seeded 30-node
+Gnp(0.35) — through the enumeration engine, once with the ``serial``
+backend and once with the ``sharded`` backend at ``--workers``
+processes, and reports the speedup.  ``--record`` appends both
+measurements (plus the machine's usable core count, which is what the
+sharded number is conditioned on) to ``baselines.json`` next to the
+existing perf trajectory::
+
+    PYTHONPATH=src python benchmarks/microbench_parallel.py
+    PYTHONPATH=src python benchmarks/microbench_parallel.py \\
+        --workers 4 --record engine-pr2
+
+The sharded backend pays one process-pool spawn plus a pickle of a few
+ints per separator; with the per-(answer, direction) extend tasks each
+running a full triangulation, the compute/IPC ratio is high and the
+speedup approaches the worker count on machines that actually have the
+cores.  On a single-core container the sharded run degrades to serial
+plus IPC overhead — the recorded ``cores`` field says which regime a
+number came from.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import statistics
+import time
+from pathlib import Path
+
+from repro.engine import EnumerationEngine, EnumerationJob
+from repro.graph.generators import gnp_random_graph
+
+BASELINES_PATH = Path(__file__).parent / "baselines.json"
+
+GRAPH_NODES = 30
+GRAPH_P = 0.35
+GRAPH_SEED = 12345
+
+
+def usable_cores() -> int:
+    try:
+        return len(os.sched_getaffinity(0))
+    except AttributeError:  # pragma: no cover - non-Linux
+        return os.cpu_count() or 1
+
+
+def measure_once(backend: str, workers: int | None, results: int) -> float:
+    graph = gnp_random_graph(GRAPH_NODES, GRAPH_P, seed=GRAPH_SEED)
+    engine = EnumerationEngine(backend, workers=workers)
+    job = EnumerationJob(graph, max_results=results)
+    start = time.perf_counter()
+    produced = sum(1 for __ in engine.stream(job))
+    elapsed = time.perf_counter() - start
+    if produced < results:
+        raise RuntimeError(
+            f"benchmark graph yielded only {produced} < {results} results"
+        )
+    return elapsed
+
+
+def measure(
+    backend: str, workers: int | None, results: int, repeats: int
+) -> float:
+    return statistics.median(
+        measure_once(backend, workers, results) for __ in range(repeats)
+    )
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--results",
+        type=int,
+        default=1000,
+        help="answers to enumerate per run (default: 1000)",
+    )
+    parser.add_argument(
+        "--workers",
+        type=int,
+        default=4,
+        help="worker processes for the sharded run (default: 4)",
+    )
+    parser.add_argument(
+        "--repeats",
+        type=int,
+        default=3,
+        help="repetitions per backend; the median is reported (default: 3)",
+    )
+    parser.add_argument(
+        "--record",
+        metavar="LABEL",
+        help="append measurements to baselines.json as LABEL-serial / "
+        "LABEL-sharded",
+    )
+    args = parser.parse_args()
+
+    cores = usable_cores()
+    graph_desc = f"Gnp({GRAPH_NODES}, {GRAPH_P}, seed={GRAPH_SEED})"
+    print(
+        f"{graph_desc}, first {args.results} results, median of "
+        f"{args.repeats}; machine has {cores} usable core(s)"
+    )
+
+    serial = measure("serial", None, args.results, args.repeats)
+    print(f"serial backend:             {serial:.3f}s")
+    sharded = measure("sharded", args.workers, args.results, args.repeats)
+    speedup = serial / sharded
+    print(
+        f"sharded backend ({args.workers} workers): {sharded:.3f}s "
+        f"→ speedup {speedup:.2f}x"
+    )
+    if cores < 2:
+        print(
+            "note: <2 usable cores — the sharded figure measures pure "
+            "coordination overhead, not parallel speedup"
+        )
+
+    if args.record:
+        baselines = json.loads(BASELINES_PATH.read_text())
+        common = {
+            "graph": {"n": GRAPH_NODES, "p": GRAPH_P, "seed": GRAPH_SEED},
+            "results": args.results,
+            "repeats": args.repeats,
+            "cores": cores,
+        }
+        baselines[f"{args.record}-serial"] = {
+            "seconds": round(serial, 4),
+            **common,
+        }
+        baselines[f"{args.record}-sharded"] = {
+            "seconds": round(sharded, 4),
+            "workers": args.workers,
+            "speedup_vs_serial": round(speedup, 3),
+            **common,
+        }
+        BASELINES_PATH.write_text(json.dumps(baselines, indent=2) + "\n")
+        print(
+            f"recorded as '{args.record}-serial' / '{args.record}-sharded' "
+            f"in {BASELINES_PATH.name}"
+        )
+
+
+if __name__ == "__main__":
+    main()

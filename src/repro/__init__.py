@@ -57,8 +57,18 @@ from repro.decomposition.proper import (
 from repro.decomposition.tree_decomposition import TreeDecomposition
 from repro.graph.graph import Graph
 from repro.sgr.base import ExplicitSGR, SuccinctGraphRepresentation
-from repro.sgr.enum_mis import EnumMISStatistics, enumerate_maximal_independent_sets
+from repro.sgr.enum_mis import (
+    EnumMISStatistics,
+    enumerate_maximal_independent_sets,
+    merge_statistics,
+)
 from repro.sgr.separator_graph import MinimalSeparatorSGR
+from repro.engine import (
+    EnumerationEngine,
+    EnumerationJob,
+    EnumerationResult,
+    available_backends,
+)
 
 __version__ = "1.0.0"
 
@@ -100,6 +110,12 @@ __all__ = [
     "MinimalSeparatorSGR",
     "enumerate_maximal_independent_sets",
     "EnumMISStatistics",
+    "merge_statistics",
+    # enumeration engine
+    "EnumerationEngine",
+    "EnumerationJob",
+    "EnumerationResult",
+    "available_backends",
     # tree decompositions
     "TreeDecomposition",
     "enumerate_proper_tree_decompositions",

@@ -11,6 +11,20 @@ a minimal elimination ordering, exactly like MCS-M — but the two
 algorithms explore different orderings, so plugging LEX-M into
 ``Extend`` diversifies the enumeration differently.
 
+The reachability step uses the same *bucket-mask threshold sweep* as
+MCS-M (:func:`repro.chordal.triangulate._mcs_m_update_mask`): group
+the unnumbered vertices into bitmasks by label, then for ascending
+label thresholds t grow the set reachable through internal vertices of
+label ≤ t by whole-mask frontier expansion.  A vertex first reached at
+threshold t has minimax path key t and qualifies iff its own label
+exceeds t; direct neighbours of v always qualify.  Each sweep round is
+a few wide integer operations, replacing the per-edge heap traversal
+of the minimax Dijkstra (kept as :func:`_lexm_reachable_heap`, the
+verification oracle for the property corpus).  The only difference
+from MCS-M is that label values are tuples, so the buckets are
+rebuilt per step from a dict keyed by tuple instead of reusing the
+search queue's integer weight levels.
+
 Registered in the triangulator registry as ``"lex_m"``.
 """
 
@@ -54,10 +68,10 @@ def lex_m(graph: Graph) -> tuple[list[tuple[Node, Node]], list[Node]]:
                 v, v_label = i, labels[i]
         unnumbered &= ~(1 << v)
         reverse_order.append(label_of(v))
-        reachable = _lexm_reachable(adj, labels, unnumbered, v)
+        reachable = _lexm_reachable_mask(adj, labels, unnumbered, v)
         adj_v = adj[v]
         node_v = label_of(v)
-        for u in reachable:
+        for u in iter_bits(reachable):
             labels[u] = labels[u] + (number,)
             if not adj_v >> u & 1:
                 fill.append(edge_key(label_of(u), node_v))
@@ -66,17 +80,74 @@ def lex_m(graph: Graph) -> tuple[list[tuple[Node, Node]], list[Node]]:
     return sort_edges(fill), reverse_order
 
 
-def _lexm_reachable(
+def _lexm_reachable_mask(
+    adj: list[int],
+    labels: list[tuple[int, ...]],
+    unnumbered: int,
+    v: int,
+) -> int:
+    """The LEX-M update set for ``v`` as a bitmask (threshold sweep).
+
+    ``u`` qualifies iff ``key(u) < label(u)``, where ``key(u)`` is the
+    minimum over v→u paths through unnumbered vertices of the maximum
+    internal label (−∞ for a direct edge).  Sweeping ascending label
+    thresholds t: the set reachable through internal vertices of label
+    ≤ t is grown by whole-mask frontier expansion; vertices first
+    reached at threshold t have ``key = t`` and qualify iff their own
+    label is > t — i.e. they are not in the ≤ t bucket union yet.
+    """
+    avail = unnumbered
+    reached = adj[v] & avail
+    if not reached:
+        return 0
+    update_set = reached  # key = −∞ < label(u) for every vertex
+    if reached == avail:
+        return update_set
+
+    buckets: dict[tuple[int, ...], int] = {}
+    m = avail
+    while m:
+        low = m & -m
+        buckets[labels[low.bit_length() - 1]] = (
+            buckets.get(labels[low.bit_length() - 1], 0) | low
+        )
+        m ^= low
+
+    processed = 0
+    weight_le = 0
+    for t in sorted(buckets):
+        weight_le |= buckets[t]
+        while True:
+            frontier = reached & weight_le & ~processed
+            if not frontier:
+                break
+            processed |= frontier
+            grown = 0
+            while frontier:
+                low = frontier & -frontier
+                grown |= adj[low.bit_length() - 1]
+                frontier ^= low
+            new = grown & avail & ~reached
+            if new:
+                reached |= new
+                update_set |= new & ~weight_le  # key = t < label(x)
+        if reached == avail:
+            break
+    return update_set
+
+
+def _lexm_reachable_heap(
     adj: list[int],
     labels: list[tuple[int, ...]],
     unnumbered: int,
     v: int,
 ) -> list[int]:
-    """Vertices u reachable from v through strictly smaller-labelled paths.
+    """Reference minimax Dijkstra over lexicographic labels.
 
-    Minimax Dijkstra over lexicographic labels: ``key(u)`` is the
-    minimum over v→u paths of the maximum internal label (``None``
-    playing −∞ for direct edges); u qualifies iff ``key(u) < label(u)``.
+    The pre-bucket-mask implementation, kept as the verification
+    oracle: ``key(u)`` is the minimum over v→u paths of the maximum
+    internal label (``None`` playing −∞ for direct edges); u qualifies
+    iff ``key(u) < label(u)``.
     """
     best: dict[int, tuple[int, ...] | None] = {}
     counter = 0

@@ -4,7 +4,9 @@ Subcommands:
 
 * ``enumerate`` — stream the minimal triangulations of a graph file,
   optionally exporting the best tree decomposition in PACE ``.td``
-  format;
+  format; ``--backend sharded --workers N`` partitions the answer
+  queue across a multiprocessing pool, and ``--checkpoint``/
+  ``--resume`` persist the enumeration state across interruptions;
 * ``separators`` — stream the minimal separators;
 * ``stats``      — structural summary (size, chordality, atoms,
   separator count);
@@ -123,6 +125,28 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         help="write the best-width tree decomposition here (PACE .td)",
     )
+    enum.add_argument(
+        "--backend",
+        default="serial",
+        help="execution backend: serial or sharded (default: serial)",
+    )
+    enum.add_argument(
+        "--workers",
+        type=int,
+        default=None,
+        help="worker processes for the sharded backend (default: one per CPU)",
+    )
+    enum.add_argument(
+        "--checkpoint",
+        default=None,
+        metavar="PATH",
+        help="persist the (Q, P, V) enumeration state to this file",
+    )
+    enum.add_argument(
+        "--resume",
+        action="store_true",
+        help="resume from --checkpoint instead of starting fresh",
+    )
 
     seps = sub.add_parser("separators", help="enumerate minimal separators")
     add_graph_arguments(seps)
@@ -177,30 +201,47 @@ def build_parser() -> argparse.ArgumentParser:
 
 
 def _command_enumerate(args: argparse.Namespace) -> int:
+    from repro.engine import EnumerationEngine, EnumerationJob
+
     graph = load_graph(args.graph, args.format)
     print(f"{graph.summary()}; chordal: {is_chordal(graph)}")
+    engine = EnumerationEngine(args.backend, workers=args.workers)
+    job = EnumerationJob(
+        graph,
+        triangulator=args.triangulator,
+        decompose=args.decompose,
+        checkpoint_path=args.checkpoint,
+        resume=args.resume,
+    )
     best = None
     count = 0
     start = time.monotonic()
-    for t in enumerate_minimal_triangulations(
-        graph, triangulator=args.triangulator, decompose=args.decompose
-    ):
-        count += 1
-        elapsed = time.monotonic() - start
-        line = f"[{elapsed:8.3f}s] #{count} width={t.width} fill={t.fill}"
-        if args.show_fill:
-            line += f" edges={list(t.fill_edges)}"
-        print(line)
-        if best is None or t.width < best.width:
-            best = t
-        if args.max_results is not None and count >= args.max_results:
-            print(f"stopping: reached --max-results {args.max_results}")
-            break
-        if args.budget is not None and elapsed >= args.budget:
-            print(f"stopping: exhausted --budget {args.budget}s")
-            break
-    else:
-        print("enumeration complete")
+    stream = engine.stream(job)
+    try:
+        for t in stream:
+            count += 1
+            elapsed = time.monotonic() - start
+            line = f"[{elapsed:8.3f}s] #{count} width={t.width} fill={t.fill}"
+            if args.show_fill:
+                line += f" edges={list(t.fill_edges)}"
+            print(line)
+            if best is None or t.width < best.width:
+                best = t
+            if args.max_results is not None and count >= args.max_results:
+                print(f"stopping: reached --max-results {args.max_results}")
+                break
+            if args.budget is not None and elapsed >= args.budget:
+                print(f"stopping: exhausted --budget {args.budget}s")
+                break
+        else:
+            print("enumeration complete")
+    finally:
+        # Releases the worker pool and, when --checkpoint is given,
+        # persists the final enumeration state.
+        stream.close()
+    if best is None:
+        print("0 minimal triangulations (resumed run already complete?)")
+        return 0
     print(f"{count} minimal triangulations; best width {best.width}")
     if args.td_out is not None:
         decomposition = best.tree_decomposition()
@@ -297,11 +338,13 @@ _COMMANDS = {
 
 def main(argv: list[str] | None = None) -> int:
     """CLI entry point; returns the process exit code."""
+    from repro.engine import EngineError
+
     parser = build_parser()
     args = parser.parse_args(argv)
     try:
         return _COMMANDS[args.command](args)
-    except (ValueError, OSError) as exc:
+    except (ValueError, OSError, EngineError) as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
 

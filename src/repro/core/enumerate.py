@@ -57,6 +57,8 @@ def enumerate_minimal_triangulations(
     mode: str = "UG",
     stats: EnumMISStatistics | None = None,
     decompose: str = "components",
+    backend: str = "serial",
+    workers: int | None = None,
 ) -> Iterator[Triangulation]:
     """Enumerate ``MinTri(graph)`` in incremental polynomial time.
 
@@ -81,12 +83,34 @@ def enumerate_minimal_triangulations(
         ``"atoms"`` additionally splits on clique minimal separators
         (see :mod:`repro.chordal.atoms`), which can shrink the
         separator space exponentially; ``"none"`` disables splitting.
+    backend:
+        Execution strategy, resolved through the enumeration-engine
+        registry (:mod:`repro.engine`): ``"serial"`` (default, this
+        module's pipeline) or ``"sharded"`` (answer queue partitioned
+        across a multiprocessing worker pool).  Every backend yields
+        the same answer set.
+    workers:
+        Worker-pool size for parallel backends (``None`` = one per
+        CPU); ignored by the serial backend.
 
     Yields
     ------
     Triangulation
         Every minimal triangulation of ``graph``, exactly once.
     """
+    if backend != "serial":
+        from repro.engine import EnumerationEngine, EnumerationJob
+
+        yield from EnumerationEngine(backend, workers=workers).stream(
+            EnumerationJob(
+                graph,
+                mode=mode,
+                triangulator=triangulator,
+                decompose=decompose,
+            ),
+            stats=stats,
+        )
+        return
     method = get_triangulator(triangulator)
     if decompose not in {"none", "components", "atoms"}:
         raise ValueError(

@@ -58,6 +58,8 @@ def enumerate_minimal_triangulations_prioritized(
     cost: str | CostFunction = "width",
     triangulator: str | Triangulator = "mcs_m",
     stats: EnumMISStatistics | None = None,
+    backend: str = "serial",
+    workers: int | None = None,
 ) -> Iterator[Triangulation]:
     """Enumerate ``MinTri(graph)`` best-first by ``cost``.
 
@@ -70,6 +72,11 @@ def enumerate_minimal_triangulations_prioritized(
         key.  The cost is evaluated once per generated answer.
     triangulator:
         The heuristic plugged into ``Extend``.
+    backend / workers:
+        Execution strategy, resolved through the enumeration-engine
+        registry (:mod:`repro.engine`); ``"sharded"`` drains the same
+        best-first queue while extend tasks run on ``workers``
+        processes.  The serial default keeps this module's pipeline.
 
     Yields
     ------
@@ -83,6 +90,14 @@ def enumerate_minimal_triangulations_prioritized(
     Disconnected graphs are handled per component, cheapest component
     order first; the cross-component product uses the plain enumerator.
     """
+    if backend != "serial":
+        from repro.engine import EnumerationEngine, EnumerationJob
+
+        yield from EnumerationEngine(backend, workers=workers).stream(
+            EnumerationJob(graph, triangulator=triangulator, cost=cost),
+            stats=stats,
+        )
+        return
     cost_fn = _resolve_cost(cost)
     method = get_triangulator(triangulator)
     components = connected_components(graph)

@@ -1,0 +1,65 @@
+"""Pluggable enumeration engine (orchestration over EnumMIS).
+
+This subsystem separates *what* to enumerate from *how* it executes.
+An :class:`EnumerationJob` describes the problem — graph, EnumMIS
+printing mode, ``Extend`` heuristic, ranking, answer/time budgets,
+checkpointing — and an :class:`EnumerationEngine` dispatches it to a
+registered backend:
+
+* ``serial``  — the single-process reference pipeline;
+* ``sharded`` — the answer queue Q partitioned across a
+  multiprocessing worker pool: separator sets travel as integer
+  bitmasks, each worker keeps a warm interned-separator/crossing-cache
+  SGR for its lifetime, deduplication is centralised in a coordinator,
+  and per-worker :class:`~repro.sgr.enum_mis.EnumMISStatistics` merge
+  into one aggregate report.
+
+Both backends enumerate exactly the same answer set — ``MaxInd`` of
+the separator graph is canonical, and only the execution strategy
+differs.  Long enumerations can checkpoint their (Q, P, V) state and
+resume after interruption (:mod:`repro.engine.checkpoint`).
+
+Quickstart::
+
+    from repro.engine import EnumerationEngine, EnumerationJob
+
+    job = EnumerationJob(graph, max_results=1000)
+    result = EnumerationEngine("sharded", workers=4).run(job)
+    print(result.summary())
+    print(result.stats.snapshot())
+"""
+
+from repro.engine.base import (
+    EngineError,
+    EnumerationBackend,
+    available_backends,
+    get_backend,
+    register_backend,
+)
+from repro.engine.checkpoint import (
+    CheckpointError,
+    CheckpointManager,
+    CheckpointState,
+)
+from repro.engine.engine import EnumerationEngine
+from repro.engine.job import EnumerationJob
+from repro.engine.result import AnswerRecord, EnumerationResult
+
+# Importing the backend modules registers them.
+from repro.engine import serial as _serial  # noqa: E402,F401
+from repro.engine import sharded as _sharded  # noqa: E402,F401
+
+__all__ = [
+    "AnswerRecord",
+    "CheckpointError",
+    "CheckpointManager",
+    "CheckpointState",
+    "EngineError",
+    "EnumerationBackend",
+    "EnumerationEngine",
+    "EnumerationJob",
+    "EnumerationResult",
+    "available_backends",
+    "get_backend",
+    "register_backend",
+]

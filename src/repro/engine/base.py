@@ -1,0 +1,93 @@
+"""Backend protocol and registry of the enumeration engine.
+
+A *backend* is a strategy for executing one
+:class:`~repro.engine.job.EnumerationJob`: it turns the job into a lazy
+stream of :class:`~repro.core.triangulation.Triangulation` objects
+while folding its counters into a caller-supplied
+:class:`~repro.sgr.enum_mis.EnumMISStatistics`.  Backends register
+themselves by name, so new execution strategies (a numpy/CSR bulk
+backend, a distributed one, …) plug in without touching the engine or
+any caller — exactly like the triangulator registry one layer below.
+
+Shipped backends:
+
+* ``serial``  — the single-process EnumMIS pipeline (today's
+  :func:`repro.core.enumerate.enumerate_minimal_triangulations`);
+* ``sharded`` — the answer queue Q partitioned across a
+  multiprocessing worker pool (see :mod:`repro.engine.sharded`).
+"""
+
+from __future__ import annotations
+
+import abc
+from collections.abc import Iterator
+from typing import TYPE_CHECKING, ClassVar
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard for typing only
+    from repro.core.triangulation import Triangulation
+    from repro.engine.job import EnumerationJob
+    from repro.sgr.enum_mis import EnumMISStatistics
+
+__all__ = [
+    "EngineError",
+    "EnumerationBackend",
+    "available_backends",
+    "get_backend",
+    "register_backend",
+]
+
+
+class EngineError(RuntimeError):
+    """An enumeration job could not be executed as specified."""
+
+
+class EnumerationBackend(abc.ABC):
+    """One execution strategy for enumeration jobs."""
+
+    #: Registry key; subclasses must override.
+    name: ClassVar[str] = ""
+
+    @abc.abstractmethod
+    def stream(
+        self,
+        job: "EnumerationJob",
+        stats: "EnumMISStatistics",
+        workers: int | None,
+    ) -> Iterator["Triangulation"]:
+        """Lazily enumerate the job's minimal triangulations.
+
+        Implementations must yield every minimal triangulation exactly
+        once (budgets are enforced by the engine, not the backend),
+        update ``stats`` in place — including counters contributed by
+        worker processes — and release any pools or file handles when
+        the generator is closed.  ``workers`` is the engine-level
+        worker count; backends that do not parallelise ignore it.
+        """
+
+
+_REGISTRY: dict[str, EnumerationBackend] = {}
+
+
+def register_backend(backend: EnumerationBackend) -> None:
+    """Register ``backend`` under ``backend.name`` (replacing any previous)."""
+    if not backend.name:
+        raise ValueError("backend must define a non-empty name")
+    _REGISTRY[backend.name] = backend
+
+
+def get_backend(name: str | EnumerationBackend) -> EnumerationBackend:
+    """Resolve a backend name (identity on backend instances)."""
+    if isinstance(name, EnumerationBackend):
+        return name
+    try:
+        return _REGISTRY[name]
+    except KeyError:
+        known = ", ".join(sorted(_REGISTRY))
+        raise EngineError(
+            f"unknown enumeration backend {name!r} (known: {known})"
+        ) from None
+
+
+def available_backends() -> list[str]:
+    """Return the names of all registered backends."""
+    return sorted(_REGISTRY)

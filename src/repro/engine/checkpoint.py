@@ -1,0 +1,165 @@
+"""Checkpoint/resume of the EnumMIS (Q, P, V) state.
+
+The EnumMIS control state is small and fully describes the traversal:
+
+* ``V`` — the SGR nodes (minimal separators) generated so far, each a
+  vertex bitmask;
+* ``P`` — processed answers, each a set of separator masks;
+* ``Q`` — produced-but-unprocessed answers.
+
+Everything else (the separator-intern table, crossing caches) is a pure
+cache rebuilt on demand, so persisting those three collections — plus
+the set of answers already yielded, the statistics counters and an
+input fingerprint — lets a multi-hour enumeration survive interruption
+and continue exactly where it stopped, without re-yielding answers the
+consumer already saw.
+
+Masks serialise as plain JSON integers (Python's ``json`` handles
+arbitrary-precision ints), so the format is portable across runs and
+machines as long as the graph — and therefore the label → index
+interning, which is deterministic given the same construction — is the
+same.  A fingerprint over the node/edge sets, the mode and the
+triangulator guards against resuming into a different job.
+
+Resume replays the deterministic minimal-separator enumerator through
+the first ``|V|`` outputs and verifies they match the stored prefix, so
+the node iterator continues from the right position.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from repro.engine.base import EngineError
+from repro.graph.graph import Graph
+
+__all__ = [
+    "CheckpointError",
+    "CheckpointManager",
+    "CheckpointState",
+    "job_fingerprint",
+]
+
+_FORMAT_VERSION = 1
+
+Answer = frozenset[int]
+
+
+class CheckpointError(EngineError):
+    """A checkpoint file is unreadable or belongs to a different job."""
+
+
+def job_fingerprint(
+    graph: Graph, mode: str, triangulator_name: str, decompose: str
+) -> str:
+    """A stable digest identifying the job a checkpoint belongs to."""
+    digest = hashlib.sha256()
+    for node in graph.nodes():
+        digest.update(repr(node).encode())
+        digest.update(b"\x00")
+    digest.update(b"\x01")
+    for u, v in graph.edges():
+        digest.update(repr(u).encode())
+        digest.update(b"\x00")
+        digest.update(repr(v).encode())
+        digest.update(b"\x00")
+    digest.update(f"|{mode}|{triangulator_name}|{decompose}".encode())
+    return digest.hexdigest()
+
+
+@dataclass
+class CheckpointState:
+    """The persisted EnumMIS control state."""
+
+    known_nodes: list[int] = field(default_factory=list)
+    exhausted: bool = False
+    queue: list[Answer] = field(default_factory=list)
+    processed: list[Answer] = field(default_factory=list)
+    yielded: list[Answer] = field(default_factory=list)
+    stats: dict[str, int] = field(default_factory=dict)
+
+
+def _encode_answers(answers: list[Answer]) -> list[list[int]]:
+    return [sorted(answer) for answer in answers]
+
+
+def _decode_answers(raw: list[list[int]]) -> list[Answer]:
+    return [frozenset(masks) for masks in raw]
+
+
+class CheckpointManager:
+    """Owns one checkpoint file: atomic saves, fingerprint-checked loads."""
+
+    def __init__(
+        self, path: str | Path, fingerprint: str, every: int = 64
+    ) -> None:
+        self.path = Path(path)
+        self.fingerprint = fingerprint
+        self.every = every
+
+    def load(self) -> CheckpointState:
+        """Read and validate the checkpoint; raises on any mismatch."""
+        try:
+            data = json.loads(self.path.read_text())
+        except OSError as exc:
+            raise CheckpointError(
+                f"cannot read checkpoint {self.path}: {exc}"
+            ) from exc
+        except json.JSONDecodeError as exc:
+            raise CheckpointError(
+                f"checkpoint {self.path} is not valid JSON: {exc}"
+            ) from exc
+        if data.get("version") != _FORMAT_VERSION:
+            raise CheckpointError(
+                f"checkpoint {self.path} has unsupported version "
+                f"{data.get('version')!r} (expected {_FORMAT_VERSION})"
+            )
+        if data.get("fingerprint") != self.fingerprint:
+            raise CheckpointError(
+                f"checkpoint {self.path} belongs to a different job "
+                "(graph, mode, triangulator or decompose changed)"
+            )
+        return CheckpointState(
+            known_nodes=[int(mask) for mask in data["known_nodes"]],
+            exhausted=bool(data["exhausted"]),
+            queue=_decode_answers(data["queue"]),
+            processed=_decode_answers(data["processed"]),
+            yielded=_decode_answers(data["yielded"]),
+            stats={k: int(v) for k, v in data.get("stats", {}).items()},
+        )
+
+    def load_if_resuming(self, resume: bool) -> CheckpointState | None:
+        """Load the state when ``resume`` is set; ``None`` on fresh runs.
+
+        A resume against a missing file is an error, not a silent fresh
+        start: the caller asked to continue a previous run, and quietly
+        re-enumerating from scratch would re-deliver every answer the
+        interrupted run already yielded (and burn its runtime again).
+        """
+        if not resume:
+            return None
+        if not self.path.exists():
+            raise CheckpointError(
+                f"cannot resume: checkpoint {self.path} does not exist"
+            )
+        return self.load()
+
+    def save(self, state: CheckpointState) -> None:
+        """Atomically persist ``state`` (write temp file, then rename)."""
+        payload = {
+            "version": _FORMAT_VERSION,
+            "fingerprint": self.fingerprint,
+            "known_nodes": list(state.known_nodes),
+            "exhausted": state.exhausted,
+            "queue": _encode_answers(state.queue),
+            "processed": _encode_answers(state.processed),
+            "yielded": _encode_answers(state.yielded),
+            "stats": state.stats,
+        }
+        tmp = self.path.with_name(self.path.name + ".tmp")
+        tmp.write_text(json.dumps(payload))
+        os.replace(tmp, self.path)

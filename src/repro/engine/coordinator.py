@@ -1,0 +1,311 @@
+"""The sharded EnumMIS coordinator (answer-queue partitioning).
+
+This is the paper's Figure 1 control loop with the expensive inner
+steps — the ``direction`` edge-oracle sweep and the ``Extend``
+triangulation — farmed out to a task runner, while the cheap,
+order-sensitive bookkeeping stays in one place:
+
+* the coordinator owns Q (produced, unprocessed answers), P (processed
+  answers), V (SGR nodes generated so far) and the deduplication set;
+* popped answers are batched into tasks ``(J, V-snapshot)`` and
+  dispatched; results are absorbed as they complete, so item A can be
+  extending on one worker while item B's extensions are being deduped;
+* when Q runs dry and nothing is in flight, the next SGR node v is
+  pulled from the (serial, polynomial-delay) node iterator and every
+  answer of P is re-examined in the direction of v — sharded across
+  the pool in chunks, as a barrier.
+
+Correctness is order-agnostic exactly as in the serial algorithm: an
+answer popped and dispatched against the *snapshot* of V is re-examined
+later against any nodes discovered afterwards, because it sits in P
+when those nodes arrive.  At termination (Q empty, nothing in flight,
+iterator exhausted) every answer of P has been processed in the
+direction of every node of V = all SGR nodes — the same invariant the
+serial proof closes with, so the produced set is exactly
+``MaxInd(G(x))`` with no duplicates (deduplication is centralised in
+the coordinator).
+
+Checkpointing piggybacks on the same state: outside a barrier, (Q ∪
+in-flight answers, P minus in-flight, V) is always a consistent resume
+point; during a barrier on node v, the snapshot simply excludes v from
+V (v is re-pulled and the barrier re-run on resume — duplicate work,
+never wrong answers).
+"""
+
+from __future__ import annotations
+
+import itertools
+from collections.abc import Callable, Iterator
+from concurrent.futures import FIRST_COMPLETED, Future, wait
+
+from repro.chordal.minimal_separators import minimal_separator_masks
+from repro.chordal.triangulate import Triangulator
+from repro.core.extend import extend_parallel_set
+from repro.engine.checkpoint import (
+    CheckpointError,
+    CheckpointManager,
+    CheckpointState,
+)
+from repro.engine.pool import InlineRunner, PoolRunner
+from repro.graph.graph import Graph
+from repro.sgr.enum_mis import EnumMISStatistics, _AnswerQueue
+
+__all__ = ["MISCoordinator"]
+
+Answer = frozenset[int]
+
+
+class MISCoordinator:
+    """Sharded EnumMIS over one connected region of the input graph.
+
+    Yields answers as frozensets of separator *masks*; the backend
+    layer materialises them into Triangulation objects.
+    """
+
+    def __init__(
+        self,
+        region: Graph,
+        region_mask: int,
+        runner: "InlineRunner | PoolRunner",
+        *,
+        mode: str = "UG",
+        triangulator: str | Triangulator = "mcs_m",
+        priority: Callable[[Answer], object] | None = None,
+        stats: EnumMISStatistics | None = None,
+        checkpoint: CheckpointManager | None = None,
+        resume: bool = False,
+    ) -> None:
+        self._region = region
+        self._region_mask = region_mask
+        self._runner = runner
+        self._mode = mode
+        self._triangulator = triangulator
+        self._priority = priority
+        self._stats = stats if stats is not None else EnumMISStatistics()
+        self._checkpoint = checkpoint
+        self._resume = resume
+
+        self._queue = _AnswerQueue(priority)
+        self._seen: set[Answer] = set()
+        self._dispatched: set[Answer] = set()
+        self._yielded: set[Answer] = set()
+        self._known: list[int] = []
+        self._exhausted = False
+        # future → ("pop" | "barrier", answers covered by the task)
+        self._inflight: dict[Future, tuple[str, tuple[Answer, ...]]] = {}
+        # Popped from Q but not yet handed to the runner — still "queued"
+        # as far as a checkpoint is concerned.
+        self._popping: list[Answer] = []
+        self._barrier_node: int | None = None
+        self._since_save = 0
+
+    # ------------------------------------------------------------------
+    # Sizing policy
+    # ------------------------------------------------------------------
+
+    def _pop_chunk_size(self, queued: int) -> int:
+        """Answers per dispatched task: keep every worker busy without
+        starving the pool of work items to steal."""
+        workers = self._runner.workers
+        if workers <= 1:
+            return 1
+        return max(1, min(16, queued // (2 * workers) or 1))
+
+    def _max_inflight(self) -> int:
+        workers = self._runner.workers
+        return 1 if workers <= 1 else workers * 3
+
+    def _barrier_chunks(self, answers: list[Answer]) -> Iterator[list[Answer]]:
+        workers = max(1, self._runner.workers)
+        size = max(1, min(32, -(-len(answers) // (4 * workers))))
+        for start in range(0, len(answers), size):
+            yield answers[start : start + size]
+
+    # ------------------------------------------------------------------
+    # Checkpointing
+    # ------------------------------------------------------------------
+
+    def _snapshot(self) -> CheckpointState:
+        # Answers whose (J, V-snapshot) processing has not completed go
+        # back to Q: in-flight task results would be lost, and a batch
+        # interrupted mid-pop was never submitted at all.
+        requeue: set[Answer] = set(self._popping)
+        for kind, answers in self._inflight.values():
+            if kind == "pop":
+                requeue.update(answers)
+        known = list(self._known)
+        stats = dict(self._stats.snapshot())
+        if self._barrier_node is not None:
+            known.remove(self._barrier_node)
+            # The node will be re-pulled (and re-counted) on resume.
+            stats["nodes_generated"] -= 1
+        return CheckpointState(
+            known_nodes=known,
+            exhausted=self._exhausted and self._barrier_node is None,
+            queue=self._queue.items() + sorted(requeue, key=sorted),
+            processed=sorted(self._dispatched - requeue, key=sorted),
+            yielded=sorted(self._yielded, key=sorted),
+            stats=stats,
+        )
+
+    def _save_checkpoint(self) -> None:
+        if self._checkpoint is not None:
+            self._checkpoint.save(self._snapshot())
+            self._since_save = 0
+
+    def _maybe_checkpoint(self) -> None:
+        if (
+            self._checkpoint is not None
+            and self._since_save >= self._checkpoint.every
+        ):
+            self._save_checkpoint()
+
+    def _restore(self, state: CheckpointState) -> Iterator[int]:
+        """Load (Q, P, V) and return the node iterator, fast-forwarded."""
+        node_iterator = minimal_separator_masks(self._region)
+        prefix = list(itertools.islice(node_iterator, len(state.known_nodes)))
+        if prefix != state.known_nodes:
+            raise CheckpointError(
+                "separator enumeration prefix does not match the "
+                "checkpoint; the graph differs from the checkpointed run"
+            )
+        self._known = list(state.known_nodes)
+        self._exhausted = state.exhausted
+        self._dispatched = set(state.processed)
+        self._yielded = set(state.yielded)
+        self._seen = set(state.processed)
+        for answer in state.queue:
+            if answer not in self._seen:
+                self._seen.add(answer)
+                self._queue.push(answer)
+        self._stats.restore(state.stats)
+        return node_iterator
+
+    # ------------------------------------------------------------------
+    # The control loop
+    # ------------------------------------------------------------------
+
+    def _seed(self) -> Answer:
+        """Compute Extend(∅) locally — the first answer of the run."""
+        self._stats.extend_calls += 1
+        family = extend_parallel_set(
+            self._region, (), self._triangulator
+        )
+        return frozenset(self._region.mask_of(sep) for sep in family)
+
+    def _absorb(self, result) -> list[Answer]:
+        """Fold a batch result into (stats, seen, Q); return new answers."""
+        candidates, delta = result
+        self._stats.add(delta)
+        fresh: list[Answer] = []
+        for masks in candidates:
+            answer = frozenset(masks)
+            if answer in self._seen:
+                self._stats.duplicates_suppressed += 1
+            else:
+                self._seen.add(answer)
+                self._stats.answers += 1
+                self._since_save += 1
+                self._queue.push(answer)
+                fresh.append(answer)
+        return fresh
+
+    def stream(self) -> Iterator[Answer]:
+        """Run the coordinated enumeration; yield each answer once."""
+        state = (
+            self._checkpoint.load_if_resuming(self._resume)
+            if self._checkpoint is not None
+            else None
+        )
+        queue = self._queue
+        inflight = self._inflight
+        mode = self._mode
+
+        # Restore (and its fingerprint/prefix validation) happens outside
+        # the try so a failed resume can never overwrite a good checkpoint
+        # with partially restored state from the finally clause.
+        if state is not None:
+            node_iterator = self._restore(state)
+        else:
+            node_iterator = minimal_separator_masks(self._region)
+        try:
+            if state is None:
+                seed = self._seed()
+                self._seen.add(seed)
+                self._stats.answers += 1
+                queue.push(seed)
+                if mode == "UG":
+                    self._yielded.add(seed)
+                    yield seed
+            elif mode == "UG":
+                # Under UG an answer is yielded the moment it is first
+                # generated — so any restored answer the interrupted run
+                # generated but never delivered must be emitted now, or
+                # it would never be yielded at all.
+                for answer in queue.items() + sorted(
+                    self._dispatched, key=sorted
+                ):
+                    if answer not in self._yielded:
+                        self._yielded.add(answer)
+                        yield answer
+            while True:
+                # Dispatch popped answers against the current V snapshot.
+                while len(queue) and len(inflight) < self._max_inflight():
+                    count = min(self._pop_chunk_size(len(queue)), len(queue))
+                    batch = self._popping
+                    for __ in range(count):
+                        batch.append(queue.pop())
+                    for answer in batch:
+                        if mode == "UP" and answer not in self._yielded:
+                            self._yielded.add(answer)
+                            yield answer
+                    known = tuple(self._known)
+                    jobs = [(tuple(sorted(a)), known) for a in batch]
+                    future = self._runner.submit((self._region_mask, jobs))
+                    # Only now is the batch safely in flight: answers
+                    # move from "still queued" to "dispatched" together,
+                    # so an interrupt mid-batch can never record an
+                    # unprocessed answer as processed.
+                    self._dispatched.update(batch)
+                    inflight[future] = ("pop", tuple(batch))
+                    self._popping = []
+
+                if inflight:
+                    done, __ = wait(inflight, return_when=FIRST_COMPLETED)
+                    for future in done:
+                        kind, __answers = inflight.pop(future)
+                        for answer in self._absorb(future.result()):
+                            if mode == "UG":
+                                self._yielded.add(answer)
+                                yield answer
+                        if kind == "barrier" and not any(
+                            k == "barrier" for k, _ in inflight.values()
+                        ):
+                            self._barrier_node = None
+                    self._maybe_checkpoint()
+                    continue
+
+                if len(queue):
+                    continue
+
+                # Q empty, nothing in flight: grow V by one node.
+                if self._exhausted:
+                    break
+                try:
+                    v = next(node_iterator)
+                except StopIteration:
+                    self._exhausted = True
+                    break
+                self._known.append(v)
+                self._stats.nodes_generated += 1
+                if not self._dispatched:
+                    continue
+                self._barrier_node = v
+                targets = sorted(self._dispatched, key=sorted)
+                for chunk in self._barrier_chunks(targets):
+                    jobs = [(tuple(sorted(a)), (v,)) for a in chunk]
+                    future = self._runner.submit((self._region_mask, jobs))
+                    inflight[future] = ("barrier", tuple(chunk))
+        finally:
+            if self._checkpoint is not None:
+                self._save_checkpoint()

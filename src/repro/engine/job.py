@@ -1,0 +1,119 @@
+"""The enumeration job spec: one fully-described unit of engine work.
+
+An :class:`EnumerationJob` captures everything a backend needs to
+enumerate the minimal triangulations of a graph — the input, the
+EnumMIS printing mode, the ``Extend`` heuristic, decomposition and
+ranking options, answer/time budgets, and checkpointing — so that the
+same spec can be handed to any backend (serial today, sharded across a
+worker pool, future bulk backends) and produce the same answer set.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from repro.chordal.triangulate import Triangulator
+from repro.core.triangulation import Triangulation
+from repro.engine.base import EngineError
+from repro.graph.graph import Graph
+
+__all__ = ["EnumerationJob"]
+
+CostFunction = Callable[[Triangulation], object]
+
+_MODES = {"UG", "UP"}
+_DECOMPOSE = {"none", "components", "atoms"}
+
+
+@dataclass
+class EnumerationJob:
+    """A self-contained description of one enumeration run.
+
+    Parameters
+    ----------
+    graph:
+        The input graph (connected or not).
+    mode:
+        EnumMIS printing discipline: ``"UG"`` (yield upon generation,
+        the default) or ``"UP"`` (yield upon pop).  Ranked jobs always
+        run ``"UP"`` regardless of this field, mirroring
+        :mod:`repro.core.ranked`.
+    triangulator:
+        Heuristic plugged into ``Extend`` — a registry name or a
+        :class:`~repro.chordal.triangulate.Triangulator` instance.
+        The sharded backend ships the heuristic to worker processes, so
+        custom instances must be picklable (registry names always are).
+    decompose:
+        ``"components"`` (default), ``"atoms"`` or ``"none"`` — how the
+        input is split before enumeration, as in
+        :func:`repro.core.enumerate.enumerate_minimal_triangulations`.
+    cost:
+        Optional ranking: ``"width"``, ``"fill"`` or a callable mapping
+        a Triangulation to a sortable key.  When set, the answer queue
+        is drained best-first.
+    max_results / time_budget:
+        Answer-count and wall-clock budgets, enforced by the engine.
+        ``None`` means unbounded.
+    checkpoint_path:
+        When set, the backend periodically persists its (Q, P, V) state
+        to this file so an interrupted enumeration can be resumed; see
+        :mod:`repro.engine.checkpoint`.  Requires a job that resolves
+        to a single region (a connected graph, or ``decompose="none"``).
+    checkpoint_every:
+        Save the checkpoint after this many newly generated answers
+        (plus once on stream close).
+    resume:
+        When True and ``checkpoint_path`` exists, restore (Q, P, V)
+        from it instead of starting fresh; answers already yielded by
+        the interrupted run are not yielded again.
+    workers:
+        Worker-pool size hint for parallel backends; ``None`` lets the
+        backend choose (``os.cpu_count()`` for ``sharded``).
+    """
+
+    graph: Graph
+    mode: str = "UG"
+    triangulator: str | Triangulator = "mcs_m"
+    decompose: str = "components"
+    cost: str | CostFunction | None = None
+    max_results: int | None = None
+    time_budget: float | None = None
+    checkpoint_path: str | Path | None = None
+    checkpoint_every: int = 64
+    resume: bool = False
+    workers: int | None = field(default=None)
+
+    def validate(self) -> None:
+        """Raise :class:`EngineError` on an inconsistent spec."""
+        if self.mode not in _MODES:
+            raise EngineError(
+                f"mode must be one of {sorted(_MODES)}, got {self.mode!r}"
+            )
+        if self.decompose not in _DECOMPOSE:
+            raise EngineError(
+                f"decompose must be one of {sorted(_DECOMPOSE)}, "
+                f"got {self.decompose!r}"
+            )
+        if self.max_results is not None and self.max_results < 0:
+            raise EngineError("max_results must be >= 0")
+        if self.time_budget is not None and self.time_budget < 0:
+            raise EngineError("time_budget must be >= 0")
+        if self.checkpoint_every <= 0:
+            raise EngineError("checkpoint_every must be positive")
+        if self.workers is not None and self.workers < 0:
+            raise EngineError("workers must be >= 0")
+        if self.resume and self.checkpoint_path is None:
+            raise EngineError("resume=True requires checkpoint_path")
+
+    @property
+    def effective_mode(self) -> str:
+        """The EnumMIS discipline actually used (ranked jobs force UP)."""
+        return "UP" if self.cost is not None else self.mode
+
+    def triangulator_name(self) -> str:
+        """A printable name for the heuristic (for reports/checkpoints)."""
+        if isinstance(self.triangulator, str):
+            return self.triangulator
+        return self.triangulator.name

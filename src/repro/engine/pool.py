@@ -1,0 +1,244 @@
+"""Worker-side execution of sharded EnumMIS tasks.
+
+Protocol
+--------
+The coordinator ships a *graph payload* once per worker (dense label
+list + bitmask adjacency, so the rebuilt graph has **identical** vertex
+indices) and then streams *task batches*.  A task batch is::
+
+    (region_mask, [(answer_masks, direction_masks), ...])
+
+where ``region_mask`` selects the induced subgraph being enumerated
+(connected component or atom — the full graph in the common case) and
+each job asks: for this answer J (a tuple of separator masks) and each
+direction node v (a separator mask), compute
+``Extend({v} ∪ {u ∈ J : ¬(v ♮ u)})``.  The worker returns one extended
+answer per (J, v) pair — as a sorted tuple of separator masks — plus an
+:class:`~repro.sgr.enum_mis.EnumMISStatistics` delta covering exactly
+that batch, which the coordinator folds into the run aggregate.
+
+Everything crossing the process boundary is tuples of ints, so IPC cost
+is a pickle of a few machine words per separator regardless of label
+types.
+
+Each worker keeps one :class:`~repro.sgr.separator_graph.MinimalSeparatorSGR`
+per region for its whole lifetime, so the interned separator table and
+the memoized crossing cache warm up once and are shared by every task
+the worker ever runs — the worker-pool analogue of the caches the
+serial pipeline builds up in a single process.
+
+Runners
+-------
+:class:`PoolRunner` executes batches on a ``ProcessPoolExecutor``;
+:class:`InlineRunner` executes them synchronously in-process (used by
+the serial backend for checkpointable runs, and handy for debugging
+the coordinator without multiprocessing in the way).  Both return
+:class:`concurrent.futures.Future` objects so the coordinator has a
+single collection path.
+"""
+
+from __future__ import annotations
+
+import os
+from concurrent.futures import Future, ProcessPoolExecutor
+from typing import Hashable
+
+from repro.chordal.triangulate import Triangulator, get_triangulator
+from repro.engine.base import EngineError
+from repro.graph.core import IndexedGraph, NodeInterner, iter_bits
+from repro.graph.graph import Graph
+from repro.sgr.enum_mis import EnumMISStatistics
+from repro.sgr.separator_graph import MinimalSeparatorSGR
+
+__all__ = [
+    "GraphPayload",
+    "InlineRunner",
+    "PoolRunner",
+    "default_worker_count",
+    "make_payload",
+    "triangulator_spec",
+]
+
+# (answer separator masks, direction separator masks)
+TaskJob = tuple[tuple[int, ...], tuple[int, ...]]
+# (region mask, jobs)
+TaskBatch = tuple[int, list[TaskJob]]
+# (one extended answer per (answer, direction) pair, stats delta)
+BatchResult = tuple[list[tuple[int, ...]], EnumMISStatistics]
+
+GraphPayload = tuple[list[Hashable], list[int], int, "str | Triangulator"]
+
+
+def default_worker_count() -> int:
+    """The pool size used when a job does not pin one.
+
+    Uses the scheduler affinity mask where available (cgroup/affinity
+    limited containers report far fewer usable cores than
+    ``os.cpu_count()``; oversubscribing those turns sharding into pure
+    overhead).
+    """
+    try:
+        return max(1, len(os.sched_getaffinity(0)))
+    except AttributeError:  # pragma: no cover - non-Linux platforms
+        return max(1, os.cpu_count() or 1)
+
+
+def triangulator_spec(
+    triangulator: str | Triangulator,
+) -> str | Triangulator:
+    """Reduce a heuristic to something cheap and safe to ship to workers.
+
+    Registry-backed heuristics travel as their name (workers re-resolve
+    locally, so nothing needs pickling); custom instances are shipped
+    as-is and must therefore be picklable.
+    """
+    if isinstance(triangulator, str):
+        return triangulator
+    try:
+        if get_triangulator(triangulator.name) == triangulator:
+            return triangulator.name
+    except ValueError:
+        pass
+    return triangulator
+
+
+def make_payload(
+    graph: Graph, triangulator: str | Triangulator
+) -> GraphPayload:
+    """Snapshot ``graph`` for worker-side reconstruction."""
+    core = graph.core
+    return (
+        graph.interner.labels_dense,
+        list(core.adj),
+        core.alive,
+        triangulator_spec(triangulator),
+    )
+
+
+def _rebuild_graph(
+    labels: list[Hashable], adj: list[int], alive: int
+) -> Graph:
+    core = IndexedGraph.__new__(IndexedGraph)
+    core.adj = list(adj)
+    core.alive = alive
+    core.num_edges = sum(adj[i].bit_count() for i in iter_bits(alive)) // 2
+    return Graph._from_parts(core, NodeInterner.from_dense(labels, alive))
+
+
+class _WorkerState:
+    """Per-process state: the graph plus one warm SGR per region."""
+
+    def __init__(self, payload: GraphPayload) -> None:
+        labels, adj, alive, triangulator = payload
+        self.graph = _rebuild_graph(labels, adj, alive)
+        self.triangulator = get_triangulator(triangulator)
+        # region mask → (region graph, SGR, mask → separator cache)
+        self._regions: dict[
+            int, tuple[Graph, MinimalSeparatorSGR, dict[int, frozenset]]
+        ] = {}
+
+    def _region(
+        self, region_mask: int
+    ) -> tuple[Graph, MinimalSeparatorSGR, dict[int, frozenset]]:
+        entry = self._regions.get(region_mask)
+        if entry is None:
+            if region_mask == self.graph.core.alive:
+                region = self.graph
+            else:
+                region = self.graph.subgraph(
+                    self.graph.label_set(region_mask)
+                )
+            sgr = MinimalSeparatorSGR(region, self.triangulator)
+            entry = (region, sgr, {})
+            self._regions[region_mask] = entry
+        return entry
+
+    def run_batch(self, batch: TaskBatch) -> BatchResult:
+        region_mask, jobs = batch
+        region, sgr, separator_of = self._region(region_mask)
+        stats = EnumMISStatistics()
+        sgr.attach_statistics(stats)
+        label_set = region.label_set
+        mask_of = region.mask_of
+        out: list[tuple[int, ...]] = []
+        for answer_masks, direction_masks in jobs:
+            answer = []
+            for mask in answer_masks:
+                separator = separator_of.get(mask)
+                if separator is None:
+                    separator = label_set(mask)
+                    separator_of[mask] = separator
+                answer.append(separator)
+            for v_mask in direction_masks:
+                v = separator_of.get(v_mask)
+                if v is None:
+                    v = label_set(v_mask)
+                    separator_of[v_mask] = v
+                kept = {u for u in answer if not sgr.has_edge(v, u)}
+                stats.edge_oracle_calls += len(answer)
+                kept.add(v)
+                stats.extend_calls += 1
+                extended = sgr.extend(frozenset(kept))
+                out.append(
+                    tuple(sorted(mask_of(sep) for sep in extended))
+                )
+        return out, stats
+
+
+_WORKER_STATE: _WorkerState | None = None
+
+
+def _init_worker(payload: GraphPayload) -> None:
+    global _WORKER_STATE
+    _WORKER_STATE = _WorkerState(payload)
+
+
+def _run_batch(batch: TaskBatch) -> BatchResult:
+    assert _WORKER_STATE is not None, "worker initializer did not run"
+    return _WORKER_STATE.run_batch(batch)
+
+
+class InlineRunner:
+    """Synchronous runner: tasks execute immediately in this process."""
+
+    workers = 1
+
+    def __init__(self, payload: GraphPayload) -> None:
+        self._state = _WorkerState(payload)
+
+    def submit(self, batch: TaskBatch) -> "Future[BatchResult]":
+        future: Future = Future()
+        try:
+            future.set_result(self._state.run_batch(batch))
+        except BaseException as exc:  # surfaced via future.result()
+            future.set_exception(exc)
+        return future
+
+    def close(self) -> None:
+        pass
+
+
+class PoolRunner:
+    """Runner backed by a ``ProcessPoolExecutor`` of warm workers."""
+
+    def __init__(self, payload: GraphPayload, workers: int) -> None:
+        if workers < 1:
+            raise EngineError("sharded execution needs at least 1 worker")
+        self.workers = workers
+        try:
+            self._executor = ProcessPoolExecutor(
+                max_workers=workers,
+                initializer=_init_worker,
+                initargs=(payload,),
+            )
+        except Exception as exc:  # pragma: no cover - platform-specific
+            raise EngineError(
+                f"could not start worker pool ({exc}); custom "
+                "triangulators must be picklable to shard"
+            ) from exc
+
+    def submit(self, batch: TaskBatch) -> "Future[BatchResult]":
+        return self._executor.submit(_run_batch, batch)
+
+    def close(self) -> None:
+        self._executor.shutdown(wait=True, cancel_futures=True)

@@ -1,0 +1,63 @@
+"""The ``serial`` backend: today's single-process enumeration pipeline.
+
+A thin wrapper over
+:func:`repro.core.enumerate.enumerate_minimal_triangulations` (plain
+jobs) and
+:func:`repro.core.ranked.enumerate_minimal_triangulations_prioritized`
+(ranked jobs).  Checkpointable jobs route through the same coordinator
+the sharded backend uses, with an in-process
+:class:`~repro.engine.pool.InlineRunner` — identical (Q, P, V)
+semantics and checkpoint format, no worker pool.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterator
+
+from repro.core.triangulation import Triangulation
+from repro.engine.base import EnumerationBackend, register_backend
+from repro.engine.job import EnumerationJob
+from repro.engine.pool import InlineRunner
+from repro.sgr.enum_mis import EnumMISStatistics
+
+__all__ = ["SerialBackend"]
+
+
+class SerialBackend(EnumerationBackend):
+    """Single-process execution (the reference implementation)."""
+
+    name = "serial"
+
+    def stream(
+        self,
+        job: EnumerationJob,
+        stats: EnumMISStatistics,
+        workers: int | None,
+    ) -> Iterator[Triangulation]:
+        if job.checkpoint_path is not None:
+            from repro.engine.sharded import coordinated_stream
+
+            return coordinated_stream(job, stats, InlineRunner)
+        if job.cost is not None:
+            from repro.core.ranked import (
+                enumerate_minimal_triangulations_prioritized,
+            )
+
+            return enumerate_minimal_triangulations_prioritized(
+                job.graph,
+                cost=job.cost,
+                triangulator=job.triangulator,
+                stats=stats,
+            )
+        from repro.core.enumerate import enumerate_minimal_triangulations
+
+        return enumerate_minimal_triangulations(
+            job.graph,
+            triangulator=job.triangulator,
+            mode=job.mode,
+            stats=stats,
+            decompose=job.decompose,
+        )
+
+
+register_backend(SerialBackend())

@@ -1,0 +1,192 @@
+"""The ``sharded`` backend: EnumMIS across a multiprocessing pool.
+
+The graph is decomposed exactly as the serial pipeline does
+(components / atoms / none); each region runs a
+:class:`~repro.engine.coordinator.MISCoordinator` whose extend tasks
+execute on a shared worker pool, and disconnected inputs are recombined
+through the same lazy fair product as the serial enumerator.  Answers
+arrive as frozensets of separator masks and are materialised into
+:class:`~repro.core.triangulation.Triangulation` objects here, by
+saturating the masks on a scratch bitmask core — identical to the
+serial yield path, so both backends produce equal Triangulation values.
+
+The module also hosts :func:`coordinated_stream`, the backend-agnostic
+assembly (regions → coordinators → materialisation → product), which
+the serial backend reuses with an in-process runner for checkpointable
+runs.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable, Iterator
+
+from repro.core.enumerate import _fair_product
+from repro.core.ranked import _resolve_cost
+from repro.core.triangulation import Triangulation
+from repro.engine.base import EngineError, EnumerationBackend, register_backend
+from repro.engine.checkpoint import CheckpointManager, job_fingerprint
+from repro.engine.coordinator import Answer, MISCoordinator
+from repro.engine.job import EnumerationJob
+from repro.engine.pool import (
+    InlineRunner,
+    PoolRunner,
+    default_worker_count,
+    make_payload,
+)
+from repro.graph.components import connected_components
+from repro.graph.graph import Graph, Node
+from repro.sgr.enum_mis import EnumMISStatistics
+
+__all__ = ["ShardedBackend", "coordinated_stream"]
+
+
+def _resolve_regions(job: EnumerationJob) -> list[frozenset]:
+    graph = job.graph
+    if job.decompose == "none":
+        return [graph.node_set()]
+    if job.decompose == "atoms":
+        from repro.chordal.atoms import atoms
+
+        return list(atoms(graph))
+    return list(connected_components(graph))
+
+
+def _materialise(
+    region: Graph, answer: Answer
+) -> Triangulation:
+    """``g[φ]`` from separator masks — the fill at yield time."""
+    scratch = region.core.copy()
+    label_of = region.label_of
+    fill: list[tuple[Node, Node]] = []
+    for separator_mask in answer:
+        for u, v in scratch.saturate(separator_mask):
+            fill.append((label_of(u), label_of(v)))
+    return Triangulation(region, tuple(fill))
+
+
+def coordinated_stream(
+    job: EnumerationJob,
+    stats: EnumMISStatistics,
+    runner_factory: Callable[[object], "InlineRunner | PoolRunner"],
+) -> Iterator[Triangulation]:
+    """Run ``job`` through coordinators on runners from ``runner_factory``.
+
+    One runner (one worker pool) is shared by every region; it is
+    closed when the stream is closed or exhausted.
+    """
+    graph = job.graph
+    if graph.num_nodes == 0:
+        yield Triangulation(graph, ())
+        return
+
+    regions = _resolve_regions(job)
+    multi_region = len(regions) > 1
+    if job.checkpoint_path is not None and multi_region:
+        raise EngineError(
+            "checkpointing requires a single-region job (a connected "
+            "graph, or decompose='none'); got "
+            f"{len(regions)} regions under decompose={job.decompose!r}"
+        )
+
+    cost_fn = _resolve_cost(job.cost) if job.cost is not None else None
+    mode = job.effective_mode
+
+    payload = make_payload(graph, job.triangulator)
+    runner = runner_factory(payload)
+    try:
+        if not multi_region:
+            # Enumerate over the original graph object so yielded
+            # Triangulations reference it, exactly like the serial path.
+            checkpoint = None
+            if job.checkpoint_path is not None:
+                checkpoint = CheckpointManager(
+                    job.checkpoint_path,
+                    job_fingerprint(
+                        graph,
+                        mode,
+                        job.triangulator_name(),
+                        job.decompose,
+                    ),
+                    every=job.checkpoint_every,
+                )
+            priority = None
+            if cost_fn is not None:
+                priority = lambda answer: cost_fn(  # noqa: E731
+                    _materialise(graph, answer)
+                )
+            coordinator = MISCoordinator(
+                graph,
+                graph.core.alive,
+                runner,
+                mode=mode,
+                triangulator=job.triangulator,
+                priority=priority,
+                stats=stats,
+                checkpoint=checkpoint,
+                resume=job.resume,
+            )
+            answers = coordinator.stream()
+            try:
+                for answer in answers:
+                    yield _materialise(graph, answer)
+            finally:
+                answers.close()
+            return
+
+        # Disconnected input: per-region coordinators on the shared
+        # pool, recombined through the lazy fair product.  Ranking is
+        # component-local at best, so (as in repro.core.ranked) the
+        # cross-region product falls back to plain order.
+        def region_stream(region: Graph) -> Iterator[Triangulation]:
+            coordinator = MISCoordinator(
+                region,
+                region.core.alive,
+                runner,
+                mode=mode,
+                triangulator=job.triangulator,
+                stats=stats,
+            )
+            for answer in coordinator.stream():
+                yield _materialise(region, answer)
+
+        streams: list[Iterator[Triangulation]] = [
+            region_stream(graph.subgraph(region_nodes))
+            for region_nodes in regions
+        ]
+        try:
+            for combination in _fair_product(streams):
+                fill: list[tuple[Node, Node]] = []
+                for part in combination:
+                    fill.extend(part.fill_edges)
+                yield Triangulation(graph, tuple(fill))
+        finally:
+            for stream in streams:
+                stream.close()
+    finally:
+        runner.close()
+
+
+class ShardedBackend(EnumerationBackend):
+    """Partition the EnumMIS answer queue across worker processes."""
+
+    name = "sharded"
+
+    def stream(
+        self,
+        job: EnumerationJob,
+        stats: EnumMISStatistics,
+        workers: int | None,
+    ) -> Iterator[Triangulation]:
+        count = workers if workers is not None else job.workers
+        if count is None:
+            count = default_worker_count()
+        if count < 1:
+            raise EngineError(
+                f"sharded backend needs workers >= 1, got {count}"
+            )
+        return coordinated_stream(
+            job, stats, lambda payload: PoolRunner(payload, count)
+        )
+
+
+register_backend(ShardedBackend())

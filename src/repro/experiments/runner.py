@@ -42,6 +42,8 @@ class EnumerationTrace:
     completed: bool = False
     elapsed: float = 0.0
     stats: EnumMISStatistics = field(default_factory=EnumMISStatistics)
+    backend: str = "serial"
+    workers: int | None = None
 
     # ------------------------------------------------------------------
     # Derived statistics (the columns of the paper's Tables 1 and 2)
@@ -156,22 +158,39 @@ def run_enumeration(
     max_results: int | None = None,
     mode: str = "UG",
     name: str = "",
+    backend: str = "serial",
+    workers: int | None = None,
 ) -> EnumerationTrace:
     """Enumerate under a wall-clock/result budget and record a trace.
 
     Mirrors the paper's 30-minute runs (Section 6.2): the enumeration
     stops when the budget is exhausted or, if it finishes earlier,
-    ``completed`` is set on the trace.
+    ``completed`` is set on the trace.  ``backend``/``workers`` select
+    the execution strategy through the enumeration engine
+    (:mod:`repro.engine`); the trace's ``stats`` are then the aggregate
+    over the coordinator and every worker.
     """
     stats = EnumMISStatistics()
     label = (
         triangulator if isinstance(triangulator, str) else triangulator.name
     )
-    trace = EnumerationTrace(name=name, triangulator=label, mode=mode, stats=stats)
+    trace = EnumerationTrace(
+        name=name,
+        triangulator=label,
+        mode=mode,
+        stats=stats,
+        backend=backend,
+        workers=workers,
+    )
     start = time.monotonic()
     for index, result in enumerate(
         enumerate_minimal_triangulations(
-            graph, triangulator=triangulator, mode=mode, stats=stats
+            graph,
+            triangulator=triangulator,
+            mode=mode,
+            stats=stats,
+            backend=backend,
+            workers=workers,
         )
     ):
         elapsed = time.monotonic() - start

@@ -117,6 +117,36 @@ class NodeInterner:
         clone._free = list(self._free)
         return clone
 
+    @classmethod
+    def from_dense(
+        cls, labels: list[Hashable], live_mask: int
+    ) -> "NodeInterner":
+        """Rebuild an interner from a dense ``index → label`` list.
+
+        ``labels[i]`` is the label at slot ``i`` for every set bit of
+        ``live_mask``; dead slots are recycled as free.  This is the
+        inverse of reading :attr:`labels_dense`, and is how worker
+        processes of the sharded enumeration engine reconstruct a graph
+        with *identical* index assignments (so vertex bitmasks computed
+        by the coordinator mean the same thing in every worker).
+        """
+        interner = cls.__new__(cls)
+        interner._labels = list(labels)
+        interner._index = {}
+        interner._free = []
+        for i in range(len(interner._labels)):
+            if live_mask >> i & 1:
+                interner._index[interner._labels[i]] = i
+            else:
+                interner._labels[i] = None
+                interner._free.append(i)
+        return interner
+
+    @property
+    def labels_dense(self) -> list[Hashable]:
+        """The dense ``index → label`` list (``None`` at dead slots)."""
+        return list(self._labels)
+
     def relabeled(self, mapping: dict) -> "NodeInterner":
         """Return a copy with each live label renamed through ``mapping``.
 

@@ -36,12 +36,16 @@ from __future__ import annotations
 import heapq
 import itertools
 from collections import deque
-from collections.abc import Callable, Iterator
+from collections.abc import Callable, Iterable, Iterator
 from dataclasses import dataclass, field
 
 from repro.sgr.base import SGRNode, SuccinctGraphRepresentation
 
-__all__ = ["enumerate_maximal_independent_sets", "EnumMISStatistics"]
+__all__ = [
+    "enumerate_maximal_independent_sets",
+    "EnumMISStatistics",
+    "merge_statistics",
+]
 
 
 @dataclass
@@ -76,6 +80,56 @@ class EnumMISStatistics:
             "edge_cache_misses": self.edge_cache_misses,
         }
 
+    def add(self, other: "EnumMISStatistics") -> None:
+        """Accumulate another statistics object into this one, in place.
+
+        Scalar counters are summed and ``redundant_extensions`` maps are
+        merged key-wise.  This is how the sharded enumeration engine
+        folds per-worker counters into the run's aggregate report.
+        """
+        self.extend_calls += other.extend_calls
+        self.edge_oracle_calls += other.edge_oracle_calls
+        self.nodes_generated += other.nodes_generated
+        self.answers += other.answers
+        self.duplicates_suppressed += other.duplicates_suppressed
+        self.edge_cache_hits += other.edge_cache_hits
+        self.edge_cache_misses += other.edge_cache_misses
+        for key, value in other.redundant_extensions.items():
+            self.redundant_extensions[key] = (
+                self.redundant_extensions.get(key, 0) + value
+            )
+
+    def restore(self, counters: dict[str, int]) -> None:
+        """Overwrite the scalar counters from a :meth:`snapshot` dict.
+
+        Unknown keys are ignored so old checkpoints stay loadable after
+        new counters are added.
+        """
+        for key in (
+            "extend_calls",
+            "edge_oracle_calls",
+            "nodes_generated",
+            "answers",
+            "duplicates_suppressed",
+            "edge_cache_hits",
+            "edge_cache_misses",
+        ):
+            if key in counters:
+                setattr(self, key, counters[key])
+
+
+def merge_statistics(parts: Iterable[EnumMISStatistics]) -> EnumMISStatistics:
+    """Return a new statistics object aggregating ``parts``.
+
+    The aggregate of per-worker counters from a sharded run is the
+    plain sum: every counter is a count of events that happened in
+    exactly one worker (or in the coordinator).
+    """
+    total = EnumMISStatistics()
+    for part in parts:
+        total.add(part)
+    return total
+
 
 class _AnswerQueue:
     """The collection Q of Figure 1: FIFO by default, a min-heap when a
@@ -108,6 +162,12 @@ class _AnswerQueue:
         if self._priority is None:
             return self._fifo.popleft()
         return heapq.heappop(self._heap)[2]
+
+    def items(self) -> list[frozenset[SGRNode]]:
+        """Return the queued answers without draining (for checkpoints)."""
+        if self._priority is None:
+            return list(self._fifo)
+        return [entry[2] for entry in self._heap]
 
     def __len__(self) -> int:
         return len(self._fifo) + len(self._heap)

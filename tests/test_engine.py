@@ -1,0 +1,295 @@
+"""Tests for the pluggable enumeration engine (repro.engine)."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from helpers import small_random_graphs
+from repro.core.enumerate import enumerate_minimal_triangulations
+from repro.core.ranked import enumerate_minimal_triangulations_prioritized
+from repro.engine import (
+    CheckpointError,
+    EngineError,
+    EnumerationEngine,
+    EnumerationJob,
+    available_backends,
+    get_backend,
+)
+from repro.engine.checkpoint import CheckpointManager, job_fingerprint
+from repro.experiments.runner import run_enumeration
+from repro.graph.generators import cycle_graph, gnp_random_graph
+from repro.graph.graph import Graph
+from repro.sgr.enum_mis import EnumMISStatistics, merge_statistics
+
+
+def answer_set(triangulations) -> set[frozenset]:
+    return {frozenset(t.fill_edges) for t in triangulations}
+
+
+def serial_answers(graph, **kwargs) -> set[frozenset]:
+    return answer_set(enumerate_minimal_triangulations(graph, **kwargs))
+
+
+class TestEngineBasics:
+    def test_backends_registered(self):
+        assert {"serial", "sharded"} <= set(available_backends())
+
+    def test_unknown_backend_raises(self):
+        with pytest.raises(EngineError, match="unknown enumeration backend"):
+            get_backend("quantum")
+
+    def test_job_validation(self):
+        g = cycle_graph(4)
+        with pytest.raises(EngineError, match="mode"):
+            EnumerationEngine().run(EnumerationJob(g, mode="XX"))
+        with pytest.raises(EngineError, match="resume"):
+            EnumerationEngine().run(EnumerationJob(g, resume=True))
+        with pytest.raises(EngineError, match="max_results"):
+            EnumerationEngine().run(EnumerationJob(g, max_results=-1))
+
+    def test_serial_engine_matches_direct_pipeline(self):
+        g = gnp_random_graph(12, 0.35, seed=11)
+        result = EnumerationEngine("serial").run(EnumerationJob(g))
+        assert result.completed
+        assert answer_set(result.triangulations) == serial_answers(g)
+        assert result.stats.answers == result.count
+
+    def test_budgets_enforced(self):
+        g = gnp_random_graph(12, 0.35, seed=11)
+        result = EnumerationEngine("serial").run(EnumerationJob(g, max_results=5))
+        assert result.count == 5 and not result.completed
+        result = EnumerationEngine("serial").run(
+            EnumerationJob(g, time_budget=0.0)
+        )
+        assert result.count == 1 and not result.completed
+
+    def test_zero_answer_budget_yields_nothing(self):
+        g = gnp_random_graph(12, 0.35, seed=11)
+        result = EnumerationEngine("serial").run(EnumerationJob(g, max_results=0))
+        assert result.count == 0 and not result.completed
+
+    def test_empty_graph(self):
+        for backend in ("serial", "sharded"):
+            result = EnumerationEngine(backend, workers=1).run(
+                EnumerationJob(Graph())
+            )
+            assert result.count == 1
+            assert result.triangulations[0].fill_edges == ()
+
+
+class TestSerialShardedEquivalence:
+    """Both backends must enumerate identical answer *sets*."""
+
+    def test_random_gnp_corpus(self):
+        engine = EnumerationEngine("sharded", workers=2)
+        for g in small_random_graphs(6, max_nodes=9, seed=2024):
+            expected = serial_answers(g)
+            result = engine.run(EnumerationJob(g))
+            assert answer_set(result.triangulations) == expected
+
+    def test_seeded_medium_graph_both_modes(self):
+        g = gnp_random_graph(13, 0.3, seed=77)
+        engine = EnumerationEngine("sharded", workers=2)
+        for mode in ("UG", "UP"):
+            expected = serial_answers(g, mode=mode)
+            result = engine.run(EnumerationJob(g, mode=mode))
+            assert answer_set(result.triangulations) == expected
+
+    def test_core_counters_match_serial(self):
+        g = gnp_random_graph(12, 0.35, seed=9)
+        serial_stats = EnumMISStatistics()
+        list(enumerate_minimal_triangulations(g, stats=serial_stats))
+        result = EnumerationEngine("sharded", workers=2).run(EnumerationJob(g))
+        # Work counters are execution-order independent; only the cache
+        # hit/miss split differs (each worker warms its own cache).
+        for key in ("extend_calls", "edge_oracle_calls", "answers",
+                    "nodes_generated", "duplicates_suppressed"):
+            assert getattr(result.stats, key) == getattr(serial_stats, key)
+
+    def test_disconnected_graph(self):
+        g = Graph(
+            edges=[(1, 2), (2, 3), (3, 4), (4, 1), (10, 11), (11, 12),
+                   (12, 13), (13, 10)]
+        )
+        expected = serial_answers(g)
+        result = EnumerationEngine("sharded", workers=2).run(EnumerationJob(g))
+        assert answer_set(result.triangulations) == expected
+
+    def test_backend_parameter_on_core_entry_points(self):
+        g = gnp_random_graph(11, 0.4, seed=31)
+        expected = serial_answers(g)
+        via_param = answer_set(
+            enumerate_minimal_triangulations(g, backend="sharded", workers=2)
+        )
+        assert via_param == expected
+        ranked_serial = [
+            t.width
+            for t in enumerate_minimal_triangulations_prioritized(g, "width")
+        ]
+        ranked_sharded = [
+            t.width
+            for t in enumerate_minimal_triangulations_prioritized(
+                g, "width", backend="sharded", workers=2
+            )
+        ]
+        assert sorted(ranked_serial) == sorted(ranked_sharded)
+        assert ranked_sharded[0] == min(ranked_serial)
+
+    def test_runner_trace_via_sharded_backend(self):
+        g = gnp_random_graph(11, 0.4, seed=31)
+        trace = run_enumeration(g, backend="sharded", workers=2, name="shard")
+        assert trace.backend == "sharded"
+        assert trace.completed
+        assert trace.count == len(serial_answers(g))
+        assert trace.stats.answers == trace.count
+
+
+class TestRankedEngine:
+    def test_sharded_best_first_order(self):
+        g = gnp_random_graph(12, 0.4, seed=3)
+        widths = [
+            t.width
+            for t in enumerate_minimal_triangulations_prioritized(g, "width")
+        ]
+        result = EnumerationEngine("sharded", workers=2).run(
+            EnumerationJob(g, cost="width")
+        )
+        assert sorted(t.width for t in result.triangulations) == sorted(widths)
+        assert result.triangulations[0].width == min(widths)
+
+
+class TestStatisticsMerge:
+    def test_merge_sums_counters(self):
+        a = EnumMISStatistics(
+            extend_calls=3, edge_oracle_calls=10, answers=2,
+            edge_cache_hits=4, edge_cache_misses=1,
+            redundant_extensions={"x": 1},
+        )
+        b = EnumMISStatistics(
+            extend_calls=5, duplicates_suppressed=7, nodes_generated=2,
+            edge_cache_hits=1, redundant_extensions={"x": 2, "y": 3},
+        )
+        total = merge_statistics([a, b])
+        assert total.extend_calls == 8
+        assert total.edge_oracle_calls == 10
+        assert total.answers == 2
+        assert total.duplicates_suppressed == 7
+        assert total.nodes_generated == 2
+        assert total.edge_cache_hits == 5
+        assert total.edge_cache_misses == 1
+        assert total.redundant_extensions == {"x": 3, "y": 3}
+
+    def test_merge_of_nothing_is_zero(self):
+        assert merge_statistics([]).snapshot() == EnumMISStatistics().snapshot()
+
+    def test_snapshot_restore_round_trip(self):
+        a = EnumMISStatistics(extend_calls=3, answers=9, edge_cache_hits=2)
+        b = EnumMISStatistics()
+        b.restore(a.snapshot())
+        assert b.snapshot() == a.snapshot()
+
+
+class TestCheckpointResume:
+    def _round_trip(self, backend, workers, tmp_path, mode="UG"):
+        g = gnp_random_graph(13, 0.3, seed=21)
+        full = serial_answers(g, mode=mode)
+        path = tmp_path / f"{backend}-{mode}.ckpt.json"
+        engine = EnumerationEngine(backend, workers=workers)
+        first = engine.run(
+            EnumerationJob(
+                g, mode=mode, checkpoint_path=path, checkpoint_every=5,
+                max_results=len(full) // 3,
+            )
+        )
+        second = engine.run(
+            EnumerationJob(g, mode=mode, checkpoint_path=path, resume=True)
+        )
+        got_first = answer_set(first.triangulations)
+        got_second = answer_set(second.triangulations)
+        assert not (got_first & got_second), "resume re-yielded answers"
+        assert got_first | got_second == full
+        assert second.completed
+
+    def test_serial_round_trip_ug(self, tmp_path):
+        self._round_trip("serial", None, tmp_path, mode="UG")
+
+    def test_serial_round_trip_up(self, tmp_path):
+        self._round_trip("serial", None, tmp_path, mode="UP")
+
+    def test_sharded_round_trip(self, tmp_path):
+        self._round_trip("sharded", 2, tmp_path)
+
+    def test_resume_after_completion_yields_nothing(self, tmp_path):
+        g = gnp_random_graph(10, 0.4, seed=5)
+        path = tmp_path / "done.ckpt.json"
+        engine = EnumerationEngine("serial")
+        done = engine.run(EnumerationJob(g, checkpoint_path=path))
+        assert done.completed
+        again = engine.run(EnumerationJob(g, checkpoint_path=path, resume=True))
+        assert again.count == 0
+
+    def test_checkpoint_state_is_json_with_fingerprint(self, tmp_path):
+        g = gnp_random_graph(10, 0.4, seed=5)
+        path = tmp_path / "state.ckpt.json"
+        EnumerationEngine("serial").run(
+            EnumerationJob(g, checkpoint_path=path, max_results=4)
+        )
+        data = json.loads(path.read_text())
+        assert data["fingerprint"] == job_fingerprint(g, "UG", "mcs_m", "components")
+        assert data["queue"] or data["processed"]
+        assert all(isinstance(m, int) for m in data["known_nodes"])
+
+    def test_resume_without_checkpoint_file_is_an_error(self, tmp_path):
+        g = gnp_random_graph(10, 0.4, seed=5)
+        with pytest.raises(CheckpointError, match="does not exist"):
+            list(
+                EnumerationEngine("serial").stream(
+                    EnumerationJob(
+                        g,
+                        checkpoint_path=tmp_path / "missing.ckpt",
+                        resume=True,
+                    )
+                )
+            )
+
+    def test_fingerprint_mismatch_is_rejected(self, tmp_path):
+        g = gnp_random_graph(10, 0.4, seed=5)
+        path = tmp_path / "other.ckpt.json"
+        EnumerationEngine("serial").run(
+            EnumerationJob(g, checkpoint_path=path, max_results=4)
+        )
+        other = gnp_random_graph(10, 0.4, seed=6)
+        with pytest.raises(CheckpointError, match="different job"):
+            EnumerationEngine("serial").run(
+                EnumerationJob(other, checkpoint_path=path, resume=True)
+            )
+
+    def test_manager_round_trip_preserves_answers(self, tmp_path):
+        from repro.engine.checkpoint import CheckpointState
+
+        manager = CheckpointManager(tmp_path / "m.json", "fp", every=3)
+        state = CheckpointState(
+            known_nodes=[3, 12],
+            exhausted=False,
+            queue=[frozenset({5, 9})],
+            processed=[frozenset({5}), frozenset()],
+            yielded=[frozenset({5})],
+            stats={"answers": 3},
+        )
+        manager.save(state)
+        loaded = manager.load()
+        assert loaded.known_nodes == [3, 12]
+        assert loaded.queue == [frozenset({5, 9})]
+        assert set(loaded.processed) == {frozenset({5}), frozenset()}
+        assert loaded.stats["answers"] == 3
+
+    def test_multi_region_checkpoint_rejected(self, tmp_path):
+        g = Graph(edges=[(1, 2), (3, 4)])
+        with pytest.raises(EngineError, match="single-region"):
+            list(
+                EnumerationEngine("serial").stream(
+                    EnumerationJob(g, checkpoint_path=tmp_path / "x.json")
+                )
+            )

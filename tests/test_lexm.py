@@ -49,6 +49,85 @@ class TestLexM:
         fill, order = lex_m(Graph(nodes=[1]))
         assert fill == [] and order == [1]
 
+
+def _lex_m_reference(graph: Graph):
+    """The pre-bucket-mask LEX-M: same numbering loop, heap reachability."""
+    from repro.chordal.lexm import _lexm_reachable_heap
+    from repro.graph.graph import edge_key, sort_edges
+
+    core = graph.core
+    adj = core.adj
+    labels = [()] * len(adj)
+    sorted_order = graph.sorted_indices()
+    label_of = graph.label_of
+    unnumbered = core.alive
+    fill = []
+    reverse_order = []
+    for number in range(core.num_vertices, 0, -1):
+        v = -1
+        v_label = None
+        for i in sorted_order:
+            if not unnumbered >> i & 1:
+                continue
+            if v_label is None or labels[i] > v_label:
+                v, v_label = i, labels[i]
+        unnumbered &= ~(1 << v)
+        reverse_order.append(label_of(v))
+        adj_v = adj[v]
+        node_v = label_of(v)
+        for u in _lexm_reachable_heap(adj, labels, unnumbered, v):
+            labels[u] = labels[u] + (number,)
+            if not adj_v >> u & 1:
+                fill.append(edge_key(label_of(u), node_v))
+    reverse_order.reverse()
+    return sort_edges(fill), reverse_order
+
+
+class TestBucketMaskEquivalence:
+    """The mask threshold sweep must match the heap traversal exactly."""
+
+    def test_full_outputs_match_on_property_corpus(self):
+        corpus = (
+            small_random_graphs(40, max_nodes=10, seed=5117)
+            + small_chordal_graphs(15, seed=5119)
+            + [path_graph(7), cycle_graph(8), grid_graph(4, 4)]
+        )
+        for g in corpus:
+            assert lex_m(g) == _lex_m_reference(g)
+
+    def test_reachable_sets_match_on_random_label_states(self):
+        import random
+
+        from repro.chordal.lexm import (
+            _lexm_reachable_heap,
+            _lexm_reachable_mask,
+        )
+        from repro.graph.core import bit_list
+        from repro.graph.generators import gnp_random_graph
+
+        rng = random.Random(42)
+        for trial in range(60):
+            n = rng.randint(3, 11)
+            g = gnp_random_graph(n, rng.choice([0.25, 0.4, 0.6]), seed=trial)
+            adj = g.core.adj
+            labels = [
+                tuple(
+                    sorted(
+                        rng.sample(range(1, n + 1), rng.randint(0, min(3, n))),
+                        reverse=True,
+                    )
+                )
+                for __ in range(len(adj))
+            ]
+            alive = bit_list(g.core.alive)
+            v = rng.choice(alive)
+            unnumbered = g.core.alive & ~(1 << v)
+            for dropped in rng.sample(alive, len(alive) // 4):
+                unnumbered &= ~(1 << dropped)
+            assert set(_lexm_reachable_heap(adj, labels, unnumbered, v)) == set(
+                bit_list(_lexm_reachable_mask(adj, labels, unnumbered, v))
+            )
+
     def test_path(self):
         fill, __ = lex_m(path_graph(6))
         assert fill == []
