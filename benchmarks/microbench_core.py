@@ -21,6 +21,7 @@ from __future__ import annotations
 
 import argparse
 import json
+import os
 import statistics
 import time
 from pathlib import Path
@@ -90,11 +91,16 @@ def main() -> None:
         print(f"no baseline named {args.against!r} in {BASELINES_PATH.name}")
 
     if args.record:
+        try:
+            cores = len(os.sched_getaffinity(0))
+        except AttributeError:  # pragma: no cover - non-Linux
+            cores = os.cpu_count() or 1
         baselines[args.record] = {
             "seconds": round(seconds, 4),
             "graph": {"n": GRAPH_NODES, "p": GRAPH_P, "seed": GRAPH_SEED},
             "results": RESULTS,
             "repeats": REPEATS,
+            "cores": cores,
         }
         BASELINES_PATH.write_text(json.dumps(baselines, indent=2) + "\n")
         print(f"recorded as '{args.record}' in {BASELINES_PATH.name}")

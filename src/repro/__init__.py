@@ -55,6 +55,7 @@ from repro.decomposition.proper import (
     tree_decompositions_of_triangulation,
 )
 from repro.decomposition.tree_decomposition import TreeDecomposition
+from repro.graph import resolve_graph_backend
 from repro.graph.graph import Graph
 from repro.sgr.base import ExplicitSGR, SuccinctGraphRepresentation
 from repro.sgr.enum_mis import (
@@ -76,6 +77,7 @@ __all__ = [
     "__version__",
     # graph
     "Graph",
+    "resolve_graph_backend",
     # chordality / separators
     "is_chordal",
     "minimal_separators",

@@ -44,6 +44,7 @@ __all__ = [
     "all_minimal_separators",
     "are_crossing",
     "are_crossing_masks",
+    "are_crossing_batch_masks",
     "are_parallel",
     "is_minimal_separator",
     "is_pairwise_parallel",
@@ -51,6 +52,11 @@ __all__ = [
 ]
 
 Separator = frozenset[Node]
+
+#: Minimum batch size before the packed numpy kernel is engaged by the
+#: batch crossing oracles; tiny batches are faster through the scalar
+#: component walk (no packing, no numpy call overhead).
+BATCH_KERNEL_MIN = 4
 
 
 def minimal_separator_masks(graph: Graph) -> Iterator[int]:
@@ -130,6 +136,45 @@ def are_crossing_masks(core: IndexedGraph, s: int, t: int) -> bool:
             if touched >= 2:
                 return True
     return False
+
+
+def are_crossing_batch_masks(
+    core: IndexedGraph, s: int, targets: Iterable[int]
+) -> list[bool]:
+    """Batched mask-level crossing test: does S cross each of ``targets``?
+
+    Computes the components of ``g \\ S`` once, then answers every
+    target in a single vectorized pass of the packed-bitset kernel
+    (:func:`repro.graph.bitset_np.crossing_batch`) when numpy is
+    available, falling back to the scalar component walk otherwise.
+    Semantically ``[are_crossing_masks(core, s, t) for t in targets]``.
+
+    This is the stateless form of the batch oracle; the separator-graph
+    SGR layers interning and a bounded memo cache on top of the same
+    kernel (:meth:`repro.sgr.separator_graph.MinimalSeparatorSGR.has_edges_batch`).
+    """
+    targets = list(targets)
+    components = core.components(s)
+    try:
+        from repro.graph import bitset_np as _kernel
+    except ImportError:
+        _kernel = None  # type: ignore[assignment]
+    if _kernel is None or len(targets) < BATCH_KERNEL_MIN:
+        results = []
+        for t in targets:
+            remainder = t & ~s
+            touched = 0
+            for component in components:
+                if component & remainder:
+                    touched += 1
+                    if touched >= 2:
+                        break
+            results.append(touched >= 2)
+        return results
+    words = _kernel.word_count(len(core.adj))
+    packed = _kernel.pack_masks(components, words)
+    remainders = _kernel.pack_masks((t & ~s for t in targets), words)
+    return [bool(x) for x in _kernel.crossing_batch(packed, remainders)]
 
 
 def are_crossing(graph: Graph, s: Iterable[Node], t: Iterable[Node]) -> bool:

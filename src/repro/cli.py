@@ -5,8 +5,10 @@ Subcommands:
 * ``enumerate`` — stream the minimal triangulations of a graph file,
   optionally exporting the best tree decomposition in PACE ``.td``
   format; ``--backend sharded --workers N`` partitions the answer
-  queue across a multiprocessing pool, and ``--checkpoint``/
-  ``--resume`` persist the enumeration state across interruptions;
+  queue across a multiprocessing pool, ``--checkpoint``/``--resume``
+  persist the enumeration state across interruptions, and
+  ``--graph-backend`` picks the graph-core representation (int
+  bitmasks / packed numpy word matrices / size-adaptive ``auto``);
 * ``separators`` — stream the minimal separators;
 * ``stats``      — structural summary (size, chordality, atoms,
   separator count);
@@ -137,6 +139,13 @@ def build_parser() -> argparse.ArgumentParser:
         help="worker processes for the sharded backend (default: one per CPU)",
     )
     enum.add_argument(
+        "--graph-backend",
+        default="auto",
+        choices=("auto", "indexed", "numpy"),
+        help="graph-core representation: int bitmasks, packed numpy "
+        "word matrices, or by size (default: auto)",
+    )
+    enum.add_argument(
         "--checkpoint",
         default=None,
         metavar="PATH",
@@ -212,6 +221,7 @@ def _command_enumerate(args: argparse.Namespace) -> int:
         decompose=args.decompose,
         checkpoint_path=args.checkpoint,
         resume=args.resume,
+        graph_backend=args.graph_backend,
     )
     best = None
     count = 0

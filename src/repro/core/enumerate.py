@@ -59,6 +59,7 @@ def enumerate_minimal_triangulations(
     decompose: str = "components",
     backend: str = "serial",
     workers: int | None = None,
+    graph_backend: str | None = "auto",
 ) -> Iterator[Triangulation]:
     """Enumerate ``MinTri(graph)`` in incremental polynomial time.
 
@@ -92,6 +93,13 @@ def enumerate_minimal_triangulations(
     workers:
         Worker-pool size for parallel backends (``None`` = one per
         CPU); ignored by the serial backend.
+    graph_backend:
+        Graph-core representation: ``"indexed"``, ``"numpy"`` or
+        ``"auto"`` (default — the packed-numpy core at or above
+        :data:`repro.graph.bitset_np.NUMPY_THRESHOLD` nodes, the
+        single-int bitmask core below).  ``None`` keeps the graph's
+        current core untouched (used by the engine, which resolves the
+        backend before dispatch).
 
     Yields
     ------
@@ -107,10 +115,16 @@ def enumerate_minimal_triangulations(
                 mode=mode,
                 triangulator=triangulator,
                 decompose=decompose,
+                graph_backend=(
+                    "auto" if graph_backend is None else graph_backend
+                ),
             ),
             stats=stats,
         )
         return
+    from repro.graph import resolve_graph_backend
+
+    graph = resolve_graph_backend(graph, graph_backend)
     method = get_triangulator(triangulator)
     if decompose not in {"none", "components", "atoms"}:
         raise ValueError(

@@ -108,8 +108,12 @@ def enumerate_minimal_triangulations_prioritized(
         # the product is out of scope for the heuristic order anyway).
         from repro.core.enumerate import enumerate_minimal_triangulations
 
+        # graph_backend=None: keep the caller's graph-core choice —
+        # engine-routed jobs arrive here already resolved, and "auto"
+        # would re-resolve (and possibly override) it.
         yield from enumerate_minimal_triangulations(
-            graph, triangulator=method, mode="UP", stats=stats
+            graph, triangulator=method, mode="UP", stats=stats,
+            graph_backend=None,
         )
         return
 

@@ -80,7 +80,8 @@ class CheckpointState:
     queue: list[Answer] = field(default_factory=list)
     processed: list[Answer] = field(default_factory=list)
     yielded: list[Answer] = field(default_factory=list)
-    stats: dict[str, int] = field(default_factory=dict)
+    # Scalar counters plus the map-valued ``redundant_extensions``.
+    stats: dict = field(default_factory=dict)
 
 
 def _encode_answers(answers: list[Answer]) -> list[list[int]]:
@@ -89,6 +90,24 @@ def _encode_answers(answers: list[Answer]) -> list[list[int]]:
 
 def _decode_answers(raw: list[list[int]]) -> list[Answer]:
     return [frozenset(masks) for masks in raw]
+
+
+def _decode_stats(raw: dict) -> dict:
+    """Normalise persisted statistics counters.
+
+    Scalar counters decode as ints; map-valued counters (the
+    ``redundant_extensions`` breakdown) decode as ``{str: int}``.
+    Checkpoints from before a counter existed simply lack its key —
+    :meth:`~repro.sgr.enum_mis.EnumMISStatistics.restore` tolerates
+    that — and unknown keys ride through harmlessly.
+    """
+    decoded: dict = {}
+    for key, value in raw.items():
+        if isinstance(value, dict):
+            decoded[key] = {str(k): int(v) for k, v in value.items()}
+        else:
+            decoded[key] = int(value)
+    return decoded
 
 
 class CheckpointManager:
@@ -129,7 +148,7 @@ class CheckpointManager:
             queue=_decode_answers(data["queue"]),
             processed=_decode_answers(data["processed"]),
             yielded=_decode_answers(data["yielded"]),
-            stats={k: int(v) for k, v in data.get("stats", {}).items()},
+            stats=_decode_stats(data.get("stats", {})),
         )
 
     def load_if_resuming(self, resume: bool) -> CheckpointState | None:

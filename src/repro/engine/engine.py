@@ -2,6 +2,7 @@
 
 from __future__ import annotations
 
+import dataclasses
 import time
 from collections.abc import Iterator
 
@@ -9,6 +10,7 @@ from repro.core.triangulation import Triangulation
 from repro.engine.base import EnumerationBackend, get_backend
 from repro.engine.job import EnumerationJob
 from repro.engine.result import AnswerRecord, EnumerationResult
+from repro.graph import resolve_graph_backend
 from repro.sgr.enum_mis import EnumMISStatistics
 
 __all__ = ["EnumerationEngine"]
@@ -71,6 +73,14 @@ class EnumerationEngine:
         job.validate()
         if stats is None:
             stats = EnumMISStatistics()
+        # Resolve the graph-core backend once, up front: every execution
+        # backend then sees the selected representation (workers too —
+        # the pool payload records the core class).  Conversion keeps
+        # the interner, so masks are interchangeable between cores and
+        # checkpoint fingerprints (label/edge level) are unaffected.
+        resolved = resolve_graph_backend(job.graph, job.graph_backend)
+        if resolved is not job.graph:
+            job = dataclasses.replace(job, graph=resolved)
 
         def generate() -> Iterator[Triangulation]:
             if job.max_results == 0:

@@ -25,6 +25,7 @@ CostFunction = Callable[[Triangulation], object]
 
 _MODES = {"UG", "UP"}
 _DECOMPOSE = {"none", "components", "atoms"}
+_GRAPH_BACKENDS = {"auto", "indexed", "numpy"}
 
 
 @dataclass
@@ -71,6 +72,14 @@ class EnumerationJob:
     workers:
         Worker-pool size hint for parallel backends; ``None`` lets the
         backend choose (``os.cpu_count()`` for ``sharded``).
+    graph_backend:
+        Graph-core representation: ``"indexed"`` (single-int bitmasks),
+        ``"numpy"`` (packed uint64 word matrices for batch sweeps) or
+        ``"auto"`` (default — numpy at or above
+        :data:`repro.graph.bitset_np.NUMPY_THRESHOLD` nodes).  Resolved
+        once by the engine before backend dispatch, so every execution
+        backend — including sharded workers, via the graph payload —
+        runs on the selected core transparently.
     """
 
     graph: Graph
@@ -84,6 +93,7 @@ class EnumerationJob:
     checkpoint_every: int = 64
     resume: bool = False
     workers: int | None = field(default=None)
+    graph_backend: str = "auto"
 
     def validate(self) -> None:
         """Raise :class:`EngineError` on an inconsistent spec."""
@@ -106,6 +116,11 @@ class EnumerationJob:
             raise EngineError("workers must be >= 0")
         if self.resume and self.checkpoint_path is None:
             raise EngineError("resume=True requires checkpoint_path")
+        if self.graph_backend not in _GRAPH_BACKENDS:
+            raise EngineError(
+                f"graph_backend must be one of {sorted(_GRAPH_BACKENDS)}, "
+                f"got {self.graph_backend!r}"
+            )
 
     @property
     def effective_mode(self) -> str:

@@ -66,7 +66,12 @@ TaskBatch = tuple[int, list[TaskJob]]
 # (one extended answer per (answer, direction) pair, stats delta)
 BatchResult = tuple[list[tuple[int, ...]], EnumMISStatistics]
 
-GraphPayload = tuple[list[Hashable], list[int], int, "str | Triangulator"]
+# (labels, adjacency masks, alive mask, triangulator spec, graph-core
+# backend name) — the last element makes workers rebuild the graph on
+# the same core class (indexed / numpy) the coordinator selected.
+GraphPayload = tuple[
+    list[Hashable], list[int], int, "str | Triangulator", str
+]
 
 
 def default_worker_count() -> int:
@@ -107,21 +112,32 @@ def make_payload(
 ) -> GraphPayload:
     """Snapshot ``graph`` for worker-side reconstruction."""
     core = graph.core
+    try:
+        from repro.graph.bitset_np import core_backend_name
+
+        backend = core_backend_name(core)
+    except ImportError:  # numpy unavailable: only the int-mask core exists
+        backend = "indexed"
     return (
         graph.interner.labels_dense,
         list(core.adj),
         core.alive,
         triangulator_spec(triangulator),
+        backend,
     )
 
 
 def _rebuild_graph(
-    labels: list[Hashable], adj: list[int], alive: int
+    labels: list[Hashable], adj: list[int], alive: int, backend: str
 ) -> Graph:
     core = IndexedGraph.__new__(IndexedGraph)
     core.adj = list(adj)
     core.alive = alive
     core.num_edges = sum(adj[i].bit_count() for i in iter_bits(alive)) // 2
+    if backend != "indexed":
+        from repro.graph.bitset_np import GRAPH_BACKENDS
+
+        core = GRAPH_BACKENDS[backend].from_indexed(core)
     return Graph._from_parts(core, NodeInterner.from_dense(labels, alive))
 
 
@@ -129,8 +145,8 @@ class _WorkerState:
     """Per-process state: the graph plus one warm SGR per region."""
 
     def __init__(self, payload: GraphPayload) -> None:
-        labels, adj, alive, triangulator = payload
-        self.graph = _rebuild_graph(labels, adj, alive)
+        labels, adj, alive, triangulator, backend = payload
+        self.graph = _rebuild_graph(labels, adj, alive, backend)
         self.triangulator = get_triangulator(triangulator)
         # region mask → (region graph, SGR, mask → separator cache)
         self._regions: dict[
@@ -158,6 +174,7 @@ class _WorkerState:
         region, sgr, separator_of = self._region(region_mask)
         stats = EnumMISStatistics()
         sgr.attach_statistics(stats)
+        has_edges_batch = sgr.has_edges_batch
         label_set = region.label_set
         mask_of = region.mask_of
         out: list[tuple[int, ...]] = []
@@ -174,8 +191,9 @@ class _WorkerState:
                 if v is None:
                     v = label_set(v_mask)
                     separator_of[v_mask] = v
-                kept = {u for u in answer if not sgr.has_edge(v, u)}
+                crossed = has_edges_batch(v, answer)
                 stats.edge_oracle_calls += len(answer)
+                kept = {u for u, edge in zip(answer, crossed) if not edge}
                 kept.add(v)
                 stats.extend_calls += 1
                 extended = sgr.extend(frozenset(kept))

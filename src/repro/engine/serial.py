@@ -51,12 +51,15 @@ class SerialBackend(EnumerationBackend):
             )
         from repro.core.enumerate import enumerate_minimal_triangulations
 
+        # graph_backend=None: the engine already resolved the job's
+        # graph-core backend before dispatch — keep it as-is.
         return enumerate_minimal_triangulations(
             job.graph,
             triangulator=job.triangulator,
             mode=job.mode,
             stats=stats,
             decompose=job.decompose,
+            graph_backend=None,
         )
 
 

@@ -18,6 +18,27 @@ from repro.graph.components import (
 from repro.graph.core import IndexedGraph, NodeInterner, bit_list, iter_bits
 from repro.graph.graph import Edge, Graph, Node, edge_key
 
+
+def resolve_graph_backend(graph: Graph, backend: str | None = "auto"):
+    """Return ``graph`` on the selected core backend.
+
+    ``backend`` is ``"indexed"``, ``"numpy"``, ``"auto"`` (numpy at or
+    above :data:`repro.graph.bitset_np.NUMPY_THRESHOLD` nodes) or
+    ``None`` (keep the graph exactly as passed).  When numpy is not
+    installed, ``"auto"`` and ``"indexed"`` degrade to the int-mask
+    core; asking for ``"numpy"`` explicitly raises ImportError.
+    """
+    if backend is None:
+        return graph
+    try:
+        from repro.graph.bitset_np import convert_graph
+    except ImportError:
+        if backend == "numpy":
+            raise
+        return graph
+    return convert_graph(graph, backend)
+
+
 __all__ = [
     "Graph",
     "Node",
@@ -27,6 +48,7 @@ __all__ = [
     "NodeInterner",
     "iter_bits",
     "bit_list",
+    "resolve_graph_backend",
     "connected_components",
     "components_without",
     "component_of",

@@ -1,0 +1,337 @@
+"""Packed-bitset numpy layer: word-matrix kernels and a large-n graph core.
+
+The Python-int bitmask core (:mod:`repro.graph.core`) wins for graphs
+up to a few hundred nodes because each adjacency is a single machine
+object and CPython's big-int ops run in C.  Past roughly a thousand
+nodes two costs start to dominate:
+
+* *per-row overhead* — set-algebraic sweeps (neighbourhood unions,
+  component frontiers) still pay one interpreter round-trip per vertex
+  row touched, and
+* *per-pair overhead* — the separator-crossing oracle of the SGR layer
+  pays a full Python call per (v, u) pair even though the test itself
+  is a handful of word ANDs.
+
+This module packs vertex bitmasks into rows of ``uint64`` *word
+matrices* so those sweeps become single vectorized numpy expressions:
+
+* :func:`pack_mask` / :func:`pack_masks` / :func:`unpack_row` convert
+  between the int-mask representation used everywhere else and packed
+  ``uint64`` rows (little-endian word order, so bit ``i`` of a mask is
+  bit ``i % 64`` of word ``i // 64``);
+* :func:`popcount` counts set bits per row (``np.bitwise_count`` when
+  available, a byte-table fallback otherwise);
+* :func:`crossing_batch` is the batched separator-crossing kernel: one
+  separator's component matrix against many remainder rows in one
+  vectorized pass (see
+  :meth:`repro.sgr.separator_graph.MinimalSeparatorSGR.has_edges_batch`);
+* :class:`NumpyGraphCore` is an :class:`~repro.graph.core.IndexedGraph`
+  whose batch-heavy methods (neighbourhood-of-set, component
+  expansion) run on a lazily maintained packed adjacency matrix —
+  the size-adaptive backend selected for large graphs;
+* :func:`select_core_class` / :func:`convert_graph` implement the
+  backend registry (``"indexed"`` / ``"numpy"`` / ``"auto"``) used by
+  the enumeration engine and the CLI ``--graph-backend`` flag.
+
+Everything here is API-compatible with the int-mask core: masks go in,
+masks come out, and the packed matrices are pure caches — invalidated
+on mutation, rebuilt on demand — so correctness never depends on them.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable
+
+import numpy as np
+
+from repro.graph.core import IndexedGraph, bit_list
+
+__all__ = [
+    "WORD_BITS",
+    "NUMPY_THRESHOLD",
+    "GRAPH_BACKENDS",
+    "word_count",
+    "pack_mask",
+    "pack_masks",
+    "zero_matrix",
+    "unpack_row",
+    "popcount",
+    "crossing_batch",
+    "NumpyGraphCore",
+    "select_core_class",
+    "core_backend_name",
+    "convert_graph",
+]
+
+WORD_BITS = 64
+
+#: Node count above which ``"auto"`` selects the numpy core.  Below it
+#: single-int masks fit in a few machine words and the per-call numpy
+#: overhead outweighs the vectorization win.
+NUMPY_THRESHOLD = 1500
+
+_WORD_DTYPE = np.dtype("<u8")
+
+# Vectorized popcount: numpy >= 2.0 ships np.bitwise_count; older
+# versions fall back to summing a byte-level popcount table.
+_BITWISE_COUNT = getattr(np, "bitwise_count", None)
+_BYTE_POPCOUNT = np.array(
+    [bin(i).count("1") for i in range(256)], dtype=np.uint8
+)
+
+
+def word_count(num_bits: int) -> int:
+    """Return how many 64-bit words hold ``num_bits`` bits (at least 1)."""
+    return max(1, (num_bits + WORD_BITS - 1) // WORD_BITS)
+
+
+def pack_mask(mask: int, words: int) -> np.ndarray:
+    """Pack an int bitmask into a ``(words,)`` uint64 row."""
+    return np.frombuffer(
+        mask.to_bytes(words * 8, "little"), dtype=_WORD_DTYPE
+    )
+
+
+def pack_masks(masks: Iterable[int], words: int) -> np.ndarray:
+    """Pack int bitmasks into an ``(m, words)`` uint64 matrix."""
+    nbytes = words * 8
+    buffer = b"".join([mask.to_bytes(nbytes, "little") for mask in masks])
+    packed = np.frombuffer(buffer, dtype=_WORD_DTYPE)
+    return packed.reshape(-1, words)
+
+
+def zero_matrix(rows: int, words: int) -> np.ndarray:
+    """An all-zero ``(rows, words)`` packed matrix (growable row store)."""
+    return np.zeros((rows, words), dtype=_WORD_DTYPE)
+
+
+def unpack_row(row: np.ndarray) -> int:
+    """Unpack a uint64 row back into an int bitmask."""
+    return int.from_bytes(
+        np.ascontiguousarray(row, dtype=_WORD_DTYPE).tobytes(), "little"
+    )
+
+
+def popcount(packed: np.ndarray) -> np.ndarray:
+    """Count set bits along the last (word) axis of ``packed``."""
+    if _BITWISE_COUNT is not None:
+        return _BITWISE_COUNT(packed).sum(axis=-1, dtype=np.int64)
+    as_bytes = packed.view(np.uint8)
+    return _BYTE_POPCOUNT[as_bytes].sum(axis=-1, dtype=np.int64)
+
+
+def crossing_batch(
+    components: np.ndarray, remainders: np.ndarray
+) -> np.ndarray:
+    """The batched crossing kernel: which remainders touch >= 2 components?
+
+    Parameters
+    ----------
+    components:
+        ``(k, words)`` packed component masks of ``g \\ S`` for one
+        separator S.
+    remainders:
+        ``(m, words)`` packed masks ``T_i \\ S`` for m candidate
+        separators.
+
+    Returns
+    -------
+    np.ndarray
+        Boolean ``(m,)`` vector: entry i is True iff remainder i
+        intersects at least two component rows — i.e. S crosses T_i.
+        An all-zero remainder (``T_i ⊆ S``) touches no component and
+        yields False, matching the scalar oracle.
+
+    The loop runs over the k component rows (k is small — a minimal
+    separator rarely splits the graph into many parts) with each
+    iteration a vectorized AND+any over all m remainders, so the cost
+    is O(k · m · words) word operations with no per-pair Python
+    overhead.
+    """
+    touched = np.zeros(remainders.shape[0], dtype=np.int64)
+    if not touched.shape[0] or not components.shape[0]:
+        return touched >= 2
+    check_exit = len(components) > 8
+    for row in components:
+        touched += (remainders & row).any(axis=1)
+        # Early exit pays only when many component rows remain: once
+        # every remainder has met two components no further row can
+        # change the answer.
+        if check_exit and touched.min() >= 2:
+            break
+    return touched >= 2
+
+
+class NumpyGraphCore(IndexedGraph):
+    """An ``IndexedGraph`` with a packed adjacency matrix for batch ops.
+
+    The int-mask ``adj`` list stays the source of truth, so every
+    inherited operation keeps working unchanged; a ``(slots, words)``
+    uint64 matrix mirror is built lazily and dropped on any mutation.
+    The overridden methods route wide sweeps (OR-reducing many
+    adjacency rows at once) through the matrix, which is where the
+    numpy core beats single-int masks on graphs of a few thousand
+    nodes.
+    """
+
+    __slots__ = ("_packed",)
+
+    #: Minimum number of rows in a sweep before the packed matrix is
+    #: used; below it the inherited int-mask loop is faster.
+    _MIN_GATHER = 16
+
+    def __init__(self, num_vertices: int = 0) -> None:
+        super().__init__(num_vertices)
+        self._packed: np.ndarray | None = None
+
+    @classmethod
+    def from_indexed(cls, core: IndexedGraph) -> "NumpyGraphCore":
+        """Build a numpy core from (a copy of the state of) ``core``."""
+        clone = cls.__new__(cls)
+        clone.adj = list(core.adj)
+        clone.alive = core.alive
+        clone.num_edges = core.num_edges
+        clone._packed = None
+        return clone
+
+    @classmethod
+    def _adopt(cls, core: IndexedGraph) -> "NumpyGraphCore":
+        """Like :meth:`from_indexed` but takes ownership of ``core``'s
+        adjacency list — for exclusively-owned intermediates only."""
+        clone = cls.__new__(cls)
+        clone.adj = core.adj
+        clone.alive = core.alive
+        clone.num_edges = core.num_edges
+        clone._packed = None
+        return clone
+
+    # -- cache maintenance ---------------------------------------------
+
+    def _matrix(self) -> np.ndarray:
+        packed = self._packed
+        if packed is None or packed.shape[0] != len(self.adj):
+            packed = pack_masks(self.adj, word_count(len(self.adj)))
+            self._packed = packed
+        return packed
+
+    def add_vertex(self, index: int | None = None) -> int:
+        self._packed = None
+        return super().add_vertex(index)
+
+    def remove_vertex(self, index: int) -> None:
+        self._packed = None
+        super().remove_vertex(index)
+
+    def add_edge(self, u: int, v: int) -> bool:
+        self._packed = None
+        return super().add_edge(u, v)
+
+    def remove_edge(self, u: int, v: int) -> bool:
+        self._packed = None
+        return super().remove_edge(u, v)
+
+    def saturate(self, mask: int) -> list[tuple[int, int]]:
+        self._packed = None
+        return super().saturate(mask)
+
+    # -- batch-accelerated queries -------------------------------------
+
+    def _union_of_rows(self, indices: list[int]) -> int:
+        rows = self._matrix()[indices]
+        return unpack_row(np.bitwise_or.reduce(rows, axis=0))
+
+    def neighborhood_of_set(self, mask: int) -> int:
+        indices = bit_list(mask)
+        if len(indices) < self._MIN_GATHER:
+            return super().neighborhood_of_set(mask)
+        return self._union_of_rows(indices) & ~mask
+
+    def expand_component(self, seed: int, available: int) -> int:
+        component = seed
+        frontier = seed
+        adj = self.adj
+        min_gather = self._MIN_GATHER
+        while frontier:
+            indices = bit_list(frontier)
+            if len(indices) < min_gather:
+                reached = 0
+                for i in indices:
+                    reached |= adj[i]
+            else:
+                reached = self._union_of_rows(indices)
+            frontier = reached & available & ~component
+            component |= frontier
+        return component
+
+    # -- derived graphs keep the numpy core ----------------------------
+
+    def copy(self) -> "NumpyGraphCore":
+        return NumpyGraphCore._adopt(super().copy())
+
+    def subgraph(self, mask: int) -> "NumpyGraphCore":
+        return NumpyGraphCore._adopt(super().subgraph(mask))
+
+    def complement(self) -> "NumpyGraphCore":
+        return NumpyGraphCore._adopt(super().complement())
+
+
+#: The graph-core backend registry: name → core class.
+GRAPH_BACKENDS: dict[str, type[IndexedGraph]] = {
+    "indexed": IndexedGraph,
+    "numpy": NumpyGraphCore,
+}
+
+
+def select_core_class(
+    num_nodes: int,
+    backend: str = "auto",
+    threshold: int = NUMPY_THRESHOLD,
+) -> type[IndexedGraph]:
+    """Resolve a backend name to a core class.
+
+    ``"auto"`` picks :class:`NumpyGraphCore` at or above ``threshold``
+    nodes and :class:`~repro.graph.core.IndexedGraph` below it.
+    """
+    if backend == "auto":
+        return NumpyGraphCore if num_nodes >= threshold else IndexedGraph
+    try:
+        return GRAPH_BACKENDS[backend]
+    except KeyError:
+        known = ", ".join(["auto", *sorted(GRAPH_BACKENDS)])
+        raise ValueError(
+            f"unknown graph backend {backend!r} (known: {known})"
+        ) from None
+
+
+def core_backend_name(core: IndexedGraph) -> str:
+    """The registry name of a core instance's backend."""
+    return "numpy" if isinstance(core, NumpyGraphCore) else "indexed"
+
+
+def convert_graph(graph, backend: str = "auto", threshold: int = NUMPY_THRESHOLD):
+    """Return ``graph`` on the selected core backend.
+
+    The input is returned unchanged when its core already matches the
+    selection; otherwise a copy with an identical interner — and
+    therefore identical vertex indices, so every mask computed against
+    one is valid against the other — is returned.  ``"auto"`` only ever
+    *upgrades* a plain indexed core at or above ``threshold`` nodes; a
+    core the caller explicitly placed on another backend is respected.
+    """
+    from repro.graph.graph import Graph
+
+    core = graph.core
+    if backend == "auto" and type(core) is not IndexedGraph:
+        return graph
+    target = select_core_class(graph.num_nodes, backend, threshold)
+    if type(core) is target:
+        return graph
+    if target is IndexedGraph:
+        plain = IndexedGraph.__new__(IndexedGraph)
+        plain.adj = list(core.adj)
+        plain.alive = core.alive
+        plain.num_edges = core.num_edges
+        return Graph._from_parts(plain, graph.interner.copy())
+    return Graph._from_parts(
+        NumpyGraphCore.from_indexed(core), graph.interner.copy()
+    )

@@ -63,13 +63,18 @@ class EnumMISStatistics:
     answers: int = 0
     duplicates_suppressed: int = 0
     # Maintained by SGRs with a memoized edge oracle (e.g. the
-    # separator-graph SGR's canonical-pair crossing cache).
+    # separator-graph SGR's bounded canonical-pair crossing cache).
     edge_cache_hits: int = 0
     edge_cache_misses: int = 0
+    edge_cache_evictions: int = 0
     redundant_extensions: dict[str, int] = field(default_factory=dict)
 
-    def snapshot(self) -> dict[str, int]:
-        """Return the scalar counters as a plain dict (for reporting)."""
+    def snapshot(self) -> dict:
+        """Return the counters as a plain (JSON-safe) dict.
+
+        ``redundant_extensions`` is copied, so mutating the live object
+        after snapshotting does not corrupt a saved checkpoint.
+        """
         return {
             "extend_calls": self.extend_calls,
             "edge_oracle_calls": self.edge_oracle_calls,
@@ -78,6 +83,8 @@ class EnumMISStatistics:
             "duplicates_suppressed": self.duplicates_suppressed,
             "edge_cache_hits": self.edge_cache_hits,
             "edge_cache_misses": self.edge_cache_misses,
+            "edge_cache_evictions": self.edge_cache_evictions,
+            "redundant_extensions": dict(self.redundant_extensions),
         }
 
     def add(self, other: "EnumMISStatistics") -> None:
@@ -94,16 +101,21 @@ class EnumMISStatistics:
         self.duplicates_suppressed += other.duplicates_suppressed
         self.edge_cache_hits += other.edge_cache_hits
         self.edge_cache_misses += other.edge_cache_misses
+        self.edge_cache_evictions += other.edge_cache_evictions
         for key, value in other.redundant_extensions.items():
             self.redundant_extensions[key] = (
                 self.redundant_extensions.get(key, 0) + value
             )
 
-    def restore(self, counters: dict[str, int]) -> None:
-        """Overwrite the scalar counters from a :meth:`snapshot` dict.
+    def restore(self, counters: dict) -> None:
+        """Overwrite the counters from a :meth:`snapshot` dict.
 
-        Unknown keys are ignored so old checkpoints stay loadable after
-        new counters are added.
+        Unknown keys are ignored and missing keys leave the current
+        value untouched, so old checkpoints stay loadable after new
+        counters are added (and new checkpoints degrade gracefully on
+        old code).  ``redundant_extensions`` — a map, not a scalar — is
+        round-tripped too; it used to be silently dropped here, which
+        lost it across engine checkpoint/resume.
         """
         for key in (
             "extend_calls",
@@ -113,9 +125,13 @@ class EnumMISStatistics:
             "duplicates_suppressed",
             "edge_cache_hits",
             "edge_cache_misses",
+            "edge_cache_evictions",
         ):
             if key in counters:
                 setattr(self, key, counters[key])
+        redundant = counters.get("redundant_extensions")
+        if redundant is not None:
+            self.redundant_extensions = dict(redundant)
 
 
 def merge_statistics(parts: Iterable[EnumMISStatistics]) -> EnumMISStatistics:
@@ -222,12 +238,19 @@ def enumerate_maximal_independent_sets(
         stats.extend_calls += 1
         return sgr.extend(independent)
 
+    # The direction step is a v-versus-many edge-oracle sweep; SGRs
+    # exposing a batched oracle (the separator-graph SGR's vectorized
+    # crossing kernel) answer it in one call instead of |J| calls.
+    has_edges_batch = getattr(sgr, "has_edges_batch", None)
+
     def direction(answer: frozenset[SGRNode], v: SGRNode) -> frozenset[SGRNode]:
-        kept = set()
-        for u in answer:
-            stats.edge_oracle_calls += 1
-            if not sgr.has_edge(v, u):
-                kept.add(u)
+        members = list(answer)
+        stats.edge_oracle_calls += len(members)
+        if has_edges_batch is not None:
+            crossed = has_edges_batch(v, members)
+            kept = {u for u, edge in zip(members, crossed) if not edge}
+        else:
+            kept = {u for u in members if not sgr.has_edge(v, u)}
         kept.add(v)
         return frozenset(kept)
 

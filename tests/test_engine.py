@@ -190,6 +190,44 @@ class TestStatisticsMerge:
         b.restore(a.snapshot())
         assert b.snapshot() == a.snapshot()
 
+    def test_snapshot_restore_keeps_redundant_extensions(self):
+        a = EnumMISStatistics(
+            extend_calls=4,
+            edge_cache_evictions=11,
+            redundant_extensions={"mcs_m": 2, "lb_triang": 5},
+        )
+        b = EnumMISStatistics()
+        b.restore(a.snapshot())
+        assert b.redundant_extensions == {"mcs_m": 2, "lb_triang": 5}
+        assert b.edge_cache_evictions == 11
+        assert b.snapshot() == a.snapshot()
+        # The snapshot holds a copy, not the live map.
+        a.redundant_extensions["mcs_m"] = 99
+        assert b.redundant_extensions["mcs_m"] == 2
+
+    def test_restore_tolerates_old_checkpoints(self):
+        # Checkpoints written before a counter existed lack its key;
+        # restore must leave the current value alone, not crash.
+        stats = EnumMISStatistics(redundant_extensions={"keep": 1})
+        stats.restore({"extend_calls": 6, "unknown_future_counter": 3})
+        assert stats.extend_calls == 6
+        assert stats.redundant_extensions == {"keep": 1}
+
+    def test_stats_survive_checkpoint_file_round_trip(self, tmp_path):
+        from repro.engine.checkpoint import CheckpointManager, CheckpointState
+
+        stats = EnumMISStatistics(
+            answers=7,
+            edge_cache_evictions=2,
+            redundant_extensions={"mcs_m": 3},
+        )
+        manager = CheckpointManager(tmp_path / "stats.ckpt.json", "fp")
+        manager.save(CheckpointState(stats=stats.snapshot()))
+        restored = EnumMISStatistics()
+        restored.restore(manager.load().stats)
+        assert restored.snapshot() == stats.snapshot()
+        assert restored.redundant_extensions == {"mcs_m": 3}
+
 
 class TestCheckpointResume:
     def _round_trip(self, backend, workers, tmp_path, mode="UG"):
