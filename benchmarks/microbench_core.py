@@ -80,21 +80,30 @@ def main() -> None:
         f"{seconds:.3f}s"
     )
 
+    try:
+        cores = len(os.sched_getaffinity(0))
+    except AttributeError:  # pragma: no cover - non-Linux
+        cores = os.cpu_count() or 1
+
     reference = baselines.get(args.against)
-    if reference is not None:
+    if reference is None:
+        print(f"no baseline named {args.against!r} in {BASELINES_PATH.name}")
+    elif "cores" in reference and reference["cores"] != cores:
+        # Baselines are conditioned on the machine they were measured
+        # on; comparisons match on the cores field, not the name alone.
+        print(
+            f"baseline '{args.against}' was recorded on "
+            f"{reference['cores']} core(s); this machine has {cores} — "
+            "not comparable, skipping speedup"
+        )
+    else:
         speedup = reference["seconds"] / seconds
         print(
             f"baseline '{args.against}': {reference['seconds']:.3f}s "
             f"→ speedup {speedup:.2f}x"
         )
-    else:
-        print(f"no baseline named {args.against!r} in {BASELINES_PATH.name}")
 
     if args.record:
-        try:
-            cores = len(os.sched_getaffinity(0))
-        except AttributeError:  # pragma: no cover - non-Linux
-            cores = os.cpu_count() or 1
         baselines[args.record] = {
             "seconds": round(seconds, 4),
             "graph": {"n": GRAPH_NODES, "p": GRAPH_P, "seed": GRAPH_SEED},

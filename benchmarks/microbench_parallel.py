@@ -19,8 +19,13 @@ ints per separator; with the per-(answer, direction) extend tasks each
 running a full triangulation, the compute/IPC ratio is high and the
 speedup approaches the worker count on machines that actually have the
 cores.  On a single-core container the sharded run degrades to serial
-plus IPC overhead — the recorded ``cores`` field says which regime a
-number came from.
+plus IPC overhead, so ``--record`` *refuses* to write a baseline there
+unless ``--allow-single-core`` is passed explicitly (the entry is then
+annotated as coordination-overhead-only).  Comparisons against
+previously recorded baselines (``--against LABEL``) match on the
+``cores`` field, not the label alone: a sharded number is conditioned
+on the core count it was measured with, and comparing across machines
+with different usable cores is meaningless.
 """
 
 from __future__ import annotations
@@ -29,6 +34,7 @@ import argparse
 import json
 import os
 import statistics
+import sys
 import time
 from pathlib import Path
 
@@ -71,7 +77,7 @@ def measure(
     )
 
 
-def main() -> None:
+def main() -> int:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument(
         "--results",
@@ -95,7 +101,22 @@ def main() -> None:
         "--record",
         metavar="LABEL",
         help="append measurements to baselines.json as LABEL-serial / "
-        "LABEL-sharded",
+        "LABEL-sharded (refused on single-core machines unless "
+        "--allow-single-core is given)",
+    )
+    parser.add_argument(
+        "--allow-single-core",
+        action="store_true",
+        help="record even with 1 usable core; the entry is annotated "
+        "as measuring coordination overhead only",
+    )
+    parser.add_argument(
+        "--against",
+        metavar="LABEL",
+        default=None,
+        help="compare the sharded run against baselines.json entry "
+        "LABEL-sharded; only entries whose 'cores' field matches this "
+        "machine are considered comparable",
     )
     args = parser.parse_args()
 
@@ -114,20 +135,56 @@ def main() -> None:
         f"sharded backend ({args.workers} workers): {sharded:.3f}s "
         f"→ speedup {speedup:.2f}x"
     )
-    if cores < 2:
+    single_core = cores < 2
+    if single_core:
         print(
             "note: <2 usable cores — the sharded figure measures pure "
             "coordination overhead, not parallel speedup"
         )
 
+    baselines = json.loads(BASELINES_PATH.read_text())
+    if args.against:
+        reference = comparable_baseline(
+            baselines, f"{args.against}-sharded", cores
+        )
+        if reference is None:
+            recorded = baselines.get(f"{args.against}-sharded")
+            if recorded is None:
+                print(f"no baseline named '{args.against}-sharded'")
+            else:
+                print(
+                    f"baseline '{args.against}-sharded' was recorded on "
+                    f"{recorded.get('cores', '?')} core(s); this machine "
+                    f"has {cores} — not comparable, skipping"
+                )
+        else:
+            print(
+                f"baseline '{args.against}-sharded' ({cores} cores): "
+                f"{reference['seconds']:.3f}s → this run is "
+                f"{reference['seconds'] / sharded:.2f}x of it"
+            )
+
     if args.record:
-        baselines = json.loads(BASELINES_PATH.read_text())
+        if single_core and not args.allow_single_core:
+            print(
+                f"refusing to record '{args.record}' on a {cores}-core "
+                "machine: the sharded number would measure coordination "
+                "overhead only and poison later comparisons.  Re-record "
+                "on multi-core hardware, or pass --allow-single-core to "
+                "force an annotated entry."
+            )
+            return 2
         common = {
             "graph": {"n": GRAPH_NODES, "p": GRAPH_P, "seed": GRAPH_SEED},
             "results": args.results,
             "repeats": args.repeats,
             "cores": cores,
         }
+        if single_core:
+            common["note"] = (
+                "single-core machine: sharded measures coordination "
+                "overhead only, not parallel speedup"
+            )
         baselines[f"{args.record}-serial"] = {
             "seconds": round(serial, 4),
             **common,
@@ -143,7 +200,23 @@ def main() -> None:
             f"recorded as '{args.record}-serial' / '{args.record}-sharded' "
             f"in {BASELINES_PATH.name}"
         )
+    return 0
+
+
+def comparable_baseline(
+    baselines: dict, label: str, cores: int
+) -> dict | None:
+    """Return baseline ``label`` only if its ``cores`` matches ``cores``.
+
+    Entries without a ``cores`` field predate the convention and are
+    never considered comparable — name alone says nothing about the
+    machine regime a sharded number came from.
+    """
+    entry = baselines.get(label)
+    if entry is None or entry.get("cores") != cores:
+        return None
+    return entry
 
 
 if __name__ == "__main__":
-    main()
+    sys.exit(main())

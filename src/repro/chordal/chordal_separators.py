@@ -17,10 +17,29 @@ enumerator in :mod:`repro.chordal.minimal_separators`.
 
 from __future__ import annotations
 
-from repro.chordal.cliques import mcs_clique_forest
+from repro.chordal.cliques import clique_forest_masks
 from repro.graph.graph import Graph, Node
 
-__all__ = ["minimal_separators_of_chordal"]
+__all__ = ["chordal_separator_masks", "minimal_separators_of_chordal"]
+
+
+def chordal_separator_masks(graph: Graph) -> tuple[set[int], bool]:
+    """``MinSep(graph)`` of a chordal graph, at the mask level.
+
+    Returns ``(separator_masks, include_empty)`` where ``include_empty``
+    says whether the empty separator of a disconnected graph belongs in
+    the set (the empty mask cannot be distinguished from "no separator"
+    inside the mask set itself).  This is the ``ExtractMinSeps`` step of
+    ``Extend``: working straight off the clique-forest scan skips the
+    label translation of every maximal clique, which the enumeration
+    inner loop would otherwise pay once per ``Extend`` call.
+
+    Raises :class:`~repro.errors.NotChordalError` on non-chordal input.
+    """
+    __, parent, separator_masks, __ = clique_forest_masks(graph)
+    separators = {mask for mask in separator_masks if mask is not None}
+    component_roots = sum(1 for p in parent if p is None)
+    return separators, component_roots > 1
 
 
 def minimal_separators_of_chordal(graph: Graph) -> set[frozenset[Node]]:
@@ -31,9 +50,9 @@ def minimal_separators_of_chordal(graph: Graph) -> set[frozenset[Node]]:
     (Rose), which is what makes the sets returned here small enough to
     serve as SGR independent sets.
     """
-    forest = mcs_clique_forest(graph)
-    separators = {sep for sep in forest.separators if sep is not None}
-    component_roots = sum(1 for p in forest.parent if p is None)
-    if component_roots > 1:
+    masks, include_empty = chordal_separator_masks(graph)
+    label_set = graph.label_set
+    separators = {label_set(mask) for mask in masks}
+    if include_empty:
         separators.add(frozenset())
     return separators

@@ -31,7 +31,21 @@ from repro.errors import NotChordalError
 from repro.graph.core import MaxWeightBuckets, iter_bits
 from repro.graph.graph import Graph, Node
 
-__all__ = ["CliqueForest", "mcs_clique_forest", "maximal_cliques", "tree_width"]
+try:  # numpy unavailable: only the int-mask reference path exists
+    import numpy as _np
+
+    from repro.graph import bitset_np as _kernel
+except ImportError:  # pragma: no cover - exercised on numpy-less installs
+    _np = None
+    _kernel = None
+
+__all__ = [
+    "CliqueForest",
+    "clique_forest_masks",
+    "mcs_clique_forest",
+    "maximal_cliques",
+    "tree_width",
+]
 
 
 @dataclass(frozen=True)
@@ -76,12 +90,23 @@ class CliqueForest:
         return max(len(clique) for clique in self.cliques) - 1
 
 
-def mcs_clique_forest(graph: Graph) -> CliqueForest:
-    """Build the clique forest of a chordal ``graph`` via one MCS pass.
+def clique_forest_masks(
+    graph: Graph,
+) -> tuple[list[int], list[int | None], list[int | None], list[int]]:
+    """The mask-level MCS clique-forest scan.
+
+    Returns ``(clique_masks, parent, separator_masks, clique_of_idx)``
+    — the label-free core of :func:`mcs_clique_forest`, which the
+    ``Extend`` pipeline consumes directly (it only needs separator
+    masks, so skipping the label translation of every clique is a
+    measurable win per call).
 
     The search runs on the bitmask core: cliques under construction and
     the visited set are masks, so the continuation and parent-clique
-    invariants are single integer comparisons.
+    invariants are single integer comparisons.  On a numpy-backed core
+    the selection queue, the weight bumps and the last-visited argmax
+    run as packed-kernel reductions; the int-mask structures stay the
+    reference path.
 
     Raises
     ------
@@ -92,17 +117,23 @@ def mcs_clique_forest(graph: Graph) -> CliqueForest:
     core = graph.core
     adj = core.adj
     if not core.alive:
-        return CliqueForest((), (), (), {})
+        return [], [], [], []
 
     ranks = graph.ranks()
-    weights = [0] * len(adj)
     # Unvisited vertices bucketed by weight (= number of visited
     # neighbours); max-weight extraction and weight bumps are mask ops.
     unvisited = core.alive
-    queue = MaxWeightBuckets(unvisited)
+    matrix = _kernel.packed_view(core) if _kernel is not None else None
+    if matrix is not None:
+        words = matrix.shape[1]
+        visit_time = _np.zeros(len(adj), dtype=_np.int64)
+        queue = _kernel.PackedMCSQueue(unvisited, ranks, words)
+    else:
+        weights = [0] * len(adj)
+        visit_time = [0] * len(adj)
+        queue = MaxWeightBuckets(unvisited)
 
     visited = 0
-    visit_time = [0] * len(adj)
     n_visited = 0
     clique_masks: list[int] = []
     parent: list[int | None] = []
@@ -113,7 +144,9 @@ def mcs_clique_forest(graph: Graph) -> CliqueForest:
     n = core.num_vertices
 
     while n_visited < n:
-        node = queue.pop_max(ranks)
+        node = (
+            queue.pop_max() if matrix is not None else queue.pop_max(ranks)
+        )
         bit_node = 1 << node
         unvisited &= ~bit_node
         visited_neighbors = adj[node] & visited
@@ -129,9 +162,18 @@ def mcs_clique_forest(graph: Graph) -> CliqueForest:
         else:
             # New clique {node} ∪ M(node).
             if card > 0:
-                last_visited = max(
-                    iter_bits(visited_neighbors), key=visit_time.__getitem__
-                )
+                if matrix is not None and card >= _kernel.BATCH_MIN:
+                    members = _kernel.mask_to_indices(
+                        visited_neighbors, words
+                    )
+                    last_visited = int(
+                        members[_np.argmax(visit_time[members])]
+                    )
+                else:
+                    last_visited = max(
+                        iter_bits(visited_neighbors),
+                        key=visit_time.__getitem__,
+                    )
                 parent_index = clique_of_idx[last_visited]
                 if visited_neighbors & ~clique_masks[parent_index]:
                     raise NotChordalError(
@@ -150,8 +192,25 @@ def mcs_clique_forest(graph: Graph) -> CliqueForest:
         n_visited += 1
         visited |= bit_node
         prev_card = card
-        queue.bump_all(adj[node] & unvisited, weights)
+        if matrix is not None:
+            queue.bump_mask(adj[node] & unvisited)
+        else:
+            queue.bump_all(adj[node] & unvisited, weights)
 
+    return clique_masks, parent, separator_masks, clique_of_idx
+
+
+def mcs_clique_forest(graph: Graph) -> CliqueForest:
+    """Build the clique forest of a chordal ``graph`` via one MCS pass.
+
+    A label-level view over :func:`clique_forest_masks`; raises
+    :class:`NotChordalError` exactly when the graph is not chordal.
+    """
+    clique_masks, parent, separator_masks, clique_of_idx = (
+        clique_forest_masks(graph)
+    )
+    if not clique_masks:
+        return CliqueForest((), (), (), {})
     label_set = graph.label_set
     label_of = graph.label_of
     return CliqueForest(
@@ -161,7 +220,7 @@ def mcs_clique_forest(graph: Graph) -> CliqueForest:
             label_set(mask) if mask is not None else None
             for mask in separator_masks
         ),
-        {label_of(i): clique_of_idx[i] for i in iter_bits(core.alive)},
+        {label_of(i): clique_of_idx[i] for i in iter_bits(graph.core.alive)},
     )
 
 

@@ -35,6 +35,11 @@ from repro.errors import NotChordalError
 from repro.graph.core import iter_bits
 from repro.graph.graph import Graph, Node, edge_key
 
+try:  # numpy unavailable: only the int-mask reference path exists
+    from repro.graph import bitset_np as _kernel
+except ImportError:  # pragma: no cover - exercised on numpy-less installs
+    _kernel = None
+
 __all__ = [
     "maximum_cardinality_search",
     "lex_bfs",
@@ -142,8 +147,16 @@ def is_perfect_elimination_ordering(graph: Graph, order: Sequence[Node]) -> bool
     be its earliest later neighbour (its *parent*); the ordering is a
     PEO iff for every ``v``, ``madj(v) \\ {p(v)} ⊆ madj(p(v))``.  This
     avoids the quadratic all-pairs clique check.
+
+    On a numpy-backed core the whole test runs as packed word-matrix
+    reductions (:func:`repro.graph.bitset_np.is_peo_packed`); the
+    int-mask path below stays the reference oracle.
     """
     indices = _order_indices(graph, order)
+    if _kernel is not None and len(indices) >= _kernel.BATCH_MIN:
+        matrix = _kernel.packed_view(graph.core)
+        if matrix is not None:
+            return _kernel.is_peo_packed(matrix, indices)
     adj = graph.core.adj
     position = [0] * len(adj)
     for pos, index in enumerate(indices):

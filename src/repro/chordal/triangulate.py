@@ -34,6 +34,21 @@ from repro.chordal.peo import elimination_fill_in
 from repro.graph.core import MaxWeightBuckets, iter_bits
 from repro.graph.graph import Graph, Node, edge_key, sort_edges
 
+try:  # numpy unavailable: only the int-mask reference paths exist
+    import numpy as _np
+
+    from repro.graph import bitset_np as _kernel
+except ImportError:  # pragma: no cover - exercised on numpy-less installs
+    _np = None
+    _kernel = None
+
+
+def _packed_view(core):
+    """The core's packed adjacency matrix, or ``None`` on the int tier."""
+    if _kernel is None:
+        return None
+    return _kernel.packed_view(core)
+
 __all__ = [
     "mcs_m",
     "lb_triang",
@@ -76,9 +91,63 @@ def mcs_m(graph: Graph, first: Node | None = None) -> tuple[list[tuple[Node, Nod
     """
     core = graph.core
     adj = core.adj
-    weights = [0] * len(adj)
     ranks = graph.ranks()
     unnumbered = core.alive
+    matrix = _packed_view(core)
+    label_of = graph.label_of
+    fill: list[tuple[Node, Node]] = []
+    reverse_order: list[Node] = []
+
+    if matrix is not None:
+        # Packed tier: flat argmax selection queue, fancy-indexed
+        # weight bumps, and the threshold sweep routed through the
+        # word matrix.  MCS-M never mutates the graph, so the matrix
+        # stays valid for the whole run.  The int-mask branch below is
+        # the reference implementation this one is tested against.
+        words = matrix.shape[1]
+        queue = _kernel.PackedMCSQueue(unnumbered, ranks, words)
+        if first is not None:
+            if first not in graph:
+                raise KeyError(first)
+            queue.bump_mask(1 << graph.index_of(first))
+        while unnumbered:
+            v = queue.pop_max()
+            unnumbered &= ~(1 << v)
+            reverse_order.append(label_of(v))
+            update_set = _mcs_m_update_mask_packed(
+                matrix, adj, queue.weights, unnumbered, v
+            )
+            queue.bump_mask(update_set)
+            label_v = label_of(v)
+            rank_v = ranks[v]
+            m = update_set & ~adj[v]
+            # Canonical (sorted) edge tuples via the precomputed label
+            # ranks — same order edge_key produces, without a label
+            # comparison per fill edge.
+            if m.bit_count() >= _kernel.BATCH_MIN:
+                for u in _kernel.mask_to_indices(m, words):
+                    label_u = label_of(u)
+                    fill.append(
+                        (label_u, label_v)
+                        if ranks[u] < rank_v
+                        else (label_v, label_u)
+                    )
+            else:
+                while m:
+                    low = m & -m
+                    m ^= low
+                    u = low.bit_length() - 1
+                    label_u = label_of(u)
+                    fill.append(
+                        (label_u, label_v)
+                        if ranks[u] < rank_v
+                        else (label_v, label_u)
+                    )
+        reverse_order.reverse()
+        fill = sort_edges(fill)
+        return fill, reverse_order
+
+    weights = [0] * len(adj)
     queue = MaxWeightBuckets(unnumbered)
     if first is not None:
         if first not in graph:
@@ -86,9 +155,6 @@ def mcs_m(graph: Graph, first: Node | None = None) -> tuple[list[tuple[Node, Nod
         index = graph.index_of(first)
         weights[index] = 1
         queue.bump(index, 0)
-    label_of = graph.label_of
-    fill: list[tuple[Node, Node]] = []
-    reverse_order: list[Node] = []
 
     while unnumbered:
         v = queue.pop_max(ranks)
@@ -130,6 +196,10 @@ def _mcs_m_update_mask(
     sweep round costs a few wide integer operations, so the whole
     update is O(levels · rounds) big-int ops instead of a per-edge heap
     traversal.
+
+    This is the int-mask reference implementation;
+    :func:`_mcs_m_update_mask_packed` is the word-matrix port used on
+    numpy-backed cores.
     """
     avail = unnumbered
     reached = adj[v] & avail
@@ -156,6 +226,65 @@ def _mcs_m_update_mask(
                 low = frontier & -frontier
                 grown |= adj[low.bit_length() - 1]
                 frontier ^= low
+            new = grown & avail & ~reached
+            if new:
+                reached |= new
+                update_set |= new & ~weight_le  # key = t < w(x)
+        if reached == avail:
+            break
+    return update_set
+
+
+def _mcs_m_update_mask_packed(
+    matrix,
+    adj: list[int],
+    weights,
+    unnumbered: int,
+    v: int,
+) -> int:
+    """The MCS-M update sweep on the packed word-matrix tier.
+
+    Same threshold sweep as :func:`_mcs_m_update_mask`, with the two
+    per-member costs vectorized: the weight levels are derived from the
+    flat weight array in one batched ``packbits``
+    (:func:`repro.graph.bitset_np.weight_level_rows` — there are no
+    bucket masks to maintain on this tier), and each wide frontier's
+    neighbourhood union is one row reduction over the packed adjacency
+    (:func:`repro.graph.bitset_np.union_rows`).
+    """
+    avail = unnumbered
+    reached = adj[v] & avail
+    if not reached:
+        return 0
+    update_set = reached  # key = −1 < w(u) for every unnumbered vertex
+    if reached == avail:
+        return update_set
+
+    words = matrix.shape[1]
+    avail_idx = _kernel.mask_to_indices(avail, words)
+    level_rows = _kernel.weight_level_rows(avail_idx, weights[avail_idx], words)
+    batch_min = _kernel.BATCH_MIN
+    union_rows = _kernel.union_rows
+    mask_to_indices = _kernel.mask_to_indices
+    processed = 0
+    weight_le = 0
+    for row in level_rows:
+        # Lazy level decode: sweeps usually saturate `reached` well
+        # before the last weight level.
+        weight_le |= int.from_bytes(row.tobytes(), "little")
+        while True:
+            frontier = reached & weight_le & ~processed
+            if not frontier:
+                break
+            processed |= frontier
+            if frontier.bit_count() >= batch_min:
+                grown = union_rows(matrix, mask_to_indices(frontier, words))
+            else:
+                grown = 0
+                while frontier:
+                    low = frontier & -frontier
+                    grown |= adj[low.bit_length() - 1]
+                    frontier ^= low
             new = grown & avail & ~reached
             if new:
                 reached |= new
@@ -204,21 +333,32 @@ def lb_triang(
         explicit = [filled.index_of(node) for node in order_list]
     if explicit is None and heuristic not in {"min_fill", "min_degree", "natural"}:
         raise ValueError(f"unknown LB-Triang heuristic {heuristic!r}")
-    sorted_order = filled.sorted_indices()
     ranks = filled.ranks()
-    fill: list[tuple[Node, Node]] = []
+    matrix = _packed_view(core)
+    ranks_arr = (
+        _np.asarray(ranks, dtype=_np.int64) if matrix is not None else None
+    )
     # Fill-deficiency cache for the dynamic min-fill heuristic: an entry
     # goes stale only when the node's neighbourhood or the edges inside
     # it change, i.e. for the endpoints of an added edge and for their
-    # common neighbours.
-    deficiency: dict[int, int] = {}
+    # common neighbours.  The packed tier keeps it as a flat int64
+    # array (−1 = stale) so the per-step selection scan is one lexsort
+    # instead of one dict probe per remaining vertex.
+    deficiency: dict[int, int] | object = (
+        _np.full(len(adj), -1, dtype=_np.int64)
+        if matrix is not None
+        else {}
+    )
+    fill: list[tuple[Node, Node]] = []
     step = 0
     while remaining:
         if explicit is not None:
             v = explicit[step]
             step += 1
         else:
-            v = _pick_dynamic(core, remaining, heuristic, deficiency, sorted_order)
+            v = _pick_dynamic(
+                core, remaining, heuristic, deficiency, ranks, ranks_arr
+            )
         remaining &= ~(1 << v)
         closed = adj[v] | 1 << v
         added_this_step: list[tuple[int, int]] = []
@@ -228,11 +368,19 @@ def lb_triang(
         for a, b in added_this_step:
             fill.append(edge_key(label_of(a), label_of(b)))
         if explicit is None and heuristic == "min_fill" and added_this_step:
-            for a, b in added_this_step:
-                deficiency.pop(a, None)
-                deficiency.pop(b, None)
-                for common in iter_bits(adj[a] & adj[b]):
-                    deficiency.pop(common, None)
+            if matrix is not None:
+                stale = 0
+                for a, b in added_this_step:
+                    stale |= 1 << a | 1 << b | (adj[a] & adj[b])
+                deficiency[
+                    _kernel.mask_to_indices(stale, matrix.shape[1])
+                ] = -1
+            else:
+                for a, b in added_this_step:
+                    deficiency.pop(a, None)
+                    deficiency.pop(b, None)
+                    for common in iter_bits(adj[a] & adj[b]):
+                        deficiency.pop(common, None)
     return sort_edges(fill)
 
 
@@ -240,29 +388,60 @@ def _pick_dynamic(
     core,
     remaining: int,
     heuristic: str,
-    deficiency: dict[int, int],
-    sorted_order: list[int],
+    deficiency,
+    ranks: list[int],
+    ranks_arr=None,
 ) -> int:
+    """The next LB-Triang vertex: lexicographic min of (score, rank).
+
+    Equivalent to the historical first-strict-improvement scan in
+    label-rank order, but iterating only the *remaining* vertices
+    (instead of probing every slot against the mask each step) and,
+    on a numpy-backed core (``ranks_arr`` given) with a wide remainder,
+    resolving the pick with one vectorized score gather + lexsort.
+    ``deficiency`` is the min-fill cache — a dict on the int tier, a
+    flat −1-is-stale int64 array on the packed tier.
+    """
     adj = core.adj
-    if heuristic == "natural":
-        for i in sorted_order:
-            if remaining >> i & 1:
-                return i
-        raise AssertionError("no remaining vertex")
+    if ranks_arr is not None and remaining.bit_count() >= _kernel.BATCH_MIN:
+        matrix = _packed_view(core)
+        idx = _kernel.mask_to_indices(remaining, matrix.shape[1])
+        if heuristic == "natural":
+            return int(idx[_np.argmin(ranks_arr[idx])])
+        if heuristic == "min_degree":
+            scores = _kernel.popcount(matrix[idx])
+        else:
+            stale = idx[deficiency[idx] < 0]
+            for i in stale:
+                # Per stale vertex, but the pair count itself runs on
+                # the packed rows inside the core.
+                deficiency[i] = core.missing_pair_count(adj[i])
+            scores = deficiency[idx]
+        return int(idx[_np.lexsort((ranks_arr[idx], scores))[0]])
+    packed_cache = ranks_arr is not None
     best = -1
     best_score = -1
-    for i in sorted_order:
-        if not remaining >> i & 1:
-            continue
-        if heuristic == "min_degree":
+    best_rank = -1
+    for i in iter_bits(remaining):
+        if heuristic == "natural":
+            score = 0
+        elif heuristic == "min_degree":
             score = adj[i].bit_count()
+        elif packed_cache:
+            score = int(deficiency[i])
+            if score < 0:
+                score = core.missing_pair_count(adj[i])
+                deficiency[i] = score
         else:
             score = deficiency.get(i)
             if score is None:
                 score = core.missing_pair_count(adj[i])
                 deficiency[i] = score
-        if best < 0 or score < best_score:
-            best, best_score = i, score
+        rank = ranks[i]
+        if best < 0 or score < best_score or (
+            score == best_score and rank < best_rank
+        ):
+            best, best_score, best_rank = i, score, rank
     assert best >= 0
     return best
 

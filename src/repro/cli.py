@@ -143,13 +143,20 @@ def build_parser() -> argparse.ArgumentParser:
         default="auto",
         choices=("auto", "indexed", "numpy"),
         help="graph-core representation: int bitmasks, packed numpy "
-        "word matrices, or by size (default: auto)",
+        "word matrices, or by size (default: auto).  The choice also "
+        "selects the Extend kernels: on the numpy core every "
+        "--triangulator heuristic (MCS-M, LB-Triang, the PEO check, "
+        "the clique-forest separator extraction) runs on vectorized "
+        "word-matrix sweeps; on the indexed core the int-mask "
+        "reference paths run instead",
     )
     enum.add_argument(
         "--checkpoint",
         default=None,
         metavar="PATH",
-        help="persist the (Q, P, V) enumeration state to this file",
+        help="persist the (Q, P, V) enumeration state to this file; "
+        "disconnected and atom-split graphs store one section per "
+        "region plus the cross-region product state",
     )
     enum.add_argument(
         "--resume",

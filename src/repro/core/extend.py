@@ -74,10 +74,16 @@ def extend_parallel_set(
     """
     # Saturate g[φ] on a scratch bitmask copy: one mask per separator,
     # no label-level edge bookkeeping (the fill is not needed here).
+    # The copy keeps the graph-core backend, so a numpy-backed input
+    # runs the whole Extend pipeline — saturation, the triangulation
+    # heuristic, the clique-forest extraction — on the packed kernels.
     saturated = graph.copy()
     core = saturated.core
     for separator in separators:
         core.saturate(saturated.mask_of(separator))
     triangulated = minimal_triangulation_via(saturated, triangulator)
-    extracted = minimal_separators_of_chordal(triangulated)
-    return frozenset(extracted)
+    # ExtractMinSeps runs at the mask level inside
+    # minimal_separators_of_chordal (clique-forest scan, no per-clique
+    # label translation); labels materialise once, on the answer
+    # boundary.
+    return frozenset(minimal_separators_of_chordal(triangulated))

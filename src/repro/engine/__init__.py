@@ -17,7 +17,11 @@ registered backend:
 Both backends enumerate exactly the same answer set — ``MaxInd`` of
 the separator graph is canonical, and only the execution strategy
 differs.  Long enumerations can checkpoint their (Q, P, V) state and
-resume after interruption (:mod:`repro.engine.checkpoint`).
+resume after interruption (:mod:`repro.engine.checkpoint`); jobs whose
+graph decomposes into several regions (disconnected inputs,
+``decompose="atoms"``) checkpoint per-region sections plus the
+cross-region product state, so they resume without re-yielding
+delivered answers too.
 
 Quickstart::
 
@@ -37,9 +41,11 @@ from repro.engine.base import (
     register_backend,
 )
 from repro.engine.checkpoint import (
+    CheckpointDocument,
     CheckpointError,
     CheckpointManager,
     CheckpointState,
+    region_fingerprint,
 )
 from repro.engine.engine import EnumerationEngine
 from repro.engine.job import EnumerationJob
@@ -51,9 +57,11 @@ from repro.engine import sharded as _sharded  # noqa: E402,F401
 
 __all__ = [
     "AnswerRecord",
+    "CheckpointDocument",
     "CheckpointError",
     "CheckpointManager",
     "CheckpointState",
+    "region_fingerprint",
     "EngineError",
     "EnumerationBackend",
     "EnumerationEngine",

@@ -1,6 +1,7 @@
-"""Checkpoint/resume of the EnumMIS (Q, P, V) state.
+"""Checkpoint/resume of the EnumMIS (Q, P, V) state — per region.
 
-The EnumMIS control state is small and fully describes the traversal:
+The EnumMIS control state is small and fully describes the traversal
+of one *region* (connected component or atom):
 
 * ``V`` — the SGR nodes (minimal separators) generated so far, each a
   vertex bitmask;
@@ -14,16 +15,37 @@ input fingerprint — lets a multi-hour enumeration survive interruption
 and continue exactly where it stopped, without re-yielding answers the
 consumer already saw.
 
+A checkpoint file is a :class:`CheckpointDocument`: one
+:class:`CheckpointState` *section per region*, identified by a region
+fingerprint, plus the state of the cross-region product for jobs whose
+graph decomposes into several regions (disconnected inputs,
+``decompose="atoms"``):
+
+* ``arrivals`` — the order in which region answers entered the lazy
+  fair product (region index per arrival; each section's ``yielded``
+  list holds that region's answers in the same arrival order), and
+* ``delivered`` — how many product combinations the consumer has
+  received.
+
+Replaying ``arrivals`` against the per-region ``yielded`` lists
+deterministically reconstructs the exact combination sequence of the
+interrupted run, so resume skips the first ``delivered`` combinations
+and re-emits only what the consumer never saw.  Statistics are stored
+once at the document level (every region folds into one shared
+:class:`~repro.sgr.enum_mis.EnumMISStatistics`).
+
 Masks serialise as plain JSON integers (Python's ``json`` handles
 arbitrary-precision ints), so the format is portable across runs and
 machines as long as the graph — and therefore the label → index
 interning, which is deterministic given the same construction — is the
 same.  A fingerprint over the node/edge sets, the mode and the
-triangulator guards against resuming into a different job.
+triangulator guards against resuming into a different job; version-1
+files (single-region, pre-multi-region format) load as one-section
+documents.
 
 Resume replays the deterministic minimal-separator enumerator through
-the first ``|V|`` outputs and verifies they match the stored prefix, so
-the node iterator continues from the right position.
+the first ``|V|`` outputs of every region and verifies they match the
+stored prefix, so each node iterator continues from the right position.
 """
 
 from __future__ import annotations
@@ -41,10 +63,12 @@ __all__ = [
     "CheckpointError",
     "CheckpointManager",
     "CheckpointState",
+    "CheckpointDocument",
     "job_fingerprint",
+    "region_fingerprint",
 ]
 
-_FORMAT_VERSION = 1
+_FORMAT_VERSION = 2
 
 Answer = frozenset[int]
 
@@ -71,16 +95,51 @@ def job_fingerprint(
     return digest.hexdigest()
 
 
+def region_fingerprint(region: Graph) -> str:
+    """A stable digest of one region's node set.
+
+    The job fingerprint already pins the whole graph (and the edge set
+    of every induced region with it), so a region is identified by its
+    nodes alone; this guards section ↔ region alignment when a
+    multi-region checkpoint is resumed.
+    """
+    digest = hashlib.sha256()
+    for node in region.nodes():
+        digest.update(repr(node).encode())
+        digest.update(b"\x00")
+    return digest.hexdigest()
+
+
 @dataclass
 class CheckpointState:
-    """The persisted EnumMIS control state."""
+    """The persisted EnumMIS control state of one region."""
 
+    #: :func:`region_fingerprint` of the region this section belongs to
+    #: ("" in files written before the multi-region format).
+    region: str = ""
     known_nodes: list[int] = field(default_factory=list)
     exhausted: bool = False
     queue: list[Answer] = field(default_factory=list)
     processed: list[Answer] = field(default_factory=list)
+    #: For multi-region jobs the order matters: answers appear exactly
+    #: in the order they entered the cross-region product.
     yielded: list[Answer] = field(default_factory=list)
-    # Scalar counters plus the map-valued ``redundant_extensions``.
+    # Scalar counters plus the map-valued ``redundant_extensions``;
+    # populated on the document, kept here for single-state round
+    # trips through :meth:`CheckpointManager.save` / ``load``.
+    stats: dict = field(default_factory=dict)
+
+
+@dataclass
+class CheckpointDocument:
+    """Everything one checkpoint file holds: sections + product state."""
+
+    regions: list[CheckpointState] = field(default_factory=list)
+    #: Region index per product arrival, in arrival order (empty for
+    #: single-region jobs, which bypass the product entirely).
+    arrivals: list[int] = field(default_factory=list)
+    #: Product combinations already delivered to the consumer.
+    delivered: int = 0
     stats: dict = field(default_factory=dict)
 
 
@@ -110,6 +169,28 @@ def _decode_stats(raw: dict) -> dict:
     return decoded
 
 
+def _decode_section(raw: dict) -> CheckpointState:
+    return CheckpointState(
+        region=str(raw.get("region", "")),
+        known_nodes=[int(mask) for mask in raw["known_nodes"]],
+        exhausted=bool(raw["exhausted"]),
+        queue=_decode_answers(raw["queue"]),
+        processed=_decode_answers(raw["processed"]),
+        yielded=_decode_answers(raw["yielded"]),
+    )
+
+
+def _encode_section(state: CheckpointState) -> dict:
+    return {
+        "region": state.region,
+        "known_nodes": list(state.known_nodes),
+        "exhausted": state.exhausted,
+        "queue": _encode_answers(state.queue),
+        "processed": _encode_answers(state.processed),
+        "yielded": _encode_answers(state.yielded),
+    }
+
+
 class CheckpointManager:
     """Owns one checkpoint file: atomic saves, fingerprint-checked loads."""
 
@@ -120,7 +201,7 @@ class CheckpointManager:
         self.fingerprint = fingerprint
         self.every = every
 
-    def load(self) -> CheckpointState:
+    def load_document(self) -> CheckpointDocument:
         """Read and validate the checkpoint; raises on any mismatch."""
         try:
             data = json.loads(self.path.read_text())
@@ -132,27 +213,34 @@ class CheckpointManager:
             raise CheckpointError(
                 f"checkpoint {self.path} is not valid JSON: {exc}"
             ) from exc
-        if data.get("version") != _FORMAT_VERSION:
+        version = data.get("version")
+        if version not in (1, _FORMAT_VERSION):
             raise CheckpointError(
                 f"checkpoint {self.path} has unsupported version "
-                f"{data.get('version')!r} (expected {_FORMAT_VERSION})"
+                f"{version!r} (expected {_FORMAT_VERSION})"
             )
         if data.get("fingerprint") != self.fingerprint:
             raise CheckpointError(
                 f"checkpoint {self.path} belongs to a different job "
                 "(graph, mode, triangulator or decompose changed)"
             )
-        return CheckpointState(
-            known_nodes=[int(mask) for mask in data["known_nodes"]],
-            exhausted=bool(data["exhausted"]),
-            queue=_decode_answers(data["queue"]),
-            processed=_decode_answers(data["processed"]),
-            yielded=_decode_answers(data["yielded"]),
-            stats=_decode_stats(data.get("stats", {})),
+        stats = _decode_stats(data.get("stats", {}))
+        if version == 1:
+            # Pre-multi-region format: the whole file is one section.
+            section = _decode_section(data)
+            section.stats = stats
+            return CheckpointDocument(regions=[section], stats=stats)
+        return CheckpointDocument(
+            regions=[_decode_section(raw) for raw in data["regions"]],
+            arrivals=[int(i) for i in data.get("arrivals", [])],
+            delivered=int(data.get("delivered", 0)),
+            stats=stats,
         )
 
-    def load_if_resuming(self, resume: bool) -> CheckpointState | None:
-        """Load the state when ``resume`` is set; ``None`` on fresh runs.
+    def load_document_if_resuming(
+        self, resume: bool
+    ) -> CheckpointDocument | None:
+        """Load the document when ``resume`` is set; ``None`` on fresh runs.
 
         A resume against a missing file is an error, not a silent fresh
         start: the caller asked to continue a previous run, and quietly
@@ -165,20 +253,40 @@ class CheckpointManager:
             raise CheckpointError(
                 f"cannot resume: checkpoint {self.path} does not exist"
             )
-        return self.load()
+        return self.load_document()
 
-    def save(self, state: CheckpointState) -> None:
-        """Atomically persist ``state`` (write temp file, then rename)."""
+    def save_document(self, document: CheckpointDocument) -> None:
+        """Atomically persist ``document`` (write temp file, rename)."""
         payload = {
             "version": _FORMAT_VERSION,
             "fingerprint": self.fingerprint,
-            "known_nodes": list(state.known_nodes),
-            "exhausted": state.exhausted,
-            "queue": _encode_answers(state.queue),
-            "processed": _encode_answers(state.processed),
-            "yielded": _encode_answers(state.yielded),
-            "stats": state.stats,
+            "regions": [
+                _encode_section(section) for section in document.regions
+            ],
+            "arrivals": list(document.arrivals),
+            "delivered": document.delivered,
+            "stats": document.stats,
         }
         tmp = self.path.with_name(self.path.name + ".tmp")
         tmp.write_text(json.dumps(payload))
         os.replace(tmp, self.path)
+
+    # -- single-state convenience (tests, tooling) ---------------------
+
+    def load(self) -> CheckpointState:
+        """Load a single-region checkpoint as one state."""
+        document = self.load_document()
+        if len(document.regions) != 1:
+            raise CheckpointError(
+                f"checkpoint {self.path} holds {len(document.regions)} "
+                "region sections; use load_document()"
+            )
+        state = document.regions[0]
+        state.stats = document.stats
+        return state
+
+    def save(self, state: CheckpointState) -> None:
+        """Persist a single-region state as a one-section document."""
+        self.save_document(
+            CheckpointDocument(regions=[state], stats=state.stats)
+        )

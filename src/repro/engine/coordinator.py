@@ -29,7 +29,11 @@ Checkpointing piggybacks on the same state: outside a barrier, (Q ∪
 in-flight answers, P minus in-flight, V) is always a consistent resume
 point; during a barrier on node v, the snapshot simply excludes v from
 V (v is re-pulled and the barrier re-run on resume — duplicate work,
-never wrong answers).
+never wrong answers).  The coordinator does not own the checkpoint
+file: it reports its control snapshot to a *sink* (one file may hold
+many region sections — see :mod:`repro.engine.checkpoint`) and is
+handed a pre-validated :class:`~repro.engine.checkpoint.CheckpointState`
+to resume from.
 """
 
 from __future__ import annotations
@@ -41,11 +45,7 @@ from concurrent.futures import FIRST_COMPLETED, Future, wait
 from repro.chordal.minimal_separators import minimal_separator_masks
 from repro.chordal.triangulate import Triangulator
 from repro.core.extend import extend_parallel_set
-from repro.engine.checkpoint import (
-    CheckpointError,
-    CheckpointManager,
-    CheckpointState,
-)
+from repro.engine.checkpoint import CheckpointError, CheckpointState
 from repro.engine.pool import InlineRunner, PoolRunner
 from repro.graph.graph import Graph
 from repro.sgr.enum_mis import EnumMISStatistics, _AnswerQueue
@@ -60,6 +60,14 @@ class MISCoordinator:
 
     Yields answers as frozensets of separator *masks*; the backend
     layer materialises them into Triangulation objects.
+
+    ``checkpoint`` is a sink object exposing ``every`` (save cadence in
+    newly generated answers) and ``save()`` (persist the document this
+    coordinator's section belongs to); ``restore_state`` is this
+    region's section of a loaded checkpoint.  Restoration — including
+    the fast-forward of the deterministic separator iterator and its
+    prefix validation — happens eagerly at construction, so a sink may
+    snapshot any coordinator of a job the moment all of them exist.
     """
 
     def __init__(
@@ -72,8 +80,9 @@ class MISCoordinator:
         triangulator: str | Triangulator = "mcs_m",
         priority: Callable[[Answer], object] | None = None,
         stats: EnumMISStatistics | None = None,
-        checkpoint: CheckpointManager | None = None,
-        resume: bool = False,
+        checkpoint=None,
+        restore_state: CheckpointState | None = None,
+        region_fingerprint: str = "",
     ) -> None:
         self._region = region
         self._region_mask = region_mask
@@ -83,7 +92,7 @@ class MISCoordinator:
         self._priority = priority
         self._stats = stats if stats is not None else EnumMISStatistics()
         self._checkpoint = checkpoint
-        self._resume = resume
+        self._region_fingerprint = region_fingerprint
 
         self._queue = _AnswerQueue(priority)
         self._seen: set[Answer] = set()
@@ -98,6 +107,11 @@ class MISCoordinator:
         self._popping: list[Answer] = []
         self._barrier_node: int | None = None
         self._since_save = 0
+        self._resumed = restore_state is not None
+        if restore_state is not None:
+            self._node_iterator = self._restore(restore_state)
+        else:
+            self._node_iterator = minimal_separator_masks(region)
 
     # ------------------------------------------------------------------
     # Sizing policy
@@ -125,7 +139,15 @@ class MISCoordinator:
     # Checkpointing
     # ------------------------------------------------------------------
 
-    def _snapshot(self) -> CheckpointState:
+    @property
+    def barrier_active(self) -> bool:
+        """Whether a barrier node is mid-flight (its pull is re-counted
+        on resume, so document-level stats subtract one generated node
+        per active barrier)."""
+        return self._barrier_node is not None
+
+    def control_snapshot(self) -> CheckpointState:
+        """This region's (Q, P, V, yielded) as a checkpoint section."""
         # Answers whose (J, V-snapshot) processing has not completed go
         # back to Q: in-flight task results would be lost, and a batch
         # interrupted mid-pop was never submitted at all.
@@ -134,23 +156,20 @@ class MISCoordinator:
             if kind == "pop":
                 requeue.update(answers)
         known = list(self._known)
-        stats = dict(self._stats.snapshot())
         if self._barrier_node is not None:
             known.remove(self._barrier_node)
-            # The node will be re-pulled (and re-counted) on resume.
-            stats["nodes_generated"] -= 1
         return CheckpointState(
+            region=self._region_fingerprint,
             known_nodes=known,
             exhausted=self._exhausted and self._barrier_node is None,
             queue=self._queue.items() + sorted(requeue, key=sorted),
             processed=sorted(self._dispatched - requeue, key=sorted),
             yielded=sorted(self._yielded, key=sorted),
-            stats=stats,
         )
 
     def _save_checkpoint(self) -> None:
         if self._checkpoint is not None:
-            self._checkpoint.save(self._snapshot())
+            self._checkpoint.save()
             self._since_save = 0
 
     def _maybe_checkpoint(self) -> None:
@@ -161,7 +180,11 @@ class MISCoordinator:
             self._save_checkpoint()
 
     def _restore(self, state: CheckpointState) -> Iterator[int]:
-        """Load (Q, P, V) and return the node iterator, fast-forwarded."""
+        """Load (Q, P, V) and return the node iterator, fast-forwarded.
+
+        Statistics are *not* restored here: they are shared by every
+        region of a job and restored once, at the document level.
+        """
         node_iterator = minimal_separator_masks(self._region)
         prefix = list(itertools.islice(node_iterator, len(state.known_nodes)))
         if prefix != state.known_nodes:
@@ -178,7 +201,6 @@ class MISCoordinator:
             if answer not in self._seen:
                 self._seen.add(answer)
                 self._queue.push(answer)
-        self._stats.restore(state.stats)
         return node_iterator
 
     # ------------------------------------------------------------------
@@ -212,24 +234,16 @@ class MISCoordinator:
 
     def stream(self) -> Iterator[Answer]:
         """Run the coordinated enumeration; yield each answer once."""
-        state = (
-            self._checkpoint.load_if_resuming(self._resume)
-            if self._checkpoint is not None
-            else None
-        )
         queue = self._queue
         inflight = self._inflight
         mode = self._mode
-
-        # Restore (and its fingerprint/prefix validation) happens outside
-        # the try so a failed resume can never overwrite a good checkpoint
-        # with partially restored state from the finally clause.
-        if state is not None:
-            node_iterator = self._restore(state)
-        else:
-            node_iterator = minimal_separator_masks(self._region)
+        # Restore (and its fingerprint/prefix validation) already
+        # happened at construction, so a failed resume can never
+        # overwrite a good checkpoint with partially restored state
+        # from the finally clause below.
+        node_iterator = self._node_iterator
         try:
-            if state is None:
+            if not self._resumed:
                 seed = self._seed()
                 self._seen.add(seed)
                 self._stats.answers += 1

@@ -60,8 +60,10 @@ class EnumerationJob:
     checkpoint_path:
         When set, the backend periodically persists its (Q, P, V) state
         to this file so an interrupted enumeration can be resumed; see
-        :mod:`repro.engine.checkpoint`.  Requires a job that resolves
-        to a single region (a connected graph, or ``decompose="none"``).
+        :mod:`repro.engine.checkpoint`.  Jobs whose graph decomposes
+        into several regions (disconnected inputs, ``decompose="atoms"``)
+        persist one section per region plus the cross-region product
+        state, so they round-trip exactly like connected jobs.
     checkpoint_every:
         Save the checkpoint after this many newly generated answers
         (plus once on stream close).

@@ -4,10 +4,10 @@ A thin wrapper over
 :func:`repro.core.enumerate.enumerate_minimal_triangulations` (plain
 jobs) and
 :func:`repro.core.ranked.enumerate_minimal_triangulations_prioritized`
-(ranked jobs).  Checkpointable jobs route through the same coordinator
-the sharded backend uses, with an in-process
-:class:`~repro.engine.pool.InlineRunner` — identical (Q, P, V)
-semantics and checkpoint format, no worker pool.
+(ranked jobs).  Checkpointable jobs — single- and multi-region alike —
+route through the same coordinator assembly the sharded backend uses,
+with an in-process :class:`~repro.engine.pool.InlineRunner` —
+identical (Q, P, V) semantics and checkpoint format, no worker pool.
 """
 
 from __future__ import annotations

@@ -25,6 +25,21 @@ matrices* so those sweeps become single vectorized numpy expressions:
   separator's component matrix against many remainder rows in one
   vectorized pass (see
   :meth:`repro.sgr.separator_graph.MinimalSeparatorSGR.has_edges_batch`);
+* the *Extend-side* kernels batch the triangulation pipeline of the
+  paper's ``Extend`` procedure: :func:`mask_to_indices` /
+  :func:`indices_to_mask` convert between masks and index arrays
+  without per-bit Python loops, :func:`union_rows` OR-reduces many
+  adjacency rows at once, :func:`frontier_sweep` runs a whole
+  reachability fixpoint on the packed matrix, :func:`saturate_batch`
+  extracts (and optionally applies, via :func:`set_edge_bits`) every
+  missing pair of a would-be clique in one pass, :func:`is_peo_packed`
+  verifies a perfect elimination ordering with matrix-level cumulative
+  ORs, and :class:`PackedMCSQueue` (with :func:`weight_level_rows`)
+  replaces the per-bit bucket scans of the MCS-family searches with
+  argmax reductions over a flat key array.
+  :func:`packed_view` is how the chordal layer detects a numpy-backed
+  core and routes onto these kernels (the int-mask implementations
+  stay the reference oracles);
 * :class:`NumpyGraphCore` is an :class:`~repro.graph.core.IndexedGraph`
   whose batch-heavy methods (neighbourhood-of-set, component
   expansion) run on a lazily maintained packed adjacency matrix —
@@ -57,6 +72,16 @@ __all__ = [
     "unpack_row",
     "popcount",
     "crossing_batch",
+    "mask_to_indices",
+    "indices_to_mask",
+    "union_rows",
+    "frontier_sweep",
+    "saturate_batch",
+    "set_edge_bits",
+    "is_peo_packed",
+    "weight_level_rows",
+    "PackedMCSQueue",
+    "packed_view",
     "NumpyGraphCore",
     "select_core_class",
     "core_backend_name",
@@ -162,6 +187,214 @@ def crossing_batch(
     return touched >= 2
 
 
+# ----------------------------------------------------------------------
+# Extend-side kernels (the triangulation pipeline of ``Extend``)
+# ----------------------------------------------------------------------
+
+#: Set sizes below this run the inherited int-mask loop; the numpy
+#: call overhead only pays off on wider masks.
+BATCH_MIN = 16
+
+
+def mask_to_indices(mask: int, words: int) -> np.ndarray:
+    """Set-bit indices of an int mask as an ascending int64 array.
+
+    The per-bit ``low = mask & -mask`` loop of the int tier costs one
+    Python iteration per member; this unpacks the whole mask through
+    one ``np.unpackbits`` pass instead.
+    """
+    as_bytes = np.frombuffer(mask.to_bytes(words * 8, "little"), dtype=np.uint8)
+    return np.flatnonzero(np.unpackbits(as_bytes, bitorder="little"))
+
+
+def indices_to_mask(indices: np.ndarray, words: int) -> int:
+    """Inverse of :func:`mask_to_indices`: an index array as an int mask."""
+    bits = np.zeros(words * WORD_BITS, dtype=np.uint8)
+    bits[indices] = 1
+    return int.from_bytes(
+        np.packbits(bits, bitorder="little").tobytes(), "little"
+    )
+
+
+def union_rows(matrix: np.ndarray, indices) -> int:
+    """OR-reduce the selected rows of a packed matrix into an int mask."""
+    if not len(indices):
+        return 0
+    return unpack_row(np.bitwise_or.reduce(matrix[indices], axis=0))
+
+
+def frontier_sweep(
+    matrix: np.ndarray,
+    seed: int,
+    available: int,
+    adj: list[int] | None = None,
+) -> int:
+    """Reachability fixpoint on the packed matrix: the component of ``seed``.
+
+    Each round ORs the adjacency rows of the whole frontier in one
+    vectorized reduction (falling back to the int-mask loop for
+    frontiers below :data:`BATCH_MIN` when ``adj`` is given), so a
+    breadth-first sweep costs O(rounds) numpy calls instead of one
+    Python iteration per frontier vertex.
+    """
+    words = matrix.shape[1]
+    component = seed
+    frontier = seed
+    while frontier:
+        if adj is not None and frontier.bit_count() < BATCH_MIN:
+            reached = 0
+            for i in bit_list(frontier):
+                reached |= adj[i]
+        else:
+            reached = union_rows(matrix, mask_to_indices(frontier, words))
+        frontier = reached & available & ~component
+        component |= frontier
+    return component
+
+
+def saturate_batch(
+    matrix: np.ndarray, mask: int
+) -> tuple[np.ndarray, np.ndarray]:
+    """Missing pairs inside ``mask`` as ``(u, v)`` index arrays, u < v.
+
+    One vectorized pass over the packed adjacency rows of the mask's
+    members replaces the per-member missing-bit scan of the int tier;
+    the pairs come back in the same (u-major, v-ascending) order the
+    scalar ``IndexedGraph.saturate`` produces them.  Combine with
+    :func:`set_edge_bits` to apply the fill to a packed mirror in
+    place.
+    """
+    words = matrix.shape[1]
+    idx = mask_to_indices(mask, words)
+    missing = pack_mask(mask, words) & ~matrix[idx]
+    bits = np.unpackbits(missing.view(np.uint8), axis=1, bitorder="little")
+    row, col = np.nonzero(bits)
+    u = idx[row]
+    # ``missing`` still contains each member's own bit (adjacency rows
+    # never hold the diagonal) and both orientations; keeping the
+    # strictly upper pairs drops both at once.
+    keep = col > u
+    return u[keep], col[keep]
+
+
+def set_edge_bits(
+    matrix: np.ndarray, u_arr: np.ndarray, v_arr: np.ndarray
+) -> None:
+    """Set the (u, v) and (v, u) bits of a packed adjacency in place."""
+    one = np.uint64(1)
+    np.bitwise_or.at(
+        matrix,
+        (u_arr, v_arr // WORD_BITS),
+        one << (v_arr % WORD_BITS).astype(np.uint64),
+    )
+    np.bitwise_or.at(
+        matrix,
+        (v_arr, u_arr // WORD_BITS),
+        one << (u_arr % WORD_BITS).astype(np.uint64),
+    )
+
+
+def is_peo_packed(matrix: np.ndarray, order) -> bool:
+    """The Rose–Tarjan–Lueker PEO test as packed-matrix reductions.
+
+    Semantically identical to the int-mask implementation in
+    :func:`repro.chordal.peo.is_perfect_elimination_ordering` (the
+    reference oracle): build every ``madj`` row with one cumulative OR
+    over the ordered one-hot rows, locate each vertex's parent (its
+    earliest later neighbour) with a masked positional min, and test
+    ``madj(v) \\ {p(v)} ⊆ madj(p(v))`` for all vertices in one
+    vectorized subset check.
+    """
+    k = len(order)
+    if k == 0:
+        return True
+    words = matrix.shape[1]
+    order = np.asarray(order, dtype=np.int64)
+    rows = matrix[order]
+    own = zero_matrix(k, words)
+    own[np.arange(k), order // WORD_BITS] = np.uint64(1) << (
+        order % WORD_BITS
+    ).astype(np.uint64)
+    # later[i] = OR of the one-hot rows of every vertex ordered after i.
+    acc = np.bitwise_or.accumulate(own[::-1], axis=0)[::-1]
+    later = np.zeros_like(own)
+    later[:-1] = acc[1:]
+    madj = rows & later
+    bits = np.unpackbits(madj.view(np.uint8), axis=1, bitorder="little")
+    position = np.full(words * WORD_BITS, k, dtype=np.int32)
+    position[order] = np.arange(k, dtype=np.int32)
+    candidate_pos = np.where(bits.astype(bool), position[None, :], np.int32(k))
+    parent_pos = candidate_pos.min(axis=1)
+    with_madj = np.flatnonzero(parent_pos < k)
+    if not with_madj.shape[0]:
+        return True
+    parents = parent_pos[with_madj].astype(np.int64)
+    violations = madj[with_madj] & ~own[parents] & ~madj[parents]
+    return not violations.any()
+
+
+def weight_level_rows(
+    indices: np.ndarray, weights: np.ndarray, words: int
+) -> np.ndarray:
+    """Group ``indices`` by weight into packed rows, ascending by weight.
+
+    One batched ``packbits`` builds every level at once, so the MCS-M
+    threshold sweep gets its weight levels in O(levels · words) numpy
+    work per update call instead of maintaining per-weight bucket
+    masks across the whole search (whose re-bucketing cost dominated
+    the int tier's profile).  Rows are little-endian byte rows; convert
+    each to an int mask with ``int.from_bytes(row.tobytes(), "little")``
+    on demand — sweeps usually stop well before the last level.
+    """
+    distinct = np.unique(weights)
+    bits = np.zeros((distinct.shape[0], words * WORD_BITS), dtype=np.uint8)
+    bits[np.searchsorted(distinct, weights), indices] = 1
+    return np.packbits(bits, axis=1, bitorder="little")
+
+
+class PackedMCSQueue:
+    """Max-(weight, min-rank) vertex selection for the packed tier.
+
+    The int tier's :class:`~repro.graph.core.MaxWeightBuckets` keeps
+    per-weight bucket masks and scans the top bucket bit by bit; on
+    wide graphs both halves become per-member Python work.  This
+    structure keeps a flat int64 *key* array ``weight · stride − rank``
+    instead: popping the next MCS vertex is one ``argmax``, bumping a
+    whole update set is one fancy-indexed add, and no buckets exist to
+    maintain (the MCS-M sweep derives its levels per call via
+    :func:`weight_level_rows`).  Pop order is identical to the int
+    tier: maximum weight first, ties broken by minimum label rank.
+    """
+
+    __slots__ = ("weights", "_key", "_stride", "_words")
+
+    _POPPED = np.iinfo(np.int64).min
+
+    def __init__(self, initial_mask: int, ranks, words: int) -> None:
+        ranks_arr = np.asarray(ranks, dtype=np.int64)
+        self.weights = np.zeros(ranks_arr.shape[0], dtype=np.int64)
+        self._stride = ranks_arr.shape[0] + 1
+        self._words = words
+        member = np.zeros(ranks_arr.shape[0], dtype=bool)
+        idx = mask_to_indices(initial_mask, words)
+        member[idx[idx < ranks_arr.shape[0]]] = True
+        self._key = np.where(member, -ranks_arr, self._POPPED)
+
+    def pop_max(self) -> int:
+        """Remove and return the min-rank vertex of maximum weight."""
+        best = int(np.argmax(self._key))
+        self._key[best] = self._POPPED
+        return best
+
+    def bump_mask(self, mask: int) -> None:
+        """Add one to the weight of every member of ``mask``."""
+        if not mask:
+            return
+        idx = mask_to_indices(mask, self._words)
+        self.weights[idx] += 1
+        self._key[idx] += self._stride
+
+
 class NumpyGraphCore(IndexedGraph):
     """An ``IndexedGraph`` with a packed adjacency matrix for batch ops.
 
@@ -231,37 +464,76 @@ class NumpyGraphCore(IndexedGraph):
         return super().remove_edge(u, v)
 
     def saturate(self, mask: int) -> list[tuple[int, int]]:
-        self._packed = None
-        return super().saturate(mask)
+        """Make ``mask`` a clique, keeping the packed mirror live.
+
+        Saturation is the one mutation the Extend pipeline performs in
+        its hot loop (LB-Triang saturates one separator per component
+        per step), so instead of dropping the packed matrix — which
+        would force a full O(n · words) rebuild before the next sweep —
+        the added bits are applied to it in place.  With a live matrix
+        and a wide clique the missing pairs are found by the
+        vectorized :func:`saturate_batch` kernel; the inherited
+        int-mask scan remains the reference path.
+        """
+        packed = self._packed
+        if packed is not None and packed.shape[0] != len(self.adj):
+            packed = self._packed = None
+        if packed is None:
+            return super().saturate(mask)
+        if mask.bit_count() < self._MIN_GATHER:
+            added = super().saturate(mask)
+            if added:
+                u_arr = np.fromiter(
+                    (u for u, __ in added), dtype=np.int64, count=len(added)
+                )
+                v_arr = np.fromiter(
+                    (v for __, v in added), dtype=np.int64, count=len(added)
+                )
+                set_edge_bits(packed, u_arr, v_arr)
+            return added
+        u_arr, v_arr = saturate_batch(packed, mask)
+        if not u_arr.shape[0]:
+            return []
+        added = list(zip(u_arr.tolist(), v_arr.tolist()))
+        adj = self.adj
+        for u, v in added:
+            adj[u] |= 1 << v
+            adj[v] |= 1 << u
+        self.num_edges += len(added)
+        set_edge_bits(packed, u_arr, v_arr)
+        return added
 
     # -- batch-accelerated queries -------------------------------------
 
-    def _union_of_rows(self, indices: list[int]) -> int:
-        rows = self._matrix()[indices]
-        return unpack_row(np.bitwise_or.reduce(rows, axis=0))
-
     def neighborhood_of_set(self, mask: int) -> int:
-        indices = bit_list(mask)
-        if len(indices) < self._MIN_GATHER:
+        if mask.bit_count() < self._MIN_GATHER:
             return super().neighborhood_of_set(mask)
-        return self._union_of_rows(indices) & ~mask
+        matrix = self._matrix()
+        return (
+            union_rows(matrix, mask_to_indices(mask, matrix.shape[1]))
+            & ~mask
+        )
 
     def expand_component(self, seed: int, available: int) -> int:
-        component = seed
-        frontier = seed
-        adj = self.adj
-        min_gather = self._MIN_GATHER
-        while frontier:
-            indices = bit_list(frontier)
-            if len(indices) < min_gather:
-                reached = 0
-                for i in indices:
-                    reached |= adj[i]
-            else:
-                reached = self._union_of_rows(indices)
-            frontier = reached & available & ~component
-            component |= frontier
-        return component
+        return frontier_sweep(self._matrix(), seed, available, adj=self.adj)
+
+    def missing_pair_count(self, mask: int) -> int:
+        # Only route through a mirror that is already live: rebuilding
+        # the matrix for one count would cost more than the scan saves
+        # (mutation-heavy callers like the elimination game invalidate
+        # it every step).
+        matrix = self._packed
+        if (
+            matrix is None
+            or matrix.shape[0] != len(self.adj)
+            or mask.bit_count() < self._MIN_GATHER
+        ):
+            return super().missing_pair_count(mask)
+        words = matrix.shape[1]
+        idx = mask_to_indices(mask, words)
+        present = int(popcount(matrix[idx] & pack_mask(mask, words)).sum())
+        k = idx.shape[0]
+        return k * (k - 1) // 2 - present // 2
 
     # -- derived graphs keep the numpy core ----------------------------
 
@@ -306,6 +578,22 @@ def select_core_class(
 def core_backend_name(core: IndexedGraph) -> str:
     """The registry name of a core instance's backend."""
     return "numpy" if isinstance(core, NumpyGraphCore) else "indexed"
+
+
+def packed_view(core: IndexedGraph) -> np.ndarray | None:
+    """The packed adjacency matrix of a numpy-backed core, else ``None``.
+
+    This is the dispatch point of the Extend-side kernels: the chordal
+    layer (MCS-M, LB-Triang, the PEO check, the clique-forest scan)
+    asks for a packed view and routes onto the word-matrix kernels
+    when one exists, keeping the int-mask implementations as the
+    reference oracles for plain :class:`~repro.graph.core.IndexedGraph`
+    cores.  The returned matrix is the core's live mirror — treat it
+    as read-only and do not hold it across mutations.
+    """
+    if isinstance(core, NumpyGraphCore):
+        return core._matrix()
+    return None
 
 
 def convert_graph(graph, backend: str = "auto", threshold: int = NUMPY_THRESHOLD):

@@ -17,7 +17,12 @@ from repro.engine import (
     available_backends,
     get_backend,
 )
-from repro.engine.checkpoint import CheckpointManager, job_fingerprint
+from repro.engine.checkpoint import (
+    CheckpointError as CheckpointErrorDirect,  # noqa: F401 - re-export check
+    CheckpointManager,
+    job_fingerprint,
+    region_fingerprint,
+)
 from repro.experiments.runner import run_enumeration
 from repro.graph.generators import cycle_graph, gnp_random_graph
 from repro.graph.graph import Graph
@@ -276,8 +281,34 @@ class TestCheckpointResume:
         )
         data = json.loads(path.read_text())
         assert data["fingerprint"] == job_fingerprint(g, "UG", "mcs_m", "components")
-        assert data["queue"] or data["processed"]
-        assert all(isinstance(m, int) for m in data["known_nodes"])
+        (section,) = data["regions"]
+        assert section["region"] == region_fingerprint(g)
+        assert section["queue"] or section["processed"]
+        assert all(isinstance(m, int) for m in section["known_nodes"])
+        assert data["arrivals"] == [] and data["delivered"] == 0
+
+    def test_version1_checkpoint_still_loads(self, tmp_path):
+        # Files written by the pre-multi-region format (one top-level
+        # section, version 1) must keep resuming.
+        g = gnp_random_graph(10, 0.4, seed=5)
+        path = tmp_path / "v1.ckpt.json"
+        full = serial_answers(g)
+        engine = EnumerationEngine("serial")
+        first = engine.run(
+            EnumerationJob(g, checkpoint_path=path, max_results=3)
+        )
+        data = json.loads(path.read_text())
+        (section,) = data.pop("regions")
+        section.pop("region")
+        data.pop("arrivals"), data.pop("delivered")
+        path.write_text(json.dumps({**data, **section, "version": 1}))
+        second = engine.run(
+            EnumerationJob(g, checkpoint_path=path, resume=True)
+        )
+        got_first = answer_set(first.triangulations)
+        got_second = answer_set(second.triangulations)
+        assert not (got_first & got_second)
+        assert got_first | got_second == full
 
     def test_resume_without_checkpoint_file_is_an_error(self, tmp_path):
         g = gnp_random_graph(10, 0.4, seed=5)
@@ -323,11 +354,159 @@ class TestCheckpointResume:
         assert set(loaded.processed) == {frozenset({5}), frozenset()}
         assert loaded.stats["answers"] == 3
 
-    def test_multi_region_checkpoint_rejected(self, tmp_path):
-        g = Graph(edges=[(1, 2), (3, 4)])
-        with pytest.raises(EngineError, match="single-region"):
-            list(
-                EnumerationEngine("serial").stream(
-                    EnumerationJob(g, checkpoint_path=tmp_path / "x.json")
+    def test_region_count_mismatch_is_rejected(self, tmp_path):
+        # Same job fingerprint, fewer sections than regions: a
+        # truncated document must be rejected, not silently resumed.
+        g = _disconnected_graph()
+        path = tmp_path / "truncated.ckpt.json"
+        EnumerationEngine("serial").run(
+            EnumerationJob(g, checkpoint_path=path, max_results=3)
+        )
+        data = json.loads(path.read_text())
+        assert len(data["regions"]) == 3
+        data["regions"] = data["regions"][:2]
+        path.write_text(json.dumps(data))
+        with pytest.raises(
+            CheckpointError, match=r"2 region section\(s\)"
+        ):
+            EnumerationEngine("serial").run(
+                EnumerationJob(g, checkpoint_path=path, resume=True)
+            )
+
+    def test_corrupt_product_state_is_rejected(self, tmp_path):
+        g = _disconnected_graph()
+        path = tmp_path / "corrupt.ckpt.json"
+        engine = EnumerationEngine("serial")
+        engine.run(EnumerationJob(g, checkpoint_path=path, max_results=3))
+        pristine = path.read_text()
+
+        data = json.loads(pristine)
+        data["arrivals"][0] = -1
+        path.write_text(json.dumps(data))
+        with pytest.raises(CheckpointError, match="inconsistent"):
+            engine.run(EnumerationJob(g, checkpoint_path=path, resume=True))
+
+        data = json.loads(pristine)
+        data["delivered"] = 10_000
+        path.write_text(json.dumps(data))
+        with pytest.raises(CheckpointError, match="delivered"):
+            engine.run(EnumerationJob(g, checkpoint_path=path, resume=True))
+
+
+def _disconnected_graph() -> Graph:
+    """Two seeded Gnp components plus a path — three regions."""
+    g = gnp_random_graph(8, 0.45, seed=13)
+    other = gnp_random_graph(7, 0.5, seed=14)
+    for u, v in other.edges():
+        g.add_edge(f"b{u}", f"b{v}")
+    g.add_edge("p0", "p1")
+    g.add_edge("p1", "p2")
+    return g
+
+
+class TestMultiRegionCheckpoint:
+    """Disconnected / atom-split jobs checkpoint and resume (ISSUE 4)."""
+
+    def _round_trip(self, backend, workers, tmp_path, mode="UG",
+                    decompose="components", graph=None):
+        g = graph if graph is not None else _disconnected_graph()
+        full = serial_answers(g, mode=mode, decompose=decompose)
+        assert len(full) > 6
+        path = tmp_path / f"{backend}-{mode}-{decompose}.ckpt.json"
+        engine = EnumerationEngine(backend, workers=workers)
+        first = engine.run(
+            EnumerationJob(
+                g, mode=mode, decompose=decompose, checkpoint_path=path,
+                checkpoint_every=4, max_results=len(full) // 3,
+            )
+        )
+        second = engine.run(
+            EnumerationJob(
+                g, mode=mode, decompose=decompose, checkpoint_path=path,
+                resume=True,
+            )
+        )
+        got_first = answer_set(first.triangulations)
+        got_second = answer_set(second.triangulations)
+        assert len(got_first) == len(full) // 3
+        assert not (got_first & got_second), "resume re-yielded answers"
+        assert got_first | got_second == full
+        assert second.completed
+        # Serial and sharded must agree on the combined answer set even
+        # when the stream was interrupted and resumed mid-product.
+        assert got_first | got_second == full
+
+    def test_serial_disconnected_ug(self, tmp_path):
+        self._round_trip("serial", None, tmp_path, mode="UG")
+
+    def test_serial_disconnected_up(self, tmp_path):
+        self._round_trip("serial", None, tmp_path, mode="UP")
+
+    def test_sharded_disconnected_ug(self, tmp_path):
+        self._round_trip("sharded", 2, tmp_path, mode="UG")
+
+    def test_sharded_disconnected_up(self, tmp_path):
+        self._round_trip("sharded", 2, tmp_path, mode="UP")
+
+    def test_serial_atoms_round_trip(self, tmp_path):
+        g = gnp_random_graph(12, 0.3, seed=42)
+        self._round_trip(
+            "serial", None, tmp_path, decompose="atoms", graph=g
+        )
+
+    def test_sharded_atoms_round_trip(self, tmp_path):
+        g = gnp_random_graph(12, 0.3, seed=42)
+        self._round_trip(
+            "sharded", 2, tmp_path, decompose="atoms", graph=g
+        )
+
+    def test_every_interrupt_point_is_safe_serial(self, tmp_path):
+        # Interrupt after every possible prefix length: the combined
+        # answer set must always be exact with no duplicates.
+        g = Graph(
+            edges=[(1, 2), (2, 3), (3, 4), (4, 1),
+                   (10, 11), (11, 12), (12, 13), (13, 10), (20, 21)]
+        )
+        full = serial_answers(g)
+        engine = EnumerationEngine("serial")
+        for k in range(1, len(full)):
+            path = tmp_path / f"cut{k}.ckpt.json"
+            first = engine.run(
+                EnumerationJob(
+                    g, checkpoint_path=path, checkpoint_every=1,
+                    max_results=k,
                 )
             )
+            second = engine.run(
+                EnumerationJob(g, checkpoint_path=path, resume=True)
+            )
+            got_first = answer_set(first.triangulations)
+            got_second = answer_set(second.triangulations)
+            assert not (got_first & got_second)
+            assert got_first | got_second == full
+
+    def test_multi_region_resume_after_completion(self, tmp_path):
+        g = _disconnected_graph()
+        path = tmp_path / "done.ckpt.json"
+        engine = EnumerationEngine("serial")
+        done = engine.run(EnumerationJob(g, checkpoint_path=path))
+        assert done.completed
+        again = engine.run(
+            EnumerationJob(g, checkpoint_path=path, resume=True)
+        )
+        assert again.count == 0
+
+    def test_multi_region_document_shape(self, tmp_path):
+        g = _disconnected_graph()
+        path = tmp_path / "doc.ckpt.json"
+        EnumerationEngine("serial").run(
+            EnumerationJob(g, checkpoint_path=path, max_results=5)
+        )
+        data = json.loads(path.read_text())
+        assert len(data["regions"]) == 3
+        fingerprints = {section["region"] for section in data["regions"]}
+        assert len(fingerprints) == 3
+        assert data["delivered"] == 5
+        assert len(data["arrivals"]) == sum(
+            len(section["yielded"]) for section in data["regions"]
+        )
