@@ -14,11 +14,19 @@ existing perf trajectory::
     PYTHONPATH=src python benchmarks/microbench_parallel.py \\
         --workers 4 --record engine-pr2
 
-The sharded backend pays one process-pool spawn plus a pickle of a few
-ints per separator; with the per-(answer, direction) extend tasks each
-running a full triangulation, the compute/IPC ratio is high and the
-speedup approaches the worker count on machines that actually have the
-cores.  On a single-core container the sharded run degrades to serial
+The sharded backend pays one process-pool spawn, one shared-memory
+graph segment, and a packed (interned-mask) batch pickle per dispatch;
+with the per-(answer, direction) extend tasks each running a full
+triangulation and batches sized adaptively to ``--batch-target-ms`` of
+compute, the compute/IPC ratio is high and the speedup approaches the
+worker count on machines that actually have the cores.  Recorded
+sharded entries carry the per-batch wire columns (``payload_bytes``,
+``mean_batch_latency_ms``, ``ipc_cumulative_seconds`` — the last sums
+off-CPU time over concurrently pipelined batches, so it can exceed
+wall clock) from the run's statistics
+plus a ``payload_format_n2000`` comparison of the packed wire format
+against the original per-separator pickled-int format on a
+representative batch at n = 2000.  On a single-core container the sharded run degrades to serial
 plus IPC overhead, so ``--record`` *refuses* to write a baseline there
 unless ``--allow-single-core`` is passed explicitly (the entry is then
 annotated as coordination-overhead-only).  Comparisons against
@@ -33,6 +41,8 @@ from __future__ import annotations
 import argparse
 import json
 import os
+import pickle
+import random
 import statistics
 import sys
 import time
@@ -40,12 +50,18 @@ from pathlib import Path
 
 from repro.engine import EnumerationEngine, EnumerationJob
 from repro.graph.generators import gnp_random_graph
+from repro.sgr.enum_mis import EnumMISStatistics
 
 BASELINES_PATH = Path(__file__).parent / "baselines.json"
 
 GRAPH_NODES = 30
 GRAPH_P = 0.35
 GRAPH_SEED = 12345
+
+#: Graph size of the wire-format byte comparison (the acceptance shape:
+#: big-int masks are ~n/8 bytes each, so the interned packed format's
+#: win is conditioned on n).
+PAYLOAD_NODES = 2000
 
 
 def usable_cores() -> int:
@@ -55,26 +71,88 @@ def usable_cores() -> int:
         return os.cpu_count() or 1
 
 
-def measure_once(backend: str, workers: int | None, results: int) -> float:
+def measure_once(
+    backend: str,
+    workers: int | None,
+    results: int,
+    batch_target_ms: float | None,
+) -> tuple[float, EnumMISStatistics]:
     graph = gnp_random_graph(GRAPH_NODES, GRAPH_P, seed=GRAPH_SEED)
     engine = EnumerationEngine(backend, workers=workers)
-    job = EnumerationJob(graph, max_results=results)
+    kwargs = {}
+    if batch_target_ms is not None:
+        kwargs["batch_target_ms"] = batch_target_ms
+    job = EnumerationJob(graph, max_results=results, **kwargs)
+    stats = EnumMISStatistics()
     start = time.perf_counter()
-    produced = sum(1 for __ in engine.stream(job))
+    produced = sum(1 for __ in engine.stream(job, stats))
     elapsed = time.perf_counter() - start
     if produced < results:
         raise RuntimeError(
             f"benchmark graph yielded only {produced} < {results} results"
         )
-    return elapsed
+    return elapsed, stats
 
 
 def measure(
-    backend: str, workers: int | None, results: int, repeats: int
-) -> float:
-    return statistics.median(
-        measure_once(backend, workers, results) for __ in range(repeats)
+    backend: str,
+    workers: int | None,
+    results: int,
+    repeats: int,
+    batch_target_ms: float | None = None,
+) -> tuple[float, EnumMISStatistics]:
+    """Median elapsed time (and that run's statistics) over ``repeats``."""
+    runs = sorted(
+        (
+            measure_once(backend, workers, results, batch_target_ms)
+            for __ in range(repeats)
+        ),
+        key=lambda run: run[0],
     )
+    return runs[len(runs) // 2]
+
+
+def batch_wire_columns(stats: EnumMISStatistics) -> dict:
+    """Per-batch wire metrics of a sharded run, for the baseline entry."""
+    batches = stats.batches_dispatched
+    if not batches:
+        return {}
+    return {
+        "batches": batches,
+        "payload_bytes": round(stats.ipc_payload_bytes / batches, 1),
+        "mean_batch_latency_ms": round(
+            stats.batch_roundtrip_ns / batches / 1e6, 3
+        ),
+        # Summed per-batch off-CPU time across *concurrently pipelined*
+        # batches — a latency × count quantity that can exceed the
+        # run's wall clock, not a share of it.
+        "ipc_cumulative_seconds": round(stats.ipc_time_ns / 1e9, 4),
+    }
+
+
+def payload_format_bytes(n: int = PAYLOAD_NODES) -> dict:
+    """Pickled bytes of one representative batch, old format vs packed.
+
+    The workload shape and the legacy structure both come from
+    :mod:`repro.engine.wire` (``reference_batch`` / ``legacy_batch``)
+    so this recorded comparison and the tested ≥ 4× bound in
+    ``tests/test_adaptive_sharding.py`` can never drift onto different
+    simulations.
+    """
+    from repro.engine import wire
+
+    answers, directions, words = wire.reference_batch(n)
+    packed = wire.encode_batch(1, answers, directions, words)
+    legacy = len(
+        pickle.dumps(wire.legacy_batch(1, answers, directions, words))
+    )
+    new = len(pickle.dumps(packed))
+    return {
+        "n": n,
+        "legacy_bytes": legacy,
+        "packed_bytes": new,
+        "shrink": round(legacy / new, 2),
+    }
 
 
 def main() -> int:
@@ -118,6 +196,13 @@ def main() -> int:
         "LABEL-sharded; only entries whose 'cores' field matches this "
         "machine are considered comparable",
     )
+    parser.add_argument(
+        "--batch-target-ms",
+        type=float,
+        default=None,
+        help="batch duration target handed to the sharded job "
+        "(default: the engine default of 100 ms)",
+    )
     args = parser.parse_args()
 
     cores = usable_cores()
@@ -127,20 +212,46 @@ def main() -> int:
         f"{args.repeats}; machine has {cores} usable core(s)"
     )
 
-    serial = measure("serial", None, args.results, args.repeats)
-    print(f"serial backend:             {serial:.3f}s")
-    sharded = measure("sharded", args.workers, args.results, args.repeats)
+    serial, serial_stats = measure("serial", None, args.results, args.repeats)
+    print(
+        f"serial backend:             {serial:.3f}s "
+        f"(extend {serial_stats.extend_time_ns / 1e9:.3f}s, "
+        f"crossing {serial_stats.crossing_time_ns / 1e9:.3f}s)"
+    )
+    sharded, sharded_stats = measure(
+        "sharded", args.workers, args.results, args.repeats,
+        args.batch_target_ms,
+    )
     speedup = serial / sharded
+    wire_columns = batch_wire_columns(sharded_stats)
     print(
         f"sharded backend ({args.workers} workers): {sharded:.3f}s "
         f"→ speedup {speedup:.2f}x"
     )
+    if wire_columns:
+        print(
+            f"  {wire_columns['batches']} batches, "
+            f"{wire_columns['payload_bytes']:.0f} payload bytes/batch, "
+            f"{wire_columns['mean_batch_latency_ms']:.2f} ms mean batch "
+            f"latency, {wire_columns['ipc_cumulative_seconds']:.3f}s "
+            "cumulative off-CPU (overlaps across pipelined batches)"
+        )
     single_core = cores < 2
     if single_core:
+        overhead = max(0.0, sharded / serial - 1.0)
         print(
             "note: <2 usable cores — the sharded figure measures pure "
-            "coordination overhead, not parallel speedup"
+            f"coordination overhead ({overhead:.1%}), not parallel "
+            "speedup"
         )
+
+    wire_format = payload_format_bytes()
+    print(
+        f"wire format at n={wire_format['n']}: "
+        f"{wire_format['legacy_bytes']} B/batch pickled-int → "
+        f"{wire_format['packed_bytes']} B/batch packed "
+        f"({wire_format['shrink']}x smaller)"
+    )
 
     baselines = json.loads(BASELINES_PATH.read_text())
     if args.against:
@@ -193,8 +304,14 @@ def main() -> int:
             "seconds": round(sharded, 4),
             "workers": args.workers,
             "speedup_vs_serial": round(speedup, 3),
+            **wire_columns,
+            "payload_format_n2000": wire_format,
             **common,
         }
+        if args.batch_target_ms is not None:
+            baselines[f"{args.record}-sharded"]["batch_target_ms"] = (
+                args.batch_target_ms
+            )
         BASELINES_PATH.write_text(json.dumps(baselines, indent=2) + "\n")
         print(
             f"recorded as '{args.record}-serial' / '{args.record}-sharded' "

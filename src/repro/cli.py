@@ -139,6 +139,19 @@ def build_parser() -> argparse.ArgumentParser:
         help="worker processes for the sharded backend (default: one per CPU)",
     )
     enum.add_argument(
+        "--batch-target-ms",
+        type=float,
+        default=None,
+        metavar="MS",
+        help="target worker-compute duration of one sharded task batch "
+        "in milliseconds (default: 100).  The coordinator learns the "
+        "per-answer extend cost as the run progresses and sizes "
+        "batches to this duration; smaller values give finer-grained "
+        "work stealing and cheaper interrupts, larger values amortise "
+        "more per-batch IPC overhead.  The enumerated answer set is "
+        "identical for every value",
+    )
+    enum.add_argument(
         "--graph-backend",
         default="auto",
         choices=("auto", "indexed", "numpy"),
@@ -222,6 +235,9 @@ def _command_enumerate(args: argparse.Namespace) -> int:
     graph = load_graph(args.graph, args.format)
     print(f"{graph.summary()}; chordal: {is_chordal(graph)}")
     engine = EnumerationEngine(args.backend, workers=args.workers)
+    job_kwargs = {}
+    if args.batch_target_ms is not None:
+        job_kwargs["batch_target_ms"] = args.batch_target_ms
     job = EnumerationJob(
         graph,
         triangulator=args.triangulator,
@@ -229,6 +245,7 @@ def _command_enumerate(args: argparse.Namespace) -> int:
         checkpoint_path=args.checkpoint,
         resume=args.resume,
         graph_backend=args.graph_backend,
+        **job_kwargs,
     )
     best = None
     count = 0

@@ -8,11 +8,15 @@ registered backend:
 
 * ``serial``  — the single-process reference pipeline;
 * ``sharded`` — the answer queue Q partitioned across a
-  multiprocessing worker pool: separator sets travel as integer
-  bitmasks, each worker keeps a warm interned-separator/crossing-cache
-  SGR for its lifetime, deduplication is centralised in a coordinator,
-  and per-worker :class:`~repro.sgr.enum_mis.EnumMISStatistics` merge
-  into one aggregate report.
+  multiprocessing worker pool: the graph ships once per job as a
+  shared-memory packed adjacency segment, separator sets travel in the
+  interned packed wire format of :mod:`repro.engine.wire`, batches are
+  sized to the job's ``batch_target_ms`` by the cost-driven
+  :class:`~repro.engine.batching.AdaptiveBatcher`, each worker keeps a
+  warm interned-separator/crossing-cache SGR for its lifetime,
+  deduplication is centralised in a coordinator, and per-worker
+  :class:`~repro.sgr.enum_mis.EnumMISStatistics` — stage timers
+  included — merge into one aggregate report.
 
 Both backends enumerate exactly the same answer set — ``MaxInd`` of
 the separator graph is canonical, and only the execution strategy

@@ -34,25 +34,54 @@ file: it reports its control snapshot to a *sink* (one file may hold
 many region sections — see :mod:`repro.engine.checkpoint`) and is
 handed a pre-validated :class:`~repro.engine.checkpoint.CheckpointState`
 to resume from.
+
+Task sizing is delegated to an
+:class:`~repro.engine.batching.AdaptiveBatcher` (shared across the
+regions of one job): every completed batch reports its pair count,
+worker compute time and round-trip, and the next batch is sized to the
+job's target duration from the observed per-pair cost.  The same
+measurements are folded into the run statistics (``ipc_time_ns``,
+``ipc_payload_bytes``, ``batches_dispatched``), so the report and the
+policy can never disagree about what was observed.  Batches travel in
+the packed wire format of :mod:`repro.engine.wire` whenever the runner
+advertises it.
 """
 
 from __future__ import annotations
 
 import itertools
+import time
 from collections.abc import Callable, Iterator
 from concurrent.futures import FIRST_COMPLETED, Future, wait
+from typing import NamedTuple
 
 from repro.chordal.minimal_separators import minimal_separator_masks
 from repro.chordal.triangulate import Triangulator
 from repro.core.extend import extend_parallel_set
+from repro.engine.batching import AdaptiveBatcher
 from repro.engine.checkpoint import CheckpointError, CheckpointState
 from repro.engine.pool import InlineRunner, PoolRunner
 from repro.graph.graph import Graph
 from repro.sgr.enum_mis import EnumMISStatistics, _AnswerQueue
 
+try:  # numpy unavailable: the legacy tuple wire format only
+    from repro.engine import wire as _wire
+except ImportError:  # pragma: no cover - exercised on numpy-less installs
+    _wire = None
+
 __all__ = ["MISCoordinator"]
 
 Answer = frozenset[int]
+
+
+class _Inflight(NamedTuple):
+    """Bookkeeping for one dispatched batch."""
+
+    kind: str  # "pop" | "barrier"
+    answers: tuple[Answer, ...]
+    submitted_ns: int
+    sent_bytes: int
+    pairs: int
 
 
 class MISCoordinator:
@@ -83,6 +112,7 @@ class MISCoordinator:
         checkpoint=None,
         restore_state: CheckpointState | None = None,
         region_fingerprint: str = "",
+        batcher: AdaptiveBatcher | None = None,
     ) -> None:
         self._region = region
         self._region_mask = region_mask
@@ -93,6 +123,19 @@ class MISCoordinator:
         self._stats = stats if stats is not None else EnumMISStatistics()
         self._checkpoint = checkpoint
         self._region_fingerprint = region_fingerprint
+        self._batcher = (
+            batcher
+            if batcher is not None
+            else AdaptiveBatcher(getattr(runner, "workers", 1))
+        )
+        self._packed_wire = (
+            _wire is not None
+            and getattr(runner, "wire_format", "plain") == "packed"
+        )
+        if self._packed_wire:
+            from repro.graph.bitset_np import word_count
+
+            self._words = word_count(len(region.core.adj))
 
         self._queue = _AnswerQueue(priority)
         self._seen: set[Answer] = set()
@@ -100,8 +143,8 @@ class MISCoordinator:
         self._yielded: set[Answer] = set()
         self._known: list[int] = []
         self._exhausted = False
-        # future → ("pop" | "barrier", answers covered by the task)
-        self._inflight: dict[Future, tuple[str, tuple[Answer, ...]]] = {}
+        # future → the batch's dispatch bookkeeping
+        self._inflight: dict[Future, _Inflight] = {}
         # Popped from Q but not yet handed to the runner — still "queued"
         # as far as a checkpoint is concerned.
         self._popping: list[Answer] = []
@@ -114,26 +157,78 @@ class MISCoordinator:
             self._node_iterator = minimal_separator_masks(region)
 
     # ------------------------------------------------------------------
-    # Sizing policy
+    # Dispatch and collection (sizing policy lives in the batcher)
     # ------------------------------------------------------------------
 
-    def _pop_chunk_size(self, queued: int) -> int:
-        """Answers per dispatched task: keep every worker busy without
-        starving the pool of work items to steal."""
-        workers = self._runner.workers
-        if workers <= 1:
-            return 1
-        return max(1, min(16, queued // (2 * workers) or 1))
+    def _dispatch(
+        self,
+        kind: str,
+        answers: list[Answer],
+        directions: tuple[int, ...],
+    ) -> None:
+        """Encode and submit one batch; register it as in flight."""
+        answer_masks = [tuple(sorted(answer)) for answer in answers]
+        if self._packed_wire:
+            batch = _wire.encode_batch(
+                self._region_mask, answer_masks, directions, self._words
+            )
+            sent = batch.nbytes
+        else:
+            batch = (
+                self._region_mask,
+                [(masks, directions) for masks in answer_masks],
+            )
+            sent = 0
+        # Stamp *before* submitting: the inline runner executes the
+        # whole batch synchronously inside submit(), and its compute
+        # must land in the round-trip or the cost model sees zeros.
+        submitted = self._batcher.now()
+        future = self._runner.submit(batch)
+        self._inflight[future] = _Inflight(
+            kind=kind,
+            answers=tuple(answers),
+            submitted_ns=submitted,
+            sent_bytes=sent,
+            pairs=len(answers) * len(directions),
+        )
 
-    def _max_inflight(self) -> int:
-        workers = self._runner.workers
-        return 1 if workers <= 1 else workers * 3
+    def _collect(
+        self, future: Future, entry: _Inflight, collected_ns: int
+    ) -> list[Answer]:
+        """Decode one completed batch, meter it, absorb its answers.
 
-    def _barrier_chunks(self, answers: list[Answer]) -> Iterator[list[Answer]]:
-        workers = max(1, self._runner.workers)
-        size = max(1, min(32, -(-len(answers) // (4 * workers))))
-        for start in range(0, len(answers), size):
-            yield answers[start : start + size]
+        May raise (a broken pool surfaces through ``future.result()``);
+        the caller keeps ``entry`` registered in ``_inflight`` until
+        this returns, so a crash-time checkpoint still sees the batch
+        as in flight and requeues its answers instead of recording
+        them — result lost — as processed.
+        """
+        result = future.result()
+        if _wire is not None and isinstance(result, _wire.PackedResult):
+            candidates = _wire.decode_result(result)
+            delta = result.stats
+            compute_ns = result.compute_ns
+            received = result.nbytes
+        else:
+            # Legacy tuple format: the worker times its batch too, so
+            # a numpy-less *pool* runner still meters real IPC (only
+            # the payload-byte columns stay 0 — nothing packed to
+            # count).  For the inline runner compute ≈ round-trip and
+            # the IPC term is a few timer ticks.
+            candidates, delta, compute_ns = result
+            received = 0
+        # ``collected_ns`` is stamped once per wait() wake-up, before
+        # any answer of the round is yielded — round-trips must not
+        # absorb time the generator spends suspended in the consumer.
+        roundtrip = max(0, collected_ns - entry.submitted_ns)
+        compute_ns = min(compute_ns, roundtrip)
+        stats = self._stats
+        stats.ipc_time_ns += max(0, roundtrip - compute_ns)
+        stats.ipc_payload_bytes += entry.sent_bytes + received
+        stats.batches_dispatched += 1
+        stats.batch_roundtrip_ns += roundtrip
+        self._batcher.observe(entry.pairs, compute_ns)
+        return self._absorb(candidates, delta)
 
     # ------------------------------------------------------------------
     # Checkpointing
@@ -152,9 +247,9 @@ class MISCoordinator:
         # back to Q: in-flight task results would be lost, and a batch
         # interrupted mid-pop was never submitted at all.
         requeue: set[Answer] = set(self._popping)
-        for kind, answers in self._inflight.values():
-            if kind == "pop":
-                requeue.update(answers)
+        for entry in self._inflight.values():
+            if entry.kind == "pop":
+                requeue.update(entry.answers)
         known = list(self._known)
         if self._barrier_node is not None:
             known.remove(self._barrier_node)
@@ -210,14 +305,15 @@ class MISCoordinator:
     def _seed(self) -> Answer:
         """Compute Extend(∅) locally — the first answer of the run."""
         self._stats.extend_calls += 1
+        started = time.perf_counter_ns()
         family = extend_parallel_set(
             self._region, (), self._triangulator
         )
+        self._stats.extend_time_ns += time.perf_counter_ns() - started
         return frozenset(self._region.mask_of(sep) for sep in family)
 
-    def _absorb(self, result) -> list[Answer]:
+    def _absorb(self, candidates, delta) -> list[Answer]:
         """Fold a batch result into (stats, seen, Q); return new answers."""
-        candidates, delta = result
         self._stats.add(delta)
         fresh: list[Answer] = []
         for masks in candidates:
@@ -262,10 +358,16 @@ class MISCoordinator:
                     if answer not in self._yielded:
                         self._yielded.add(answer)
                         yield answer
+            batcher = self._batcher
             while True:
                 # Dispatch popped answers against the current V snapshot.
-                while len(queue) and len(inflight) < self._max_inflight():
-                    count = min(self._pop_chunk_size(len(queue)), len(queue))
+                while len(queue) and len(inflight) < batcher.max_inflight():
+                    count = min(
+                        batcher.pop_chunk_size(
+                            len(queue), len(self._known)
+                        ),
+                        len(queue),
+                    )
                     batch = self._popping
                     for __ in range(count):
                         batch.append(queue.pop())
@@ -273,27 +375,31 @@ class MISCoordinator:
                         if mode == "UP" and answer not in self._yielded:
                             self._yielded.add(answer)
                             yield answer
-                    known = tuple(self._known)
-                    jobs = [(tuple(sorted(a)), known) for a in batch]
-                    future = self._runner.submit((self._region_mask, jobs))
+                    self._dispatch("pop", batch, tuple(self._known))
                     # Only now is the batch safely in flight: answers
                     # move from "still queued" to "dispatched" together,
                     # so an interrupt mid-batch can never record an
                     # unprocessed answer as processed.
                     self._dispatched.update(batch)
-                    inflight[future] = ("pop", tuple(batch))
                     self._popping = []
 
                 if inflight:
                     done, __ = wait(inflight, return_when=FIRST_COMPLETED)
+                    collected_ns = batcher.now()
                     for future in done:
-                        kind, __answers = inflight.pop(future)
-                        for answer in self._absorb(future.result()):
+                        entry = inflight[future]
+                        # _collect may raise (broken pool); the entry
+                        # leaves _inflight only after its answers are
+                        # absorbed, so the crash-path checkpoint in the
+                        # finally clause below requeues the batch.
+                        fresh = self._collect(future, entry, collected_ns)
+                        del inflight[future]
+                        for answer in fresh:
                             if mode == "UG":
                                 self._yielded.add(answer)
                                 yield answer
-                        if kind == "barrier" and not any(
-                            k == "barrier" for k, _ in inflight.values()
+                        if entry.kind == "barrier" and not any(
+                            e.kind == "barrier" for e in inflight.values()
                         ):
                             self._barrier_node = None
                     self._maybe_checkpoint()
@@ -316,10 +422,11 @@ class MISCoordinator:
                     continue
                 self._barrier_node = v
                 targets = sorted(self._dispatched, key=sorted)
-                for chunk in self._barrier_chunks(targets):
-                    jobs = [(tuple(sorted(a)), (v,)) for a in chunk]
-                    future = self._runner.submit((self._region_mask, jobs))
-                    inflight[future] = ("barrier", tuple(chunk))
+                size = batcher.barrier_chunk_size(len(targets))
+                for start in range(0, len(targets), size):
+                    self._dispatch(
+                        "barrier", targets[start : start + size], (v,)
+                    )
         finally:
             if self._checkpoint is not None:
                 self._save_checkpoint()

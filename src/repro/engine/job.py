@@ -17,6 +17,7 @@ from pathlib import Path
 from repro.chordal.triangulate import Triangulator
 from repro.core.triangulation import Triangulation
 from repro.engine.base import EngineError
+from repro.engine.batching import DEFAULT_BATCH_TARGET_MS
 from repro.graph.graph import Graph
 
 __all__ = ["EnumerationJob"]
@@ -74,6 +75,15 @@ class EnumerationJob:
     workers:
         Worker-pool size hint for parallel backends; ``None`` lets the
         backend choose (``os.cpu_count()`` for ``sharded``).
+    batch_target_ms:
+        Worker-compute duration one sharded task batch is sized to
+        take (milliseconds).  The coordinator's
+        :class:`~repro.engine.batching.AdaptiveBatcher` learns the
+        per-(answer, direction)-pair extend cost from completed
+        batches and sizes the next batch to this target — lower values
+        mean finer-grained work stealing, cheaper interrupts and
+        fresher V-snapshots; higher values amortise more per-batch IPC
+        overhead.  Any value enumerates the same answer set.
     graph_backend:
         Graph-core representation: ``"indexed"`` (single-int bitmasks),
         ``"numpy"`` (packed uint64 word matrices for batch sweeps) or
@@ -95,6 +105,7 @@ class EnumerationJob:
     checkpoint_every: int = 64
     resume: bool = False
     workers: int | None = field(default=None)
+    batch_target_ms: float = DEFAULT_BATCH_TARGET_MS
     graph_backend: str = "auto"
 
     def validate(self) -> None:
@@ -116,6 +127,8 @@ class EnumerationJob:
             raise EngineError("checkpoint_every must be positive")
         if self.workers is not None and self.workers < 0:
             raise EngineError("workers must be >= 0")
+        if self.batch_target_ms <= 0:
+            raise EngineError("batch_target_ms must be positive")
         if self.resume and self.checkpoint_path is None:
             raise EngineError("resume=True requires checkpoint_path")
         if self.graph_backend not in _GRAPH_BACKENDS:

@@ -2,24 +2,38 @@
 
 Protocol
 --------
-The coordinator ships a *graph payload* once per worker (dense label
-list + bitmask adjacency, so the rebuilt graph has **identical** vertex
-indices) and then streams *task batches*.  A task batch is::
+The coordinator ships a *graph payload* once per worker and then
+streams *task batches*.
 
-    (region_mask, [(answer_masks, direction_masks), ...])
+The payload (:class:`GraphPayload`) carries the graph as its packed
+``uint64`` adjacency word matrix (dense label list + alive mask + the
+triangulator spec + the graph-core backend name ride along, so the
+rebuilt graph has **identical** vertex indices and runs on the same
+core class the coordinator selected).  For a worker pool the matrix
+lives in a ``multiprocessing.shared_memory`` segment
+(:class:`~repro.graph.bitset_np.SharedPackedBuffer`): the pickle
+channel moves only the segment name and shape, every worker maps the
+same physical pages read-only, and a numpy-backed worker adopts the
+mapping directly as its core's packed mirror — zero copies of the
+adjacency anywhere.  The runner that created the segment owns its
+lifetime and unlinks it on close, interrupt and crash-unwind paths;
+workers only ever map it (see ``SharedPackedBuffer`` for the
+resource-tracker discipline).  When numpy is unavailable the payload
+degrades to the original dense int-mask form.
 
-where ``region_mask`` selects the induced subgraph being enumerated
-(connected component or atom — the full graph in the common case) and
-each job asks: for this answer J (a tuple of separator masks) and each
+Task batches travel in the packed wire format of
+:mod:`repro.engine.wire` — per-batch interned mask tables with
+``uint32`` references, one contiguous buffer each way — or, for
+in-process execution where nothing is pickled, as the legacy
+``(region_mask, [(answer_masks, direction_masks), ...])`` tuples.
+Each job asks: for this answer J (a tuple of separator masks) and each
 direction node v (a separator mask), compute
 ``Extend({v} ∪ {u ∈ J : ¬(v ♮ u)})``.  The worker returns one extended
-answer per (J, v) pair — as a sorted tuple of separator masks — plus an
+answer per (J, v) pair plus an
 :class:`~repro.sgr.enum_mis.EnumMISStatistics` delta covering exactly
-that batch, which the coordinator folds into the run aggregate.
-
-Everything crossing the process boundary is tuples of ints, so IPC cost
-is a pickle of a few machine words per separator regardless of label
-types.
+that batch — including the ``extend_time_ns`` / ``crossing_time_ns``
+stage timers the coordinator's adaptive batcher feeds on — which the
+coordinator folds into the run aggregate.
 
 Each worker keeps one :class:`~repro.sgr.separator_graph.MinimalSeparatorSGR`
 per region for its whole lifetime, so the interned separator table and
@@ -40,7 +54,9 @@ single collection path.
 from __future__ import annotations
 
 import os
+import time
 from concurrent.futures import Future, ProcessPoolExecutor
+from dataclasses import dataclass, replace
 from typing import Hashable
 
 from repro.chordal.triangulate import Triangulator, get_triangulator
@@ -49,6 +65,13 @@ from repro.graph.core import IndexedGraph, NodeInterner, iter_bits
 from repro.graph.graph import Graph
 from repro.sgr.enum_mis import EnumMISStatistics
 from repro.sgr.separator_graph import MinimalSeparatorSGR
+
+try:  # numpy unavailable: int-mask payloads, legacy wire format
+    from repro.graph import bitset_np as _bitset
+    from repro.engine import wire as _wire
+except ImportError:  # pragma: no cover - exercised on numpy-less installs
+    _bitset = None
+    _wire = None
 
 __all__ = [
     "GraphPayload",
@@ -61,17 +84,35 @@ __all__ = [
 
 # (answer separator masks, direction separator masks)
 TaskJob = tuple[tuple[int, ...], tuple[int, ...]]
-# (region mask, jobs)
+# Legacy/in-process batch: (region mask, jobs)
 TaskBatch = tuple[int, list[TaskJob]]
-# (one extended answer per (answer, direction) pair, stats delta)
-BatchResult = tuple[list[tuple[int, ...]], EnumMISStatistics]
+# Legacy/in-process result: (one extended answer per (answer,
+# direction) pair, stats delta, worker compute time in ns — timed in
+# the worker so a numpy-less pool still meters round-trip − compute
+# as IPC)
+BatchResult = tuple[list[tuple[int, ...]], EnumMISStatistics, int]
 
-# (labels, adjacency masks, alive mask, triangulator spec, graph-core
-# backend name) — the last element makes workers rebuild the graph on
-# the same core class (indexed / numpy) the coordinator selected.
-GraphPayload = tuple[
-    list[Hashable], list[int], int, "str | Triangulator", str
-]
+
+@dataclass(frozen=True)
+class GraphPayload:
+    """Everything a worker needs to rebuild the coordinator's graph.
+
+    Exactly one of the adjacency carriers is set: ``shm_name`` (packed
+    matrix in a shared-memory segment — the pool path), ``packed``
+    (the same matrix inline as bytes — in-process runners, tests) or
+    ``adj`` (dense int masks — the numpy-less fallback).
+    """
+
+    labels: tuple[Hashable, ...]
+    alive: int
+    num_edges: int
+    triangulator: "str | Triangulator"
+    backend: str
+    rows: int
+    words: int
+    shm_name: str | None = None
+    packed: bytes | None = None
+    adj: tuple[int, ...] | None = None
 
 
 def default_worker_count() -> int:
@@ -110,44 +151,90 @@ def triangulator_spec(
 def make_payload(
     graph: Graph, triangulator: str | Triangulator
 ) -> GraphPayload:
-    """Snapshot ``graph`` for worker-side reconstruction."""
-    core = graph.core
-    try:
-        from repro.graph.bitset_np import core_backend_name
+    """Snapshot ``graph`` for worker-side reconstruction.
 
-        backend = core_backend_name(core)
-    except ImportError:  # numpy unavailable: only the int-mask core exists
-        backend = "indexed"
-    return (
-        graph.interner.labels_dense,
-        list(core.adj),
-        core.alive,
-        triangulator_spec(triangulator),
-        backend,
+    The returned payload carries the adjacency inline (packed bytes,
+    or int masks without numpy); :class:`PoolRunner` promotes it to a
+    shared-memory segment before the pickle channel ever sees it.
+    """
+    core = graph.core
+    labels = tuple(graph.interner.labels_dense)
+    spec = triangulator_spec(triangulator)
+    if _bitset is None:
+        return GraphPayload(
+            labels=labels,
+            alive=core.alive,
+            num_edges=core.num_edges,
+            triangulator=spec,
+            backend="indexed",
+            rows=len(core.adj),
+            words=0,
+            adj=tuple(core.adj),
+        )
+    words = _bitset.word_count(len(core.adj))
+    packed = _bitset.pack_masks(core.adj, words)
+    return GraphPayload(
+        labels=labels,
+        alive=core.alive,
+        num_edges=core.num_edges,
+        triangulator=spec,
+        backend=_bitset.core_backend_name(core),
+        rows=len(core.adj),
+        words=words,
+        packed=packed.tobytes(),
     )
 
 
 def _rebuild_graph(
-    labels: list[Hashable], adj: list[int], alive: int, backend: str
-) -> Graph:
-    core = IndexedGraph.__new__(IndexedGraph)
-    core.adj = list(adj)
-    core.alive = alive
-    core.num_edges = sum(adj[i].bit_count() for i in iter_bits(alive)) // 2
-    if backend != "indexed":
-        from repro.graph.bitset_np import GRAPH_BACKENDS
+    payload: GraphPayload,
+) -> tuple[Graph, "object | None"]:
+    """Reconstruct the coordinator's graph from a payload.
 
-        core = GRAPH_BACKENDS[backend].from_indexed(core)
-    return Graph._from_parts(core, NodeInterner.from_dense(labels, alive))
+    Returns ``(graph, shared_buffer)``; the buffer (when the payload
+    named a shared segment) must stay referenced for the graph's
+    lifetime — its mapping backs the core's packed mirror.
+    """
+    buffer = None
+    if payload.adj is not None:
+        adj = list(payload.adj)
+        matrix = None
+    else:
+        assert _bitset is not None, "packed payload without numpy"
+        if payload.shm_name is not None:
+            buffer = _bitset.SharedPackedBuffer.attach(
+                payload.shm_name, payload.rows, payload.words
+            )
+            matrix = buffer.matrix
+        else:
+            import numpy as np
+
+            matrix = np.frombuffer(
+                payload.packed, dtype=np.dtype("<u8")
+            ).reshape(payload.rows, payload.words)
+        adj = None
+    if payload.backend != "indexed" and matrix is not None:
+        core = _bitset.NumpyGraphCore.from_packed(
+            matrix, payload.alive, payload.num_edges
+        )
+    else:
+        core = IndexedGraph.__new__(IndexedGraph)
+        core.adj = (
+            adj if adj is not None else _bitset.unpack_rows(matrix)
+        )
+        core.alive = payload.alive
+        core.num_edges = payload.num_edges
+        if payload.backend != "indexed":
+            core = _bitset.GRAPH_BACKENDS[payload.backend].from_indexed(core)
+    interner = NodeInterner.from_dense(list(payload.labels), payload.alive)
+    return Graph._from_parts(core, interner), buffer
 
 
 class _WorkerState:
     """Per-process state: the graph plus one warm SGR per region."""
 
     def __init__(self, payload: GraphPayload) -> None:
-        labels, adj, alive, triangulator, backend = payload
-        self.graph = _rebuild_graph(labels, adj, alive, backend)
-        self.triangulator = get_triangulator(triangulator)
+        self.graph, self._buffer = _rebuild_graph(payload)
+        self.triangulator = get_triangulator(payload.triangulator)
         # region mask → (region graph, SGR, mask → separator cache)
         self._regions: dict[
             int, tuple[Graph, MinimalSeparatorSGR, dict[int, frozenset]]
@@ -169,14 +256,18 @@ class _WorkerState:
             self._regions[region_mask] = entry
         return entry
 
-    def run_batch(self, batch: TaskBatch) -> BatchResult:
-        region_mask, jobs = batch
+    def _execute(
+        self,
+        region_mask: int,
+        jobs: "list[TaskJob]",
+        stats: EnumMISStatistics,
+    ) -> list[tuple[int, ...]]:
         region, sgr, separator_of = self._region(region_mask)
-        stats = EnumMISStatistics()
         sgr.attach_statistics(stats)
         has_edges_batch = sgr.has_edges_batch
         label_set = region.label_set
         mask_of = region.mask_of
+        clock = time.perf_counter_ns
         out: list[tuple[int, ...]] = []
         for answer_masks, direction_masks in jobs:
             answer = []
@@ -191,16 +282,45 @@ class _WorkerState:
                 if v is None:
                     v = label_set(v_mask)
                     separator_of[v_mask] = v
+                started = clock()
                 crossed = has_edges_batch(v, answer)
+                stats.crossing_time_ns += clock() - started
                 stats.edge_oracle_calls += len(answer)
                 kept = {u for u, edge in zip(answer, crossed) if not edge}
                 kept.add(v)
                 stats.extend_calls += 1
+                started = clock()
                 extended = sgr.extend(frozenset(kept))
+                stats.extend_time_ns += clock() - started
                 out.append(
                     tuple(sorted(mask_of(sep) for sep in extended))
                 )
-        return out, stats
+        return out
+
+    def run_batch(self, batch) -> "BatchResult | object":
+        """Execute one batch in either wire format.
+
+        Packed batches answer in kind (so the result pickles small);
+        legacy tuples answer with an ``(answers, stats, compute_ns)``
+        triple.  Both carry the worker's measured batch compute time,
+        which the coordinator subtracts from the observed round-trip
+        to meter pure IPC.
+        """
+        stats = EnumMISStatistics()
+        started = time.perf_counter_ns()
+        if _wire is not None and isinstance(batch, _wire.PackedBatch):
+            region_mask, answers, directions = _wire.decode_batch(batch)
+            jobs = [(answer, directions) for answer in answers]
+            out = self._execute(region_mask, jobs, stats)
+            return _wire.encode_result(
+                out,
+                batch.words,
+                time.perf_counter_ns() - started,
+                stats,
+            )
+        region_mask, jobs = batch
+        out = self._execute(region_mask, jobs, stats)
+        return out, stats, time.perf_counter_ns() - started
 
 
 _WORKER_STATE: _WorkerState | None = None
@@ -211,15 +331,20 @@ def _init_worker(payload: GraphPayload) -> None:
     _WORKER_STATE = _WorkerState(payload)
 
 
-def _run_batch(batch: TaskBatch) -> BatchResult:
+def _run_batch(batch):
     assert _WORKER_STATE is not None, "worker initializer did not run"
     return _WORKER_STATE.run_batch(batch)
 
 
 class InlineRunner:
-    """Synchronous runner: tasks execute immediately in this process."""
+    """Synchronous runner: tasks execute immediately in this process.
+
+    Uses the legacy tuple wire format — nothing crosses a process
+    boundary, so interning and packing would be pure overhead.
+    """
 
     workers = 1
+    wire_format = "plain"
 
     def __init__(self, payload: GraphPayload) -> None:
         self._state = _WorkerState(payload)
@@ -237,12 +362,35 @@ class InlineRunner:
 
 
 class PoolRunner:
-    """Runner backed by a ``ProcessPoolExecutor`` of warm workers."""
+    """Runner backed by a ``ProcessPoolExecutor`` of warm workers.
+
+    Owns the shared-memory graph segment: the inline payload is
+    promoted to a :class:`~repro.graph.bitset_np.SharedPackedBuffer`
+    before the pool starts, and the segment is unlinked exactly once in
+    :meth:`close` — which the coordinator assembly calls on normal
+    exhaustion, generator close, ``KeyboardInterrupt`` and worker-crash
+    unwind alike.  A worker killed outside Python leaves only its own
+    mapping behind, which the kernel reclaims with the process.
+    """
+
+    wire_format = "plain"
 
     def __init__(self, payload: GraphPayload, workers: int) -> None:
         if workers < 1:
             raise EngineError("sharded execution needs at least 1 worker")
         self.workers = workers
+        self._buffer = None
+        if _bitset is not None and payload.packed is not None:
+            import numpy as np
+
+            matrix = np.frombuffer(
+                payload.packed, dtype=np.dtype("<u8")
+            ).reshape(payload.rows, payload.words)
+            self._buffer = _bitset.SharedPackedBuffer.create(matrix)
+            payload = replace(
+                payload, packed=None, shm_name=self._buffer.name
+            )
+            self.wire_format = "packed"
         try:
             self._executor = ProcessPoolExecutor(
                 max_workers=workers,
@@ -250,13 +398,22 @@ class PoolRunner:
                 initargs=(payload,),
             )
         except Exception as exc:  # pragma: no cover - platform-specific
+            self._release_buffer()
             raise EngineError(
                 f"could not start worker pool ({exc}); custom "
                 "triangulators must be picklable to shard"
             ) from exc
 
-    def submit(self, batch: TaskBatch) -> "Future[BatchResult]":
+    def _release_buffer(self) -> None:
+        buffer, self._buffer = self._buffer, None
+        if buffer is not None:
+            buffer.unlink()
+
+    def submit(self, batch) -> "Future":
         return self._executor.submit(_run_batch, batch)
 
     def close(self) -> None:
-        self._executor.shutdown(wait=True, cancel_futures=True)
+        try:
+            self._executor.shutdown(wait=True, cancel_futures=True)
+        finally:
+            self._release_buffer()

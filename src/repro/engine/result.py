@@ -45,6 +45,28 @@ class EnumerationResult:
         return len(self.records)
 
     @property
+    def mean_batch_latency(self) -> float:
+        """Mean dispatch → completion time of one task batch, seconds.
+
+        0.0 when the run dispatched no batches (plain serial jobs
+        bypass the coordinator entirely).
+        """
+        if not self.stats.batches_dispatched:
+            return 0.0
+        return (
+            self.stats.batch_roundtrip_ns
+            / self.stats.batches_dispatched
+            / 1e9
+        )
+
+    @property
+    def ipc_payload_bytes_per_batch(self) -> float:
+        """Mean wire bytes (both directions) per dispatched batch."""
+        if not self.stats.batches_dispatched:
+            return 0.0
+        return self.stats.ipc_payload_bytes / self.stats.batches_dispatched
+
+    @property
     def min_width(self) -> int:
         """Best width observed (-1 when no answers)."""
         return min((r.width for r in self.records), default=-1)

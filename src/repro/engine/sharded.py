@@ -29,6 +29,7 @@ from collections.abc import Callable, Iterator
 from repro.core.ranked import _resolve_cost
 from repro.core.triangulation import Triangulation
 from repro.engine.base import EngineError, EnumerationBackend, register_backend
+from repro.engine.batching import AdaptiveBatcher
 from repro.engine.checkpoint import (
     CheckpointDocument,
     CheckpointError,
@@ -164,6 +165,12 @@ def coordinated_stream(
 
     payload = make_payload(graph, job.triangulator)
     runner = runner_factory(payload)
+    # One batcher for the whole job: the per-pair cost model learned on
+    # one region transfers to the next (same graph family, same
+    # triangulator), and the IPC/latency report covers the run.
+    batcher = AdaptiveBatcher(
+        getattr(runner, "workers", 1), target_ms=job.batch_target_ms
+    )
     try:
         if not multi_region:
             # Enumerate over the original graph object so yielded
@@ -194,6 +201,7 @@ def coordinated_stream(
                 checkpoint=sink,
                 restore_state=restore,
                 region_fingerprint=fingerprint,
+                batcher=batcher,
             )
             if sink is not None:
                 sink.attach(coordinator)
@@ -240,6 +248,7 @@ def coordinated_stream(
                 checkpoint=sink,
                 restore_state=restores[index],
                 region_fingerprint=fingerprints[index],
+                batcher=batcher,
             )
             for index, region in enumerate(region_graphs)
         ]

@@ -56,20 +56,23 @@ on mutation, rebuilt on demand — so correctness never depends on them.
 from __future__ import annotations
 
 from collections.abc import Iterable
+from multiprocessing import shared_memory
 
 import numpy as np
 
-from repro.graph.core import IndexedGraph, bit_list
+from repro.graph.core import IndexedGraph, bit_list, iter_bits
 
 __all__ = [
     "WORD_BITS",
     "NUMPY_THRESHOLD",
+    "NARROW_MAX_DEGREE",
     "GRAPH_BACKENDS",
     "word_count",
     "pack_mask",
     "pack_masks",
     "zero_matrix",
     "unpack_row",
+    "unpack_rows",
     "popcount",
     "crossing_batch",
     "mask_to_indices",
@@ -82,6 +85,7 @@ __all__ = [
     "weight_level_rows",
     "PackedMCSQueue",
     "packed_view",
+    "SharedPackedBuffer",
     "NumpyGraphCore",
     "select_core_class",
     "core_backend_name",
@@ -94,6 +98,13 @@ WORD_BITS = 64
 #: single-int masks fit in a few machine words and the per-call numpy
 #: overhead outweighs the vectorization win.
 NUMPY_THRESHOLD = 1500
+
+#: Maximum degree up to which a graph counts as *narrow* for the
+#: width-adaptive kernel gate: every component of a max-degree-≤2 graph
+#: is a path or a cycle, so BFS/sweep frontiers never exceed 2 vertices
+#: and the packed kernels have nothing to vectorize (they only pay
+#: their per-round dispatch overhead, ~10 % on long cycles).
+NARROW_MAX_DEGREE = 2
 
 _WORD_DTYPE = np.dtype("<u8")
 
@@ -135,6 +146,23 @@ def unpack_row(row: np.ndarray) -> int:
     return int.from_bytes(
         np.ascontiguousarray(row, dtype=_WORD_DTYPE).tobytes(), "little"
     )
+
+
+def unpack_rows(packed: np.ndarray) -> list[int]:
+    """Unpack an ``(m, words)`` matrix back into m int bitmasks.
+
+    One ``tobytes`` for the whole matrix plus one ``int.from_bytes``
+    per row — the bulk inverse of :func:`pack_masks`, used by sharded
+    workers to rebuild their int-mask adjacency from a shipped packed
+    matrix without unpickling m big ints.
+    """
+    nbytes = packed.shape[1] * 8
+    buffer = np.ascontiguousarray(packed, dtype=_WORD_DTYPE).tobytes()
+    from_bytes = int.from_bytes
+    return [
+        from_bytes(buffer[start : start + nbytes], "little")
+        for start in range(0, len(buffer), nbytes)
+    ]
 
 
 def popcount(packed: np.ndarray) -> np.ndarray:
@@ -395,6 +423,111 @@ class PackedMCSQueue:
         self._key[idx] += self._stride
 
 
+# ----------------------------------------------------------------------
+# Shared-memory packed buffers (zero-copy worker payloads)
+# ----------------------------------------------------------------------
+
+
+def _attach_segment(name: str) -> shared_memory.SharedMemory:
+    """Attach to an existing segment without resource-tracker ownership.
+
+    Ownership is explicit here: the creator unlinks, attachers only
+    close.  On Python ≥ 3.13 ``track=False`` keeps an attach from
+    registering with the resource tracker at all.  Before 3.13 every
+    attach registers — but our attachers are exclusively
+    ``multiprocessing`` children of the creator, which share the
+    creator's tracker process, so the re-registration is idempotent
+    (the tracker keeps a set) and the creator's ``unlink`` removes the
+    single entry.  Explicitly unregistering from a worker would be
+    *wrong* with a shared tracker: it would erase the creator's
+    registration and forfeit the kill-backstop (the tracker unlinking
+    the segment if the creator dies before ``unlink``).
+    """
+    try:
+        return shared_memory.SharedMemory(name=name, track=False)
+    except TypeError:  # Python < 3.13: no ``track`` parameter
+        return shared_memory.SharedMemory(name=name)
+
+
+class SharedPackedBuffer:
+    """One packed ``uint64`` matrix in a ``multiprocessing`` shared segment.
+
+    The zero-copy transport of the sharded engine's graph payload: the
+    coordinator :meth:`create`\\ s the segment once (copying the packed
+    adjacency in), ships only the segment *name* plus the matrix shape
+    through the pickle channel, and each worker :meth:`attach`\\ es and
+    maps :attr:`matrix` as a read-only view — no per-worker unpickle of
+    n big-int masks, no per-worker copy of the adjacency.
+
+    Lifecycle is explicitly single-owner: the creating process calls
+    :meth:`unlink` exactly once (the pool runner does so on close,
+    interrupt and crash-unwind paths), attached processes only ever
+    :meth:`close` their mapping.  Attaching never registers with the
+    resource tracker (see :func:`_attach_segment`), so a worker killed
+    mid-task leaves nothing behind for the tracker to double-free; a
+    coordinator killed before ``unlink`` is backstopped by its own
+    tracker, which still knows about the created segment.
+    """
+
+    __slots__ = ("_segment", "matrix", "owner", "name")
+
+    def __init__(
+        self,
+        segment: shared_memory.SharedMemory,
+        rows: int,
+        words: int,
+        owner: bool,
+    ) -> None:
+        self._segment = segment
+        self.owner = owner
+        self.name = segment.name
+        matrix = np.frombuffer(
+            segment.buf, dtype=_WORD_DTYPE, count=rows * words
+        ).reshape(rows, words)
+        # Writes belong to the creator, before sharing; a stray write
+        # from an attached process would corrupt every other worker.
+        matrix.flags.writeable = False
+        self.matrix = matrix
+
+    @classmethod
+    def create(cls, packed: np.ndarray) -> "SharedPackedBuffer":
+        """Allocate a segment and copy ``packed`` into it (owner side)."""
+        packed = np.ascontiguousarray(packed, dtype=_WORD_DTYPE)
+        segment = shared_memory.SharedMemory(
+            create=True, size=max(1, packed.nbytes)
+        )
+        view = np.frombuffer(
+            segment.buf, dtype=_WORD_DTYPE, count=packed.size
+        ).reshape(packed.shape)
+        view[:] = packed
+        return cls(segment, packed.shape[0], packed.shape[1], owner=True)
+
+    @classmethod
+    def attach(cls, name: str, rows: int, words: int) -> "SharedPackedBuffer":
+        """Map an existing segment read-only (worker side)."""
+        return cls(_attach_segment(name), rows, words, owner=False)
+
+    def close(self) -> None:
+        """Drop this process's mapping (the segment itself survives)."""
+        # The numpy view exports a pointer into the mapping; release
+        # ours first, and tolerate views still held elsewhere (the
+        # mapping then lives until those are collected — ``unlink``
+        # below does not depend on the mapping being closed).
+        self.matrix = None
+        try:
+            self._segment.close()
+        except BufferError:  # pragma: no cover - caller kept a view
+            pass
+
+    def unlink(self) -> None:
+        """Destroy the segment system-wide (owner side, exactly once)."""
+        self.close()
+        try:
+            self._segment.unlink()
+        except FileNotFoundError:  # pragma: no cover - already gone
+            pass
+
+
 class NumpyGraphCore(IndexedGraph):
     """An ``IndexedGraph`` with a packed adjacency matrix for batch ops.
 
@@ -407,7 +540,7 @@ class NumpyGraphCore(IndexedGraph):
     nodes.
     """
 
-    __slots__ = ("_packed",)
+    __slots__ = ("_packed", "_narrow")
 
     #: Minimum number of rows in a sweep before the packed matrix is
     #: used; below it the inherited int-mask loop is faster.
@@ -416,6 +549,7 @@ class NumpyGraphCore(IndexedGraph):
     def __init__(self, num_vertices: int = 0) -> None:
         super().__init__(num_vertices)
         self._packed: np.ndarray | None = None
+        self._narrow: bool | None = None
 
     @classmethod
     def from_indexed(cls, core: IndexedGraph) -> "NumpyGraphCore":
@@ -425,6 +559,7 @@ class NumpyGraphCore(IndexedGraph):
         clone.alive = core.alive
         clone.num_edges = core.num_edges
         clone._packed = None
+        clone._narrow = None
         return clone
 
     @classmethod
@@ -436,7 +571,55 @@ class NumpyGraphCore(IndexedGraph):
         clone.alive = core.alive
         clone.num_edges = core.num_edges
         clone._packed = None
+        clone._narrow = None
         return clone
+
+    @classmethod
+    def from_packed(
+        cls, packed: np.ndarray, alive: int, num_edges: int
+    ) -> "NumpyGraphCore":
+        """Build a core over an already-packed adjacency matrix.
+
+        The int-mask ``adj`` rows are bulk-unpacked from the matrix and
+        ``packed`` itself — typically a read-only view over a
+        :class:`SharedPackedBuffer` — is adopted as the live mirror, so
+        a sharded worker starts with its batch matrix warm and shares
+        the underlying pages with every other worker.  A read-only
+        mirror is safe: the one in-place mutation path
+        (:meth:`saturate`) detaches onto a private copy first.
+        """
+        clone = cls.__new__(cls)
+        clone.adj = unpack_rows(packed)
+        clone.alive = alive
+        clone.num_edges = num_edges
+        clone._packed = packed
+        clone._narrow = None
+        return clone
+
+    def is_narrow(self) -> bool:
+        """Whether every live vertex has degree ≤ :data:`NARROW_MAX_DEGREE`.
+
+        The width-adaptive gate of the packed Extend kernels: narrow
+        graphs (disjoint paths and cycles) keep every sweep frontier at
+        ≤ 2 vertices, so :func:`packed_view` routes them back to the
+        int-mask reference path.  The verdict is cached until the next
+        mutation (``packed_view`` runs once per LB-Triang step, and a
+        wide graph whose low-index vertices happen to form a long
+        degree-2 tail would otherwise pay a near-full scan per call);
+        on a miss, any vertex of higher degree exits the scan
+        immediately, so the compute is O(1) on typical wide graphs and
+        O(n) only for graphs that are narrow or nearly so.
+        """
+        narrow = self._narrow
+        if narrow is None:
+            adj = self.adj
+            narrow = True
+            for i in iter_bits(self.alive):
+                if adj[i].bit_count() > NARROW_MAX_DEGREE:
+                    narrow = False
+                    break
+            self._narrow = narrow
+        return narrow
 
     # -- cache maintenance ---------------------------------------------
 
@@ -449,18 +632,22 @@ class NumpyGraphCore(IndexedGraph):
 
     def add_vertex(self, index: int | None = None) -> int:
         self._packed = None
+        self._narrow = None
         return super().add_vertex(index)
 
     def remove_vertex(self, index: int) -> None:
         self._packed = None
+        self._narrow = None
         super().remove_vertex(index)
 
     def add_edge(self, u: int, v: int) -> bool:
         self._packed = None
+        self._narrow = None
         return super().add_edge(u, v)
 
     def remove_edge(self, u: int, v: int) -> bool:
         self._packed = None
+        self._narrow = None
         return super().remove_edge(u, v)
 
     def saturate(self, mask: int) -> list[tuple[int, int]]:
@@ -475,11 +662,19 @@ class NumpyGraphCore(IndexedGraph):
         vectorized :func:`saturate_batch` kernel; the inherited
         int-mask scan remains the reference path.
         """
+        # Saturation raises degrees, which can flip a narrow graph
+        # wide; drop the cached gate verdict like every other mutator.
+        self._narrow = None
         packed = self._packed
         if packed is not None and packed.shape[0] != len(self.adj):
             packed = self._packed = None
         if packed is None:
             return super().saturate(mask)
+        if not packed.flags.writeable:
+            # Shared (or otherwise read-only) mirror: detach onto a
+            # private copy before the first in-place fill — sharded
+            # workers must never write into the coordinator's segment.
+            packed = self._packed = packed.copy()
         if mask.bit_count() < self._MIN_GATHER:
             added = super().saturate(mask)
             if added:
@@ -590,8 +785,15 @@ def packed_view(core: IndexedGraph) -> np.ndarray | None:
     reference oracles for plain :class:`~repro.graph.core.IndexedGraph`
     cores.  The returned matrix is the core's live mirror — treat it
     as read-only and do not hold it across mutations.
+
+    The call is also the *width-adaptive gate*: a numpy-backed core
+    whose live graph is narrow (:meth:`NumpyGraphCore.is_narrow` —
+    disjoint paths/cycles, frontier width ≤ 2) answers ``None`` so deep
+    narrow inputs run the int-mask path and skip the ~10 % per-round
+    packed-dispatch overhead they could never amortise.  The gate only
+    steers kernel selection; both paths compute identical results.
     """
-    if isinstance(core, NumpyGraphCore):
+    if isinstance(core, NumpyGraphCore) and not core.is_narrow():
         return core._matrix()
     return None
 

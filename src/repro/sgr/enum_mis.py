@@ -35,6 +35,7 @@ from __future__ import annotations
 
 import heapq
 import itertools
+import time
 from collections import deque
 from collections.abc import Callable, Iterable, Iterator
 from dataclasses import dataclass, field
@@ -55,6 +56,24 @@ class EnumMISStatistics:
     An instance may be passed to
     :func:`enumerate_maximal_independent_sets`, which updates it in
     place while running.
+
+    Besides the event counters, three *stage timers* break the run down
+    into its pipeline stages, in integer nanoseconds: ``extend_time_ns``
+    (the ``Extend`` triangulation), ``crossing_time_ns`` (the direction
+    edge-oracle sweeps) and ``ipc_time_ns`` (everything a task batch
+    spends off-CPU between the sharded coordinator and its workers —
+    pickling, transport, and queueing behind other in-flight batches;
+    ~0 for in-process execution).  ``ipc_time_ns`` sums per-batch
+    round-trip − compute over batches that are deliberately pipelined
+    several deep per worker, so concurrent waits overlap and the total
+    can exceed the run's wall clock — it is a queueing-theory quantity
+    (mean off-CPU latency × batch count), not a share of elapsed time.
+    The serial pipeline and the sharded workers fill the same fields,
+    so serial-vs-sharded comparisons share a vocabulary, and the
+    sharded coordinator's adaptive batcher feeds on the same
+    measurements it reports.  ``ipc_payload_bytes`` /
+    ``batches_dispatched`` / ``batch_roundtrip_ns`` size the wire
+    traffic behind ``ipc_time_ns``.
     """
 
     extend_calls: int = 0
@@ -67,7 +86,34 @@ class EnumMISStatistics:
     edge_cache_hits: int = 0
     edge_cache_misses: int = 0
     edge_cache_evictions: int = 0
+    # Stage timers (ns) and sharded-engine wire accounting.
+    extend_time_ns: int = 0
+    crossing_time_ns: int = 0
+    ipc_time_ns: int = 0
+    ipc_payload_bytes: int = 0
+    batches_dispatched: int = 0
+    batch_roundtrip_ns: int = 0
     redundant_extensions: dict[str, int] = field(default_factory=dict)
+
+    #: Every scalar counter, in snapshot order.  snapshot/add/restore
+    #: iterate this single list so a newly added counter cannot be
+    #: summed but silently dropped from checkpoints (or vice versa).
+    _SCALAR_FIELDS = (
+        "extend_calls",
+        "edge_oracle_calls",
+        "nodes_generated",
+        "answers",
+        "duplicates_suppressed",
+        "edge_cache_hits",
+        "edge_cache_misses",
+        "edge_cache_evictions",
+        "extend_time_ns",
+        "crossing_time_ns",
+        "ipc_time_ns",
+        "ipc_payload_bytes",
+        "batches_dispatched",
+        "batch_roundtrip_ns",
+    )
 
     def snapshot(self) -> dict:
         """Return the counters as a plain (JSON-safe) dict.
@@ -75,33 +121,21 @@ class EnumMISStatistics:
         ``redundant_extensions`` is copied, so mutating the live object
         after snapshotting does not corrupt a saved checkpoint.
         """
-        return {
-            "extend_calls": self.extend_calls,
-            "edge_oracle_calls": self.edge_oracle_calls,
-            "nodes_generated": self.nodes_generated,
-            "answers": self.answers,
-            "duplicates_suppressed": self.duplicates_suppressed,
-            "edge_cache_hits": self.edge_cache_hits,
-            "edge_cache_misses": self.edge_cache_misses,
-            "edge_cache_evictions": self.edge_cache_evictions,
-            "redundant_extensions": dict(self.redundant_extensions),
-        }
+        counters = {name: getattr(self, name) for name in self._SCALAR_FIELDS}
+        counters["redundant_extensions"] = dict(self.redundant_extensions)
+        return counters
 
     def add(self, other: "EnumMISStatistics") -> None:
         """Accumulate another statistics object into this one, in place.
 
         Scalar counters are summed and ``redundant_extensions`` maps are
         merged key-wise.  This is how the sharded enumeration engine
-        folds per-worker counters into the run's aggregate report.
+        folds per-worker counters into the run's aggregate report (the
+        stage timers sum too: each records CPU-stage time that elapsed
+        in exactly one worker or in the coordinator).
         """
-        self.extend_calls += other.extend_calls
-        self.edge_oracle_calls += other.edge_oracle_calls
-        self.nodes_generated += other.nodes_generated
-        self.answers += other.answers
-        self.duplicates_suppressed += other.duplicates_suppressed
-        self.edge_cache_hits += other.edge_cache_hits
-        self.edge_cache_misses += other.edge_cache_misses
-        self.edge_cache_evictions += other.edge_cache_evictions
+        for name in self._SCALAR_FIELDS:
+            setattr(self, name, getattr(self, name) + getattr(other, name))
         for key, value in other.redundant_extensions.items():
             self.redundant_extensions[key] = (
                 self.redundant_extensions.get(key, 0) + value
@@ -117,16 +151,7 @@ class EnumMISStatistics:
         round-tripped too; it used to be silently dropped here, which
         lost it across engine checkpoint/resume.
         """
-        for key in (
-            "extend_calls",
-            "edge_oracle_calls",
-            "nodes_generated",
-            "answers",
-            "duplicates_suppressed",
-            "edge_cache_hits",
-            "edge_cache_misses",
-            "edge_cache_evictions",
-        ):
+        for key in self._SCALAR_FIELDS:
             if key in counters:
                 setattr(self, key, counters[key])
         redundant = counters.get("redundant_extensions")
@@ -233,10 +258,14 @@ def enumerate_maximal_independent_sets(
     attach = getattr(sgr, "attach_statistics", None)
     if attach is not None:
         attach(stats)
+    clock = time.perf_counter_ns
 
     def extend(independent: frozenset[SGRNode]) -> frozenset[SGRNode]:
         stats.extend_calls += 1
-        return sgr.extend(independent)
+        started = clock()
+        extended = sgr.extend(independent)
+        stats.extend_time_ns += clock() - started
+        return extended
 
     # The direction step is a v-versus-many edge-oracle sweep; SGRs
     # exposing a batched oracle (the separator-graph SGR's vectorized
@@ -246,11 +275,13 @@ def enumerate_maximal_independent_sets(
     def direction(answer: frozenset[SGRNode], v: SGRNode) -> frozenset[SGRNode]:
         members = list(answer)
         stats.edge_oracle_calls += len(members)
+        started = clock()
         if has_edges_batch is not None:
             crossed = has_edges_batch(v, members)
             kept = {u for u, edge in zip(members, crossed) if not edge}
         else:
             kept = {u for u in members if not sgr.has_edge(v, u)}
+        stats.crossing_time_ns += clock() - started
         kept.add(v)
         return frozenset(kept)
 
