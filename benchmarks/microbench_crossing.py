@@ -24,14 +24,19 @@ exactly the per-pair Python overhead the vectorized kernel removes.
 
 ``--check`` verifies the two oracles agree on every pair and exits
 non-zero on any mismatch — the hardware-independent correctness gate
-run in CI.  ``--record LABEL`` appends the measurements (with the
-``cores`` field convention of the PR 2 benchmarks) to
-``baselines.json``::
+run in CI.  ``--graph-backend`` selects the graph-core backend the
+case is built on (comma-separated values form an axis: the PR 6
+``native`` C tier is measured against ``numpy`` on identical cases;
+CI runs the gate with ``--graph-backend native``).  ``--record
+LABEL`` appends the measurements (with the ``cores`` field convention
+of the PR 2 benchmarks) to ``baselines.json``::
 
     PYTHONPATH=src python benchmarks/microbench_crossing.py
     PYTHONPATH=src python benchmarks/microbench_crossing.py --check
     PYTHONPATH=src python benchmarks/microbench_crossing.py \\
-        --record crossing-kernel-pr3-oracle
+        --check --graph-backend native
+    PYTHONPATH=src python benchmarks/microbench_crossing.py \\
+        --graph-backend numpy,native --record crossing-kernel-pr6
 """
 
 from __future__ import annotations
@@ -65,13 +70,13 @@ def usable_cores() -> int:
         return os.cpu_count() or 1
 
 
-def build_case(n: int, candidates: int):
+def build_case(n: int, candidates: int, backend: str = "auto"):
     """Return (graph, probe separators, candidate separators) for size n."""
     if n == 2000:
         # Cycle graph: every non-adjacent pair is a minimal separator,
         # so the separator set is constructed directly — enumerating it
         # through A_V would dwarf the oracle being measured.
-        graph = resolve_graph_backend(cycle_graph(n))
+        graph = resolve_graph_backend(cycle_graph(n), backend)
         probes = [frozenset({i, i + n // 2}) for i in range(PROBES)]
         half, quarter = n // 2, n // 4
         pool = []
@@ -89,7 +94,7 @@ def build_case(n: int, candidates: int):
         graph = gnp_random_graph(n, 0.35, seed=12345)
     else:
         graph = gnp_random_graph(n, 0.05, seed=12345)
-    graph = resolve_graph_backend(graph)
+    graph = resolve_graph_backend(graph, backend)
     masks = list(
         itertools.islice(minimal_separator_masks(graph), candidates + PROBES)
     )
@@ -144,6 +149,12 @@ def main() -> int:
         help="repetitions; the median is reported (default: 5)",
     )
     parser.add_argument(
+        "--graph-backend",
+        default="auto",
+        help="comma-separated graph-core backends forming the "
+        "measurement axis (auto/indexed/numpy/native; default: auto)",
+    )
+    parser.add_argument(
         "--check",
         action="store_true",
         help="verify batch and scalar oracles agree on every pair; "
@@ -156,11 +167,25 @@ def main() -> int:
     )
     args = parser.parse_args()
     sizes = [int(size) for size in args.sizes.split(",") if size]
+    backends = [b for b in args.graph_backend.split(",") if b]
+    if "native" in backends:
+        from repro.graph._native import native
+
+        if not native.available():
+            message = (
+                f"native backend unavailable "
+                f"({native.kernel_info()['reason']})"
+            )
+            if args.check:
+                print(f"FAILED: {message}")
+                return 1
+            print(f"note: {message} — skipped")
+            backends = [b for b in backends if b != "native"]
 
     results: dict[str, dict] = {}
     failed = False
-    for n in sizes:
-        graph, probes, candidates = build_case(n, args.candidates)
+    for n, backend in itertools.product(sizes, backends):
+        graph, probes, candidates = build_case(n, args.candidates, backend)
         pairs = len(probes) * len(candidates)
         sgr = MinimalSeparatorSGR(graph)
 
@@ -188,29 +213,30 @@ def main() -> int:
                 for b, s in zip(bs, ss)
             )
             print(
-                f"n={n}: MISMATCH — batch and scalar oracles disagree "
-                f"on {bad}/{pairs} pairs"
+                f"n={n} [{backend}]: MISMATCH — batch and scalar oracles "
+                f"disagree on {bad}/{pairs} pairs"
             )
         if args.check:
             if agree:
                 crossings = sum(map(sum, batch_answers))
                 print(
-                    f"n={n}: OK — batch == scalar on {pairs} pairs "
-                    f"({crossings} crossing)"
+                    f"n={n} [{backend}]: OK — batch == scalar on "
+                    f"{pairs} pairs ({crossings} crossing)"
                 )
             continue
 
         scalar_s = measure(run_scalar, sgr, probes, candidates, args.repeats)
         batch_s = measure(run_batch, sgr, probes, candidates, args.repeats)
         speedup = scalar_s / batch_s
-        results[str(n)] = {
+        results.setdefault(str(n), {})[backend] = {
             "pairs": pairs,
             "scalar_seconds": round(scalar_s, 6),
             "batch_seconds": round(batch_s, 6),
             "speedup": round(speedup, 2),
         }
         print(
-            f"n={n:<5} {pairs} pairs: scalar {scalar_s * 1e3:8.3f}ms  "
+            f"n={n:<5} [{backend:<7}] {pairs} pairs: "
+            f"scalar {scalar_s * 1e3:8.3f}ms  "
             f"batch {batch_s * 1e3:8.3f}ms  → speedup {speedup:.2f}x"
         )
 
@@ -224,6 +250,7 @@ def main() -> int:
         baselines[args.record] = {
             "repeats": args.repeats,
             "cores": usable_cores(),
+            "backends": backends,
             "sizes": results,
         }
         BASELINES_PATH.write_text(json.dumps(baselines, indent=2) + "\n")

@@ -14,7 +14,14 @@ backends:
   :mod:`repro.graph.bitset_np` (``PackedMCSQueue`` argmax selection,
   ``weight_level_rows`` threshold levels, ``union_rows`` /
   ``frontier_sweep`` neighbourhood unions, ``saturate_batch`` fill
-  extraction).
+  extraction);
+* ``native``  — the same packed layout dispatched to the compiled C
+  kernels of :mod:`repro.graph._native.native` (PR 6); skipped with a
+  note when the extension is unavailable.
+
+The backend list is an axis: ``--backends indexed,numpy,native``
+measures each backend on the same graph and reports speedups relative
+to the ``indexed`` reference.
 
 The benchmark graph per size is *near-chordal*: a seeded random
 chordal graph with 1% of its edges deleted.  That is the distribution
@@ -30,14 +37,18 @@ dispatch checks cost a few percent.
 identical MCS-M fill + ordering, LB-Triang fills for every heuristic,
 PEO verdicts, chordal separator sets, and ``Extend`` outputs — on the
 seeded property corpus and exits non-zero on any mismatch: the
-hardware-independent correctness gate run in CI.  ``--record LABEL``
-appends the measurements (with the ``cores`` field convention of the
-PR 2/3 benchmarks) to ``baselines.json``::
+hardware-independent correctness gate run in CI.  The gate runs on the
+backend named by ``--graph-backend`` (default ``numpy``; CI also runs
+it with ``--graph-backend native``).  ``--record LABEL`` appends the
+measurements (with the ``cores`` field convention of the PR 2/3
+benchmarks) to ``baselines.json``::
 
     PYTHONPATH=src python benchmarks/microbench_extend.py
     PYTHONPATH=src python benchmarks/microbench_extend.py --check
     PYTHONPATH=src python benchmarks/microbench_extend.py \\
-        --record extend-kernel-pr4
+        --check --graph-backend native
+    PYTHONPATH=src python benchmarks/microbench_extend.py \\
+        --record extend-kernel-pr6-native
 """
 
 from __future__ import annotations
@@ -97,8 +108,17 @@ def measure(fn, repeats: int) -> float:
     return statistics.median(samples)
 
 
-def run_check() -> int:
+def run_check(backend: str = "numpy") -> int:
     """Packed kernels vs int-mask oracles on the property corpus."""
+    if backend == "native":
+        from repro.graph._native import native
+
+        if not native.available():
+            print(
+                f"FAILED: native backend requested but unavailable "
+                f"({native.kernel_info()['reason']})"
+            )
+            return 1
     rng = random.Random(7)
     corpus = [
         gnp_random_graph(
@@ -121,7 +141,7 @@ def run_check() -> int:
 
     failures = 0
     for index, graph in enumerate(corpus):
-        packed = resolve_graph_backend(graph, "numpy")
+        packed = resolve_graph_backend(graph, backend)
         pairs = [
             ("mcs_m", lambda g: mcs_m(g)),
             ("lb_triang:min_fill", lambda g: lb_triang(g)),
@@ -149,7 +169,7 @@ def run_check() -> int:
                 failures += 1
                 print(f"graph {index}: MISMATCH in peo-check")
     for index, graph in enumerate(chordal):
-        packed = resolve_graph_backend(graph, "numpy")
+        packed = resolve_graph_backend(graph, backend)
         if minimal_separators_of_chordal(
             graph
         ) != minimal_separators_of_chordal(packed):
@@ -159,8 +179,8 @@ def run_check() -> int:
         print(f"FAILED: {failures} packed-vs-oracle mismatches")
         return 1
     print(
-        f"OK — packed Extend kernels match the int-mask oracles on "
-        f"{len(corpus)} graphs + {len(chordal)} chordal graphs"
+        f"OK — packed ({backend}) Extend kernels match the int-mask "
+        f"oracles on {len(corpus)} graphs + {len(chordal)} chordal graphs"
     )
     return 0
 
@@ -184,11 +204,25 @@ def main() -> int:
         help="repetitions; the median is reported (default: 3)",
     )
     parser.add_argument(
+        "--backends",
+        default="indexed,numpy,native",
+        help="comma-separated backend axis for the timing mode "
+        "(default: indexed,numpy,native; native is skipped with a "
+        "note when the extension is unavailable)",
+    )
+    parser.add_argument(
         "--check",
         action="store_true",
         help="verify the packed kernels match the int-mask oracles on "
         "the property corpus; exit 1 on mismatch (correctness gate, "
         "no timing)",
+    )
+    parser.add_argument(
+        "--graph-backend",
+        default="numpy",
+        choices=("numpy", "native"),
+        help="packed backend the --check gate pins against the "
+        "int-mask oracles (default: numpy)",
     )
     parser.add_argument(
         "--record",
@@ -198,33 +232,54 @@ def main() -> int:
     args = parser.parse_args()
 
     if args.check:
-        return run_check()
+        return run_check(args.graph_backend)
 
     sizes = [int(size) for size in args.sizes.split(",") if size]
     triangulators = [t for t in args.triangulators.split(",") if t]
+    backends = [b for b in args.backends.split(",") if b]
+    if "native" in backends:
+        from repro.graph._native import native
+
+        if not native.available():
+            print(
+                f"note: native backend unavailable "
+                f"({native.kernel_info()['reason']}) — skipped"
+            )
+            backends = [b for b in backends if b != "native"]
     results: dict[str, dict] = {}
     for n in sizes:
         graph = near_chordal_graph(n)
-        indexed = resolve_graph_backend(graph, "indexed")
-        packed = resolve_graph_backend(graph, "numpy")
+        resolved = {
+            backend: resolve_graph_backend(graph, backend)
+            for backend in backends
+        }
         per_size: dict[str, dict] = {}
         for name in triangulators:
-            scalar_s = measure(
-                lambda: extend_parallel_set(indexed, (), name), args.repeats
+            row: dict[str, float] = {}
+            for backend in backends:
+                instance = resolved[backend]
+                seconds = measure(
+                    lambda: extend_parallel_set(instance, (), name),
+                    args.repeats,
+                )
+                row[f"{backend}_seconds"] = round(seconds, 6)
+            reference = row.get(
+                f"{backends[0]}_seconds", next(iter(row.values()))
             )
-            batch_s = measure(
-                lambda: extend_parallel_set(packed, (), name), args.repeats
+            for backend in backends[1:]:
+                row[f"speedup_{backend}"] = round(
+                    reference / row[f"{backend}_seconds"], 2
+                )
+            per_size[name] = row
+            cells = "  ".join(
+                f"{backend} {row[f'{backend}_seconds'] * 1e3:9.3f}ms"
+                for backend in backends
             )
-            speedup = scalar_s / batch_s
-            per_size[name] = {
-                "indexed_seconds": round(scalar_s, 6),
-                "numpy_seconds": round(batch_s, 6),
-                "speedup": round(speedup, 2),
-            }
-            print(
-                f"n={n:<5} {name:<10} indexed {scalar_s * 1e3:9.3f}ms  "
-                f"numpy {batch_s * 1e3:9.3f}ms  → speedup {speedup:.2f}x"
+            ratios = "  ".join(
+                f"{backend} {row[f'speedup_{backend}']:.2f}x"
+                for backend in backends[1:]
             )
+            print(f"n={n:<5} {name:<10} {cells}  → vs {backends[0]}: {ratios}")
         results[str(n)] = per_size
 
     if args.record:
@@ -239,7 +294,9 @@ def main() -> int:
                 "seed": SEED,
             },
             "note": "Extend(∅) pipeline (triangulate + clique-forest "
-            "extraction), int-mask core vs packed numpy core, same graph",
+            "extraction), backend axis on the same graph; speedups are "
+            "relative to the first backend listed",
+            "backends": backends,
             "sizes": results,
         }
         BASELINES_PATH.write_text(json.dumps(baselines, indent=2) + "\n")

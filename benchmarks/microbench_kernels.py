@@ -1,0 +1,228 @@
+#!/usr/bin/env python
+"""Microbenchmark: numpy vs native C word-matrix kernels.
+
+Times the raw packed-``uint64`` kernels of the two vectorized graph
+tiers against each other on identical buffers — no graph objects, no
+enumeration state, just the kernel call.  This isolates exactly what
+the PR 6 native tier replaces: numpy per-call dispatch and temporary
+allocation in the inner loops that :mod:`repro.graph.bitset_np` cannot
+fuse.
+
+Measured kernels (the first two are the PR 6 acceptance micro-kernels;
+the target is >= 5x native-over-numpy at ``n >= 2500``):
+
+* ``crossing_batch``   — fused ANDN + early-exit component count over
+  ``(k, words) x (m, words)`` row pairs (the separator edge oracle);
+* ``saturate_batch``   — missing-pair extraction inside a vertex mask
+  (the ``Extend`` saturation step);
+* ``popcount``         — per-row popcount (numpy 2.x has a native
+  ``bitwise_count`` ufunc, so this one is close to parity — reported
+  for context, not gated);
+* ``union_rows``       — OR-reduction of selected rows to an int mask.
+
+``--check`` verifies the native kernels return bit-identical results
+to the numpy tier on every measured case and exits non-zero on any
+mismatch or if the native extension is unavailable.  ``--record
+LABEL`` appends the measurements (with the ``cores`` field convention
+of the PR 2+ benchmarks) to ``baselines.json``::
+
+    PYTHONPATH=src python benchmarks/microbench_kernels.py
+    PYTHONPATH=src python benchmarks/microbench_kernels.py --check
+    PYTHONPATH=src python benchmarks/microbench_kernels.py \\
+        --record native-kernel-pr6
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import statistics
+import sys
+import time
+from pathlib import Path
+
+import numpy as np
+
+from repro.graph import bitset_np
+from repro.graph._native import native
+
+BASELINES_PATH = Path(__file__).parent / "baselines.json"
+
+SEED = 12345
+COMPONENTS = 6
+REMAINDERS = 256
+MASK_MEMBERS = 400
+AVG_DEGREE = 24
+
+
+def usable_cores() -> int:
+    try:
+        return len(os.sched_getaffinity(0))
+    except AttributeError:  # pragma: no cover - non-Linux
+        return os.cpu_count() or 1
+
+
+def dense_rows(rng: np.random.Generator, rows: int, n: int) -> np.ndarray:
+    """``rows`` random packed masks over ``n`` bits, ~50% density."""
+    words = bitset_np.word_count(n)
+    matrix = rng.integers(
+        0, np.iinfo(np.int64).max, size=(rows, words), dtype=np.int64
+    ).view(np.uint64)
+    tail = n % bitset_np.WORD_BITS
+    if tail:
+        matrix[:, -1] &= np.uint64((1 << tail) - 1)
+    return np.ascontiguousarray(matrix)
+
+
+def sparse_adjacency(rng: np.random.Generator, n: int) -> np.ndarray:
+    """A random symmetric packed adjacency with ~AVG_DEGREE neighbours."""
+    words = bitset_np.word_count(n)
+    matrix = np.zeros((n, words), dtype=np.uint64)
+    ends = rng.integers(0, n, size=(n * AVG_DEGREE // 2, 2))
+    one = np.uint64(1)
+    for u, v in ends:
+        if u == v:
+            continue
+        matrix[u, v // 64] |= one << np.uint64(v % 64)
+        matrix[v, u // 64] |= one << np.uint64(u % 64)
+    return matrix
+
+
+def build_case(n: int) -> dict:
+    """The shared buffers every kernel pair is measured on."""
+    rng = np.random.default_rng(SEED)
+    words = bitset_np.word_count(n)
+    members = np.sort(
+        rng.choice(n, size=min(MASK_MEMBERS, n), replace=False)
+    ).astype(np.int64)
+    return {
+        "components": dense_rows(rng, COMPONENTS, n),
+        "remainders": dense_rows(rng, REMAINDERS, n),
+        "adjacency": sparse_adjacency(rng, n),
+        "mask": int(bitset_np.indices_to_mask(members, words)),
+        "indices": members,
+    }
+
+
+def kernel_calls(case: dict) -> list[tuple[str, tuple]]:
+    """(kernel name, args) — same args for both namespaces."""
+    return [
+        ("crossing_batch", (case["components"], case["remainders"])),
+        ("saturate_batch", (case["adjacency"], case["mask"])),
+        ("popcount", (case["adjacency"],)),
+        ("union_rows", (case["adjacency"], case["indices"])),
+    ]
+
+
+def agree(name: str, a, b) -> bool:
+    if name == "crossing_batch":
+        return bool(np.array_equal(np.asarray(a), np.asarray(b)))
+    if name == "saturate_batch":
+        return bool(
+            np.array_equal(a[0], b[0]) and np.array_equal(a[1], b[1])
+        )
+    if name == "popcount":
+        return bool(np.array_equal(a, b))
+    return a == b  # union_rows: int masks
+
+
+def measure(fn, args, repeats: int) -> float:
+    samples = []
+    for __ in range(repeats):
+        start = time.perf_counter()
+        fn(*args)
+        samples.append(time.perf_counter() - start)
+    return statistics.median(samples)
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--sizes",
+        default="2500,4000",
+        help="comma-separated bit widths (default: 2500,4000)",
+    )
+    parser.add_argument(
+        "--repeats",
+        type=int,
+        default=15,
+        help="repetitions; the median is reported (default: 15)",
+    )
+    parser.add_argument(
+        "--check",
+        action="store_true",
+        help="verify native kernels are bit-identical to the numpy tier "
+        "on every case; exit 1 on mismatch or missing extension",
+    )
+    parser.add_argument(
+        "--record",
+        metavar="LABEL",
+        help="append the measurements to baselines.json under LABEL",
+    )
+    args = parser.parse_args()
+    sizes = [int(size) for size in args.sizes.split(",") if size]
+
+    info = native.kernel_info()
+    print(f"native tier: {'available' if info['available'] else 'UNAVAILABLE'}")
+    if not info["available"]:
+        print(f"  reason: {info['reason']}")
+        return 1
+    print(f"  compiler: {info['compiler_id']}")
+
+    failed = False
+    results: dict[str, dict] = {}
+    for n in sizes:
+        case = build_case(n)
+        per_kernel: dict[str, dict] = {}
+        for name, call_args in kernel_calls(case):
+            numpy_fn = getattr(bitset_np, name)
+            native_fn = getattr(native, name)
+            if not agree(name, numpy_fn(*call_args), native_fn(*call_args)):
+                failed = True
+                print(f"n={n} {name}: MISMATCH — native != numpy")
+                continue
+            if args.check:
+                print(f"n={n} {name}: OK — native == numpy")
+                continue
+            numpy_s = measure(numpy_fn, call_args, args.repeats)
+            native_s = measure(native_fn, call_args, args.repeats)
+            speedup = numpy_s / native_s
+            per_kernel[name] = {
+                "numpy_seconds": round(numpy_s, 9),
+                "native_seconds": round(native_s, 9),
+                "speedup": round(speedup, 2),
+            }
+            print(
+                f"n={n:<5} {name:<16} numpy {numpy_s * 1e6:10.1f}us  "
+                f"native {native_s * 1e6:10.1f}us  → speedup {speedup:.2f}x"
+            )
+        results[str(n)] = per_kernel
+
+    if failed:
+        return 1
+    if args.check:
+        return 0
+
+    if args.record:
+        baselines = json.loads(BASELINES_PATH.read_text())
+        baselines[args.record] = {
+            "repeats": args.repeats,
+            "cores": usable_cores(),
+            "compiler": info["compiler_id"],
+            "case": {
+                "components": COMPONENTS,
+                "remainders": REMAINDERS,
+                "mask_members": MASK_MEMBERS,
+                "avg_degree": AVG_DEGREE,
+                "seed": SEED,
+            },
+            "sizes": results,
+        }
+        BASELINES_PATH.write_text(json.dumps(baselines, indent=2) + "\n")
+        print(f"recorded as '{args.record}' in {BASELINES_PATH.name}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

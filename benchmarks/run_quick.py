@@ -18,6 +18,8 @@ import argparse
 import time
 
 from repro.chordal.cliques import mcs_clique_forest
+from repro.graph import bitset_np
+from repro.graph._native import native
 from repro.chordal.minimal_separators import (
     all_minimal_separators,
     are_crossing,
@@ -52,6 +54,12 @@ def main() -> None:
     print(
         f"graph: Gnp(n={args.nodes}, p={args.p}, seed={args.seed}) — "
         f"{graph.num_nodes} nodes, {graph.num_edges} edges"
+    )
+    packed_tier = "native (compiled C)" if native.available() else "numpy"
+    print(
+        f"kernel tier: {bitset_np.core_backend_name(graph.core)} core "
+        f"active for this graph; packed tier above "
+        f"n={bitset_np.NUMPY_THRESHOLD}: {packed_tier}"
     )
     print("per-stage timings (average of repeats):")
 

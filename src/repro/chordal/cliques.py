@@ -125,9 +125,10 @@ def clique_forest_masks(
     unvisited = core.alive
     matrix = _kernel.packed_view(core) if _kernel is not None else None
     if matrix is not None:
+        ns = _kernel.kernels_for(core)
         words = matrix.shape[1]
         visit_time = _np.zeros(len(adj), dtype=_np.int64)
-        queue = _kernel.PackedMCSQueue(unvisited, ranks, words)
+        queue = ns.PackedMCSQueue(unvisited, ranks, words)
     else:
         weights = [0] * len(adj)
         visit_time = [0] * len(adj)
@@ -162,10 +163,8 @@ def clique_forest_masks(
         else:
             # New clique {node} ∪ M(node).
             if card > 0:
-                if matrix is not None and card >= _kernel.BATCH_MIN:
-                    members = _kernel.mask_to_indices(
-                        visited_neighbors, words
-                    )
+                if matrix is not None and card >= ns.BATCH_MIN:
+                    members = ns.mask_to_indices(visited_neighbors, words)
                     last_visited = int(
                         members[_np.argmax(visit_time[members])]
                     )

@@ -174,7 +174,8 @@ def are_crossing_batch_masks(
     words = _kernel.word_count(len(core.adj))
     packed = _kernel.pack_masks(components, words)
     remainders = _kernel.pack_masks((t & ~s for t in targets), words)
-    return [bool(x) for x in _kernel.crossing_batch(packed, remainders)]
+    ns = _kernel.kernels_for(core)
+    return [bool(x) for x in ns.crossing_batch(packed, remainders)]
 
 
 def are_crossing(graph: Graph, s: Iterable[Node], t: Iterable[Node]) -> bool:

@@ -156,7 +156,9 @@ def is_perfect_elimination_ordering(graph: Graph, order: Sequence[Node]) -> bool
     if _kernel is not None and len(indices) >= _kernel.BATCH_MIN:
         matrix = _kernel.packed_view(graph.core)
         if matrix is not None:
-            return _kernel.is_peo_packed(matrix, indices)
+            return _kernel.kernels_for(graph.core).is_peo_packed(
+                matrix, indices
+            )
     adj = graph.core.adj
     position = [0] * len(adj)
     for pos, index in enumerate(indices):

@@ -49,6 +49,11 @@ def _packed_view(core):
         return None
     return _kernel.packed_view(core)
 
+
+def _kernels_for(core):
+    """The kernel namespace serving ``core`` (numpy module or native)."""
+    return _kernel.kernels_for(core)
+
 __all__ = [
     "mcs_m",
     "lb_triang",
@@ -104,8 +109,9 @@ def mcs_m(graph: Graph, first: Node | None = None) -> tuple[list[tuple[Node, Nod
         # word matrix.  MCS-M never mutates the graph, so the matrix
         # stays valid for the whole run.  The int-mask branch below is
         # the reference implementation this one is tested against.
+        ns = _kernels_for(core)
         words = matrix.shape[1]
-        queue = _kernel.PackedMCSQueue(unnumbered, ranks, words)
+        queue = ns.PackedMCSQueue(unnumbered, ranks, words)
         if first is not None:
             if first not in graph:
                 raise KeyError(first)
@@ -115,7 +121,7 @@ def mcs_m(graph: Graph, first: Node | None = None) -> tuple[list[tuple[Node, Nod
             unnumbered &= ~(1 << v)
             reverse_order.append(label_of(v))
             update_set = _mcs_m_update_mask_packed(
-                matrix, adj, queue.weights, unnumbered, v
+                matrix, adj, queue.weights, unnumbered, v, ns
             )
             queue.bump_mask(update_set)
             label_v = label_of(v)
@@ -124,8 +130,8 @@ def mcs_m(graph: Graph, first: Node | None = None) -> tuple[list[tuple[Node, Nod
             # Canonical (sorted) edge tuples via the precomputed label
             # ranks — same order edge_key produces, without a label
             # comparison per fill edge.
-            if m.bit_count() >= _kernel.BATCH_MIN:
-                for u in _kernel.mask_to_indices(m, words):
+            if m.bit_count() >= ns.BATCH_MIN:
+                for u in ns.mask_to_indices(m, words):
                     label_u = label_of(u)
                     fill.append(
                         (label_u, label_v)
@@ -241,6 +247,7 @@ def _mcs_m_update_mask_packed(
     weights,
     unnumbered: int,
     v: int,
+    ns=None,
 ) -> int:
     """The MCS-M update sweep on the packed word-matrix tier.
 
@@ -250,8 +257,11 @@ def _mcs_m_update_mask_packed(
     (:func:`repro.graph.bitset_np.weight_level_rows` — there are no
     bucket masks to maintain on this tier), and each wide frontier's
     neighbourhood union is one row reduction over the packed adjacency
-    (:func:`repro.graph.bitset_np.union_rows`).
+    (:func:`repro.graph.bitset_np.union_rows`).  ``ns`` is the kernel
+    namespace to dispatch through (numpy module or the native tier).
     """
+    if ns is None:
+        ns = _kernel
     avail = unnumbered
     reached = adj[v] & avail
     if not reached:
@@ -261,11 +271,11 @@ def _mcs_m_update_mask_packed(
         return update_set
 
     words = matrix.shape[1]
-    avail_idx = _kernel.mask_to_indices(avail, words)
-    level_rows = _kernel.weight_level_rows(avail_idx, weights[avail_idx], words)
-    batch_min = _kernel.BATCH_MIN
-    union_rows = _kernel.union_rows
-    mask_to_indices = _kernel.mask_to_indices
+    avail_idx = ns.mask_to_indices(avail, words)
+    level_rows = ns.weight_level_rows(avail_idx, weights[avail_idx], words)
+    batch_min = ns.BATCH_MIN
+    union_rows = ns.union_rows
+    mask_to_indices = ns.mask_to_indices
     processed = 0
     weight_le = 0
     for row in level_rows:
@@ -335,6 +345,7 @@ def lb_triang(
         raise ValueError(f"unknown LB-Triang heuristic {heuristic!r}")
     ranks = filled.ranks()
     matrix = _packed_view(core)
+    ns = _kernels_for(core) if matrix is not None else None
     ranks_arr = (
         _np.asarray(ranks, dtype=_np.int64) if matrix is not None else None
     )
@@ -357,7 +368,7 @@ def lb_triang(
             step += 1
         else:
             v = _pick_dynamic(
-                core, remaining, heuristic, deficiency, ranks, ranks_arr
+                core, remaining, heuristic, deficiency, ranks, ranks_arr, ns
             )
         remaining &= ~(1 << v)
         closed = adj[v] | 1 << v
@@ -372,9 +383,7 @@ def lb_triang(
                 stale = 0
                 for a, b in added_this_step:
                     stale |= 1 << a | 1 << b | (adj[a] & adj[b])
-                deficiency[
-                    _kernel.mask_to_indices(stale, matrix.shape[1])
-                ] = -1
+                deficiency[ns.mask_to_indices(stale, matrix.shape[1])] = -1
             else:
                 for a, b in added_this_step:
                     deficiency.pop(a, None)
@@ -391,6 +400,7 @@ def _pick_dynamic(
     deficiency,
     ranks: list[int],
     ranks_arr=None,
+    ns=None,
 ) -> int:
     """The next LB-Triang vertex: lexicographic min of (score, rank).
 
@@ -398,18 +408,21 @@ def _pick_dynamic(
     label-rank order, but iterating only the *remaining* vertices
     (instead of probing every slot against the mask each step) and,
     on a numpy-backed core (``ranks_arr`` given) with a wide remainder,
-    resolving the pick with one vectorized score gather + lexsort.
+    resolving the pick with one vectorized score gather + lexsort
+    through ``ns``, the core's kernel namespace.
     ``deficiency`` is the min-fill cache — a dict on the int tier, a
     flat −1-is-stale int64 array on the packed tier.
     """
     adj = core.adj
-    if ranks_arr is not None and remaining.bit_count() >= _kernel.BATCH_MIN:
+    if ns is None and ranks_arr is not None:
+        ns = _kernels_for(core)
+    if ranks_arr is not None and remaining.bit_count() >= ns.BATCH_MIN:
         matrix = _packed_view(core)
-        idx = _kernel.mask_to_indices(remaining, matrix.shape[1])
+        idx = ns.mask_to_indices(remaining, matrix.shape[1])
         if heuristic == "natural":
             return int(idx[_np.argmin(ranks_arr[idx])])
         if heuristic == "min_degree":
-            scores = _kernel.popcount(matrix[idx])
+            scores = ns.popcount(matrix[idx])
         else:
             stale = idx[deficiency[idx] < 0]
             for i in stale:

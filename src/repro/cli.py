@@ -12,7 +12,9 @@ Subcommands:
 * ``separators`` — stream the minimal separators;
 * ``stats``      — structural summary (size, chordality, atoms,
   separator count);
-* ``tpch``       — run the TPC-H query experiment table.
+* ``tpch``       — run the TPC-H query experiment table;
+* ``kernels``    — diagnose the graph-kernel tiers (compiler and
+  native-build availability, which tier serves each kernel).
 
 Graph files are auto-detected by extension or forced with ``--format``:
 ``edgelist`` (``u v`` lines), ``dimacs`` (``p edge``), ``pace``
@@ -154,14 +156,17 @@ def build_parser() -> argparse.ArgumentParser:
     enum.add_argument(
         "--graph-backend",
         default="auto",
-        choices=("auto", "indexed", "numpy"),
+        choices=("auto", "indexed", "numpy", "native"),
         help="graph-core representation: int bitmasks, packed numpy "
-        "word matrices, or by size (default: auto).  The choice also "
-        "selects the Extend kernels: on the numpy core every "
-        "--triangulator heuristic (MCS-M, LB-Triang, the PEO check, "
-        "the clique-forest separator extraction) runs on vectorized "
+        "word matrices, compiled C kernels over the same matrices, or "
+        "by size (default: auto — packed tier above the size "
+        "threshold, native preferred when its extension builds).  The "
+        "choice also selects the Extend kernels: on the packed tiers "
+        "every --triangulator heuristic (MCS-M, LB-Triang, the PEO "
+        "check, the clique-forest separator extraction) runs on "
         "word-matrix sweeps; on the indexed core the int-mask "
-        "reference paths run instead",
+        "reference paths run instead.  'native' degrades to numpy "
+        "when no C compiler is available (see 'repro kernels')",
     )
     enum.add_argument(
         "--checkpoint",
@@ -225,6 +230,12 @@ def build_parser() -> argparse.ArgumentParser:
     )
     rep.add_argument(
         "--scale", type=float, default=0.06, help="dataset scale fraction"
+    )
+
+    sub.add_parser(
+        "kernels",
+        help="diagnose the graph-kernel tiers (compiler, native build, "
+        "which tier serves each kernel)",
     )
     return parser
 
@@ -360,6 +371,42 @@ def _command_report(args: argparse.Namespace) -> int:
     return 0
 
 
+def _command_kernels(args: argparse.Namespace) -> int:
+    """Print which kernel tier serves, and why (or why not)."""
+    try:
+        from repro.graph import bitset_np as _bitset
+    except ImportError:
+        print("numpy            : not installed")
+        print("active tier      : indexed (int-mask reference paths)")
+        return 0
+    import numpy as np
+
+    print(f"numpy            : {np.__version__}")
+    print(f"registered       : {', '.join(sorted(_bitset.GRAPH_BACKENDS))}")
+    try:
+        from repro.graph._native import native
+    except ImportError as exc:  # pragma: no cover - torn install
+        print(f"native tier      : unavailable ({exc})")
+        print("active tier      : numpy")
+        return 0
+    info = native.kernel_info()
+    print(f"compiler         : {info['compiler_id'] or info['compiler'] or 'none found'}")
+    if info["artifact"]:
+        state = "built" if info["built"] else "not built yet"
+        print(f"build artifact   : {info['artifact']} ({state})")
+    if info["available"]:
+        print("native tier      : available")
+    else:
+        print(f"native tier      : unavailable ({info['reason']})")
+    active = "native" if info["available"] else "numpy"
+    print(f"active tier      : {active} (auto above "
+          f"{_bitset.NUMPY_THRESHOLD} nodes; force with --graph-backend)")
+    print("kernels:")
+    for name, tier in sorted(info["kernels"].items()):
+        print(f"  {name:<22} {tier}")
+    return 0
+
+
 _COMMANDS = {
     "enumerate": _command_enumerate,
     "separators": _command_separators,
@@ -367,6 +414,7 @@ _COMMANDS = {
     "tpch": _command_tpch,
     "treewidth": _command_treewidth,
     "report": _command_report,
+    "kernels": _command_kernels,
 }
 
 

@@ -26,7 +26,7 @@ CostFunction = Callable[[Triangulation], object]
 
 _MODES = {"UG", "UP"}
 _DECOMPOSE = {"none", "components", "atoms"}
-_GRAPH_BACKENDS = {"auto", "indexed", "numpy"}
+_GRAPH_BACKENDS = {"auto", "indexed", "numpy", "native"}
 
 
 @dataclass
@@ -86,12 +86,15 @@ class EnumerationJob:
         overhead.  Any value enumerates the same answer set.
     graph_backend:
         Graph-core representation: ``"indexed"`` (single-int bitmasks),
-        ``"numpy"`` (packed uint64 word matrices for batch sweeps) or
-        ``"auto"`` (default — numpy at or above
-        :data:`repro.graph.bitset_np.NUMPY_THRESHOLD` nodes).  Resolved
-        once by the engine before backend dispatch, so every execution
-        backend — including sharded workers, via the graph payload —
-        runs on the selected core transparently.
+        ``"numpy"`` (packed uint64 word matrices for batch sweeps),
+        ``"native"`` (the same word matrices dispatched to the compiled
+        C kernels, degrading to numpy when the extension cannot be
+        built) or ``"auto"`` (default — the packed tier at or above
+        :data:`repro.graph.bitset_np.NUMPY_THRESHOLD` nodes, preferring
+        native when available).  Resolved once by the engine before
+        backend dispatch, so every execution backend — including
+        sharded workers, via the graph payload — runs on the selected
+        core transparently.
     """
 
     graph: Graph

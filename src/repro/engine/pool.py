@@ -213,9 +213,15 @@ def _rebuild_graph(
             ).reshape(payload.rows, payload.words)
         adj = None
     if payload.backend != "indexed" and matrix is not None:
-        core = _bitset.NumpyGraphCore.from_packed(
-            matrix, payload.alive, payload.num_edges
+        # Resolve the coordinator's backend name in *this* process: a
+        # worker without a usable compiled extension rebuilds a native
+        # payload on the numpy core (same kernel semantics, no failure).
+        core_cls = _bitset.GRAPH_BACKENDS.get(
+            payload.backend, _bitset.NumpyGraphCore
         )
+        if payload.backend == "native" and not core_cls.runtime_available():
+            core_cls = _bitset.NumpyGraphCore
+        core = core_cls.from_packed(matrix, payload.alive, payload.num_edges)
     else:
         core = IndexedGraph.__new__(IndexedGraph)
         core.adj = (

@@ -22,18 +22,21 @@ from repro.graph.graph import Edge, Graph, Node, edge_key
 def resolve_graph_backend(graph: Graph, backend: str | None = "auto"):
     """Return ``graph`` on the selected core backend.
 
-    ``backend`` is ``"indexed"``, ``"numpy"``, ``"auto"`` (numpy at or
-    above :data:`repro.graph.bitset_np.NUMPY_THRESHOLD` nodes) or
-    ``None`` (keep the graph exactly as passed).  When numpy is not
-    installed, ``"auto"`` and ``"indexed"`` degrade to the int-mask
-    core; asking for ``"numpy"`` explicitly raises ImportError.
+    ``backend`` is ``"indexed"``, ``"numpy"``, ``"native"`` (compiled C
+    kernels, degrading to numpy when the extension cannot be built),
+    ``"auto"`` (the packed tier at or above
+    :data:`repro.graph.bitset_np.NUMPY_THRESHOLD` nodes, preferring
+    native when available) or ``None`` (keep the graph exactly as
+    passed).  When numpy is not installed, ``"auto"`` and ``"indexed"``
+    degrade to the int-mask core; asking for ``"numpy"`` or ``"native"``
+    explicitly raises ImportError.
     """
     if backend is None:
         return graph
     try:
         from repro.graph.bitset_np import convert_graph
     except ImportError:
-        if backend == "numpy":
+        if backend in ("numpy", "native"):
             raise
         return graph
     return convert_graph(graph, backend)

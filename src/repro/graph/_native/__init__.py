@@ -1,0 +1,6 @@
+"""Native C kernel tier (compiled in-repo via cffi ABI mode).
+
+Import :mod:`repro.graph._native.native` for the loader and the
+``NativeGraphCore`` backend; importing this package alone stays free of
+side effects so a broken toolchain can never poison ``repro.graph``.
+"""

@@ -55,6 +55,7 @@ on mutation, rebuilt on demand — so correctness never depends on them.
 
 from __future__ import annotations
 
+import sys
 from collections.abc import Iterable
 from multiprocessing import shared_memory
 
@@ -320,6 +321,18 @@ def set_edge_bits(
         (v_arr, u_arr // WORD_BITS),
         one << (u_arr % WORD_BITS).astype(np.uint64),
     )
+
+
+def clique_present_sum(matrix: np.ndarray, mask: int) -> int:
+    """Adjacency bits already present inside the clique candidate ``mask``.
+
+    Sums ``popcount(matrix[u] & mask)`` over the members ``u`` of the
+    mask — each present undirected edge counts twice, which is how
+    :meth:`NumpyGraphCore.missing_pair_count` consumes it.
+    """
+    words = matrix.shape[1]
+    idx = mask_to_indices(mask, words)
+    return int(popcount(matrix[idx] & pack_mask(mask, words)).sum())
 
 
 def is_peo_packed(matrix: np.ndarray, order) -> bool:
@@ -650,6 +663,15 @@ class NumpyGraphCore(IndexedGraph):
         self._narrow = None
         return super().remove_edge(u, v)
 
+    @staticmethod
+    def _kernel_namespace():
+        """The kernel namespace batch methods dispatch to.
+
+        The numpy core answers this module; :class:`NativeGraphCore`
+        overrides it with the compiled tier (see :func:`kernels_for`).
+        """
+        return sys.modules[__name__]
+
     def saturate(self, mask: int) -> list[tuple[int, int]]:
         """Make ``mask`` a clique, keeping the packed mirror live.
 
@@ -675,6 +697,7 @@ class NumpyGraphCore(IndexedGraph):
             # private copy before the first in-place fill — sharded
             # workers must never write into the coordinator's segment.
             packed = self._packed = packed.copy()
+        kernels = self._kernel_namespace()
         if mask.bit_count() < self._MIN_GATHER:
             added = super().saturate(mask)
             if added:
@@ -684,9 +707,9 @@ class NumpyGraphCore(IndexedGraph):
                 v_arr = np.fromiter(
                     (v for __, v in added), dtype=np.int64, count=len(added)
                 )
-                set_edge_bits(packed, u_arr, v_arr)
+                kernels.set_edge_bits(packed, u_arr, v_arr)
             return added
-        u_arr, v_arr = saturate_batch(packed, mask)
+        u_arr, v_arr = kernels.saturate_batch(packed, mask)
         if not u_arr.shape[0]:
             return []
         added = list(zip(u_arr.tolist(), v_arr.tolist()))
@@ -695,7 +718,7 @@ class NumpyGraphCore(IndexedGraph):
             adj[u] |= 1 << v
             adj[v] |= 1 << u
         self.num_edges += len(added)
-        set_edge_bits(packed, u_arr, v_arr)
+        kernels.set_edge_bits(packed, u_arr, v_arr)
         return added
 
     # -- batch-accelerated queries -------------------------------------
@@ -703,14 +726,19 @@ class NumpyGraphCore(IndexedGraph):
     def neighborhood_of_set(self, mask: int) -> int:
         if mask.bit_count() < self._MIN_GATHER:
             return super().neighborhood_of_set(mask)
+        kernels = self._kernel_namespace()
         matrix = self._matrix()
         return (
-            union_rows(matrix, mask_to_indices(mask, matrix.shape[1]))
+            kernels.union_rows(
+                matrix, kernels.mask_to_indices(mask, matrix.shape[1])
+            )
             & ~mask
         )
 
     def expand_component(self, seed: int, available: int) -> int:
-        return frontier_sweep(self._matrix(), seed, available, adj=self.adj)
+        return self._kernel_namespace().frontier_sweep(
+            self._matrix(), seed, available, adj=self.adj
+        )
 
     def missing_pair_count(self, mask: int) -> int:
         # Only route through a mirror that is already live: rebuilding
@@ -718,35 +746,60 @@ class NumpyGraphCore(IndexedGraph):
         # (mutation-heavy callers like the elimination game invalidate
         # it every step).
         matrix = self._packed
+        k = mask.bit_count()
         if (
             matrix is None
             or matrix.shape[0] != len(self.adj)
-            or mask.bit_count() < self._MIN_GATHER
+            or k < self._MIN_GATHER
         ):
             return super().missing_pair_count(mask)
-        words = matrix.shape[1]
-        idx = mask_to_indices(mask, words)
-        present = int(popcount(matrix[idx] & pack_mask(mask, words)).sum())
-        k = idx.shape[0]
+        present = self._kernel_namespace().clique_present_sum(matrix, mask)
         return k * (k - 1) // 2 - present // 2
 
     # -- derived graphs keep the numpy core ----------------------------
 
     def copy(self) -> "NumpyGraphCore":
-        return NumpyGraphCore._adopt(super().copy())
+        return type(self)._adopt(super().copy())
 
     def subgraph(self, mask: int) -> "NumpyGraphCore":
-        return NumpyGraphCore._adopt(super().subgraph(mask))
+        return type(self)._adopt(super().subgraph(mask))
 
     def complement(self) -> "NumpyGraphCore":
-        return NumpyGraphCore._adopt(super().complement())
+        return type(self)._adopt(super().complement())
 
 
-#: The graph-core backend registry: name → core class.
+#: The graph-core backend registry: name → core class.  The native tier
+#: registers itself here when importable (see the bottom of this module).
 GRAPH_BACKENDS: dict[str, type[IndexedGraph]] = {
     "indexed": IndexedGraph,
     "numpy": NumpyGraphCore,
 }
+
+
+def kernels_for(core) -> "object":
+    """The kernel namespace serving a graph core.
+
+    The chordal layer and the separator graph call module-level kernels
+    (``crossing_batch``, ``weight_level_rows``, ``PackedMCSQueue``, …)
+    keyed only on the packed matrix; this is the per-core dispatch
+    point that lets :class:`NativeGraphCore` route the *same* call
+    sites onto the compiled tier.  Cores without an opinion (plain
+    :class:`~repro.graph.core.IndexedGraph`, or a mock in tests) get
+    this module — the numpy reference tier.
+    """
+    namespace = getattr(core, "_kernel_namespace", None)
+    if namespace is None:
+        return sys.modules[__name__]
+    return namespace()
+
+
+def _native_core_class() -> "type[NumpyGraphCore] | None":
+    """The registered native core class, or ``None`` when the compiled
+    extension is unregistered or cannot actually be loaded."""
+    native_cls = GRAPH_BACKENDS.get("native")
+    if native_cls is not None and native_cls.runtime_available():
+        return native_cls
+    return None
 
 
 def select_core_class(
@@ -756,22 +809,36 @@ def select_core_class(
 ) -> type[IndexedGraph]:
     """Resolve a backend name to a core class.
 
-    ``"auto"`` picks :class:`NumpyGraphCore` at or above ``threshold``
-    nodes and :class:`~repro.graph.core.IndexedGraph` below it.
+    ``"auto"`` picks the packed tier at or above ``threshold`` nodes —
+    the native core when its compiled extension is available, else
+    :class:`NumpyGraphCore` — and
+    :class:`~repro.graph.core.IndexedGraph` below it.  An explicit
+    ``"native"`` request likewise degrades to :class:`NumpyGraphCore`
+    when the extension cannot be built or loaded (same kernels, same
+    results, no hard failure); ``repro kernels`` reports the tier that
+    will actually serve.
     """
     if backend == "auto":
-        return NumpyGraphCore if num_nodes >= threshold else IndexedGraph
+        if num_nodes < threshold:
+            return IndexedGraph
+        return _native_core_class() or NumpyGraphCore
     try:
-        return GRAPH_BACKENDS[backend]
+        selected = GRAPH_BACKENDS[backend]
     except KeyError:
         known = ", ".join(["auto", *sorted(GRAPH_BACKENDS)])
         raise ValueError(
             f"unknown graph backend {backend!r} (known: {known})"
         ) from None
+    if backend == "native" and not selected.runtime_available():
+        return NumpyGraphCore
+    return selected
 
 
 def core_backend_name(core: IndexedGraph) -> str:
     """The registry name of a core instance's backend."""
+    for name, backend_cls in GRAPH_BACKENDS.items():
+        if type(core) is backend_cls:
+            return name
     return "numpy" if isinstance(core, NumpyGraphCore) else "indexed"
 
 
@@ -822,6 +889,14 @@ def convert_graph(graph, backend: str = "auto", threshold: int = NUMPY_THRESHOLD
         plain.alive = core.alive
         plain.num_edges = core.num_edges
         return Graph._from_parts(plain, graph.interner.copy())
-    return Graph._from_parts(
-        NumpyGraphCore.from_indexed(core), graph.interner.copy()
-    )
+    return Graph._from_parts(target.from_indexed(core), graph.interner.copy())
+
+
+# Registering the native tier happens in the native module itself (its
+# import is what defines the class); a bare import here keeps the cycle
+# safe in both orders, and any failure simply leaves the registry at
+# two tiers — the native backend must never break the numpy one.
+try:
+    import repro.graph._native.native  # noqa: F401  (self-registers)
+except Exception:  # pragma: no cover - torn install
+    pass

@@ -414,8 +414,14 @@ class MinimalSeparatorSGR(SuccinctGraphRepresentation):
             return [crossing(mask_v, id_mask[i]) for i in ids]
         components = self._components_packed(mask_v)
         matrix = self._mask_matrix
+        ns = _kernel.kernels_for(self._graph.core)
+        if hasattr(ns, "crossing_batch_gather"):
+            # Native tier: the gather, the ANDN and the component test
+            # are fused in one C pass — the ``matrix[ids] & ~row_v``
+            # remainder matrix of the numpy path never materialises.
+            return ns.crossing_batch_gather(components, matrix, ids, id_v)
         remainders = matrix[ids] & ~matrix[id_v]
-        return _kernel.crossing_batch(components, remainders).tolist()
+        return ns.crossing_batch(components, remainders).tolist()
 
     def _crossing(self, mask_u: int, mask_v: int) -> bool:
         remainder = mask_v & ~mask_u
