@@ -14,6 +14,14 @@ existing perf trajectory::
     PYTHONPATH=src python benchmarks/microbench_parallel.py \\
         --workers 4 --record engine-pr2
 
+``--transport tcp`` swaps the parallel run onto the distributed
+backend over loopback — ``--workers`` real ``repro worker``
+subprocesses behind the asyncio TCP coordinator — so the recorded
+figure captures the coordination overhead a multi-host run adds
+(fleet spin-up, handshake + one graph ship, per-batch socket
+round-trips) with zero network variance.  Entries land as
+``LABEL-distributed`` with a ``transport`` field.
+
 The sharded backend pays one process-pool spawn, one shared-memory
 graph segment, and a packed (interned-mask) batch pickle per dispatch;
 with the per-(answer, direction) extend tasks each running a full
@@ -44,6 +52,7 @@ import os
 import pickle
 import random
 import statistics
+import subprocess
 import sys
 import time
 from pathlib import Path
@@ -71,14 +80,55 @@ def usable_cores() -> int:
         return os.cpu_count() or 1
 
 
+def _spawn_tcp_worker(address) -> subprocess.Popen:
+    """One ``repro worker`` subprocess pointed at ``address``."""
+    env = dict(os.environ)
+    src = Path(__file__).resolve().parents[1] / "src"
+    env["PYTHONPATH"] = str(src) + os.pathsep + env.get("PYTHONPATH", "")
+    return subprocess.Popen(
+        [
+            sys.executable,
+            "-m",
+            "repro",
+            "worker",
+            "--connect",
+            f"{address[0]}:{address[1]}",
+        ],
+        env=env,
+        stdout=subprocess.DEVNULL,
+        stderr=subprocess.DEVNULL,
+    )
+
+
 def measure_once(
     backend: str,
     workers: int | None,
     results: int,
     batch_target_ms: float | None,
+    transport: str = "process",
 ) -> tuple[float, EnumMISStatistics]:
     graph = gnp_random_graph(GRAPH_NODES, GRAPH_P, seed=GRAPH_SEED)
-    engine = EnumerationEngine(backend, workers=workers)
+    fleet: list[subprocess.Popen] = []
+    if transport == "tcp" and backend != "serial":
+        # Same coordinator discipline, TCP loopback transport: the
+        # timed region includes the fleet spin-up (worker interpreter
+        # start, handshake, one graph ship) plus per-batch socket
+        # round-trips — exactly the overhead a multi-host run adds.
+        from repro.engine.distributed import DistributedBackend
+
+        count = max(1, workers or 1)
+        engine = EnumerationEngine(
+            DistributedBackend(
+                listen="127.0.0.1:0",
+                expected_workers=count,
+                wait_for_workers_s=60.0,
+                on_listening=lambda addr: fleet.extend(
+                    _spawn_tcp_worker(addr) for _ in range(count)
+                ),
+            )
+        )
+    else:
+        engine = EnumerationEngine(backend, workers=workers)
     kwargs = {}
     if batch_target_ms is not None:
         kwargs["batch_target_ms"] = batch_target_ms
@@ -87,6 +137,8 @@ def measure_once(
     start = time.perf_counter()
     produced = sum(1 for __ in engine.stream(job, stats))
     elapsed = time.perf_counter() - start
+    for proc in fleet:
+        proc.wait(timeout=30)
     if produced < results:
         raise RuntimeError(
             f"benchmark graph yielded only {produced} < {results} results"
@@ -100,11 +152,12 @@ def measure(
     results: int,
     repeats: int,
     batch_target_ms: float | None = None,
+    transport: str = "process",
 ) -> tuple[float, EnumMISStatistics]:
     """Median elapsed time (and that run's statistics) over ``repeats``."""
     runs = sorted(
         (
-            measure_once(backend, workers, results, batch_target_ms)
+            measure_once(backend, workers, results, batch_target_ms, transport)
             for __ in range(repeats)
         ),
         key=lambda run: run[0],
@@ -203,6 +256,17 @@ def main() -> int:
         help="batch duration target handed to the sharded job "
         "(default: the engine default of 100 ms)",
     )
+    parser.add_argument(
+        "--transport",
+        choices=("process", "tcp"),
+        default="process",
+        help="parallel transport: 'process' (the sharded "
+        "multiprocessing pool) or 'tcp' (the distributed backend over "
+        "loopback with --workers `repro worker` subprocesses — "
+        "measures the coordination overhead a multi-host run adds: "
+        "fleet spin-up, handshake + one graph ship, and per-batch "
+        "socket round-trips)",
+    )
     args = parser.parse_args()
 
     cores = usable_cores()
@@ -218,16 +282,25 @@ def main() -> int:
         f"(extend {serial_stats.extend_time_ns / 1e9:.3f}s, "
         f"crossing {serial_stats.crossing_time_ns / 1e9:.3f}s)"
     )
+    parallel_name = (
+        "sharded" if args.transport == "process" else "distributed"
+    )
     sharded, sharded_stats = measure(
         "sharded", args.workers, args.results, args.repeats,
-        args.batch_target_ms,
+        args.batch_target_ms, args.transport,
     )
     speedup = serial / sharded
     wire_columns = batch_wire_columns(sharded_stats)
     print(
-        f"sharded backend ({args.workers} workers): {sharded:.3f}s "
+        f"{parallel_name} backend ({args.workers} workers, "
+        f"{args.transport} transport): {sharded:.3f}s "
         f"→ speedup {speedup:.2f}x"
     )
+    if args.transport == "tcp" and sharded_stats.batches_requeued:
+        print(
+            f"  note: {sharded_stats.batches_requeued} batches were "
+            "requeued off lost workers during the measured run"
+        )
     if wire_columns:
         print(
             f"  {wire_columns['batches']} batches, "
@@ -254,23 +327,22 @@ def main() -> int:
     )
 
     baselines = json.loads(BASELINES_PATH.read_text())
+    against_key = f"{args.against}-{parallel_name}" if args.against else None
     if args.against:
-        reference = comparable_baseline(
-            baselines, f"{args.against}-sharded", cores
-        )
+        reference = comparable_baseline(baselines, against_key, cores)
         if reference is None:
-            recorded = baselines.get(f"{args.against}-sharded")
+            recorded = baselines.get(against_key)
             if recorded is None:
-                print(f"no baseline named '{args.against}-sharded'")
+                print(f"no baseline named '{against_key}'")
             else:
                 print(
-                    f"baseline '{args.against}-sharded' was recorded on "
+                    f"baseline '{against_key}' was recorded on "
                     f"{recorded.get('cores', '?')} core(s); this machine "
                     f"has {cores} — not comparable, skipping"
                 )
         else:
             print(
-                f"baseline '{args.against}-sharded' ({cores} cores): "
+                f"baseline '{against_key}' ({cores} cores): "
                 f"{reference['seconds']:.3f}s → this run is "
                 f"{reference['seconds'] / sharded:.2f}x of it"
             )
@@ -300,21 +372,27 @@ def main() -> int:
             "seconds": round(serial, 4),
             **common,
         }
-        baselines[f"{args.record}-sharded"] = {
+        parallel_key = f"{args.record}-{parallel_name}"
+        baselines[parallel_key] = {
             "seconds": round(sharded, 4),
             "workers": args.workers,
+            "transport": args.transport,
             "speedup_vs_serial": round(speedup, 3),
             **wire_columns,
             "payload_format_n2000": wire_format,
             **common,
         }
-        if args.batch_target_ms is not None:
-            baselines[f"{args.record}-sharded"]["batch_target_ms"] = (
-                args.batch_target_ms
+        if args.transport == "tcp":
+            baselines[parallel_key]["note_transport"] = (
+                "loopback TCP: the figure includes fleet spin-up, "
+                "handshake + one graph ship, and per-batch socket "
+                "round-trips"
             )
+        if args.batch_target_ms is not None:
+            baselines[parallel_key]["batch_target_ms"] = args.batch_target_ms
         BASELINES_PATH.write_text(json.dumps(baselines, indent=2) + "\n")
         print(
-            f"recorded as '{args.record}-serial' / '{args.record}-sharded' "
+            f"recorded as '{args.record}-serial' / '{parallel_key}' "
             f"in {BASELINES_PATH.name}"
         )
     return 0

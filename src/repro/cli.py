@@ -9,6 +9,12 @@ Subcommands:
   persist the enumeration state across interruptions, and
   ``--graph-backend`` picks the graph-core representation (int
   bitmasks / packed numpy word matrices / size-adaptive ``auto``);
+  ``--backend distributed --listen HOST:PORT`` coordinates TCP
+  workers instead of a local pool;
+* ``worker``     — join a distributed enumeration as a compute host:
+  ``repro worker --connect HOST:PORT`` handshakes with the
+  coordinator, receives the packed graph once, and serves batches
+  until the job ends (reconnecting with bounded backoff on failures);
 * ``separators`` — stream the minimal separators;
 * ``stats``      — structural summary (size, chordality, atoms,
   separator count);
@@ -132,13 +138,51 @@ def build_parser() -> argparse.ArgumentParser:
     enum.add_argument(
         "--backend",
         default="serial",
-        help="execution backend: serial or sharded (default: serial)",
+        help="execution backend: serial, sharded or distributed "
+        "(default: serial)",
     )
     enum.add_argument(
         "--workers",
         type=int,
         default=None,
         help="worker processes for the sharded backend (default: one per CPU)",
+    )
+    enum.add_argument(
+        "--listen",
+        default=None,
+        metavar="HOST:PORT",
+        help="with --backend distributed: accept TCP workers here "
+        "(port 0 picks a free port; the bound address is printed). "
+        "Start hosts with `repro worker --connect HOST:PORT`",
+    )
+    enum.add_argument(
+        "--expected-workers",
+        type=int,
+        default=None,
+        metavar="N",
+        help="with --backend distributed: fleet size batches are sized "
+        "for (default: 1).  Membership stays elastic — workers may "
+        "join or leave at any point of the job",
+    )
+    enum.add_argument(
+        "--pending-timeout",
+        type=float,
+        default=None,
+        metavar="S",
+        help="with --backend distributed: fail instead of waiting "
+        "forever when batches sit pending with no worker connected "
+        "for this many seconds (default: wait indefinitely)",
+    )
+    enum.add_argument(
+        "--wait-workers",
+        type=float,
+        default=60.0,
+        metavar="S",
+        help="with --backend distributed: wait up to this long for "
+        "--expected-workers hosts to join before dispatching batches "
+        "(default: 60).  On timeout the job proceeds with whoever "
+        "joined — membership stays elastic either way; 0 starts "
+        "dispatching immediately",
     )
     enum.add_argument(
         "--batch-target-ms",
@@ -177,9 +221,46 @@ def build_parser() -> argparse.ArgumentParser:
         "region plus the cross-region product state",
     )
     enum.add_argument(
+        "--checkpoint-every",
+        type=int,
+        default=None,
+        metavar="N",
+        help="persist the checkpoint after every N newly generated "
+        "answers, plus once on stream close (default: 64).  Lower "
+        "values shrink the window a hard kill can lose; a graceful "
+        "interrupt (SIGINT/SIGTERM) always saves on the way out",
+    )
+    enum.add_argument(
         "--resume",
         action="store_true",
         help="resume from --checkpoint instead of starting fresh",
+    )
+
+    work = sub.add_parser(
+        "worker",
+        help="join a distributed enumeration as a TCP compute host",
+    )
+    work.add_argument(
+        "--connect",
+        required=True,
+        metavar="HOST:PORT",
+        help="coordinator address (the enumerate side's --listen)",
+    )
+    work.add_argument(
+        "--max-retries",
+        type=int,
+        default=8,
+        metavar="N",
+        help="consecutive failed connection attempts before giving up "
+        "(default: 8; exponential backoff between attempts)",
+    )
+    work.add_argument(
+        "--connect-timeout",
+        type=float,
+        default=5.0,
+        metavar="S",
+        help="per-attempt connection/handshake timeout in seconds "
+        "(default: 5)",
     )
 
     seps = sub.add_parser("separators", help="enumerate minimal separators")
@@ -240,15 +321,87 @@ def build_parser() -> argparse.ArgumentParser:
     return parser
 
 
+class _GracefulStop:
+    """First SIGINT/SIGTERM sets a flag, the second interrupts hard.
+
+    The enumerate loop checks the flag *after* printing each answer,
+    so a graceful stop never swallows the answer that was mid-handover
+    when the signal landed — the checkpoint's "delivered" set and the
+    answers the user actually saw stay in exact agreement, which is
+    what makes ``--resume`` yield precisely the remainder.  A blocked
+    or impatient run can still be interrupted with a second signal
+    (ordinary KeyboardInterrupt; the ``finally`` teardown still saves
+    the checkpoint).
+    """
+
+    def __init__(self) -> None:
+        self.signum: int | None = None
+
+    def install(self) -> None:
+        import signal
+
+        def handler(signum, frame):
+            if self.signum is not None:
+                raise KeyboardInterrupt
+            self.signum = signum
+
+        for sig in (signal.SIGINT, signal.SIGTERM):
+            try:
+                signal.signal(sig, handler)
+            except ValueError:  # pragma: no cover - non-main thread
+                pass
+
+
+def _graceful_sigterm() -> None:
+    """Turn SIGTERM into KeyboardInterrupt for checkpoint-safe exits."""
+    import signal
+
+    def handler(signum, frame):
+        signal.signal(signal.SIGTERM, signal.SIG_DFL)
+        raise KeyboardInterrupt
+
+    try:
+        signal.signal(signal.SIGTERM, handler)
+    except ValueError:  # pragma: no cover - non-main thread (tests)
+        pass
+
+
 def _command_enumerate(args: argparse.Namespace) -> int:
     from repro.engine import EnumerationEngine, EnumerationJob
 
     graph = load_graph(args.graph, args.format)
     print(f"{graph.summary()}; chordal: {is_chordal(graph)}")
-    engine = EnumerationEngine(args.backend, workers=args.workers)
+    stop = _GracefulStop()
+    stop.install()
+    backend = args.backend
+    if backend == "distributed":
+        from repro.engine.distributed import DistributedBackend
+
+        backend = DistributedBackend(
+            listen=args.listen,
+            expected_workers=args.expected_workers or 1,
+            pending_timeout_s=args.pending_timeout,
+            wait_for_workers_s=(
+                args.wait_workers if args.wait_workers > 0 else None
+            ),
+            on_listening=lambda addr: print(
+                f"coordinator listening on {addr[0]}:{addr[1]} — start "
+                f"workers with: repro worker --connect {addr[0]}:{addr[1]}",
+                flush=True,
+            ),
+        )
+    elif args.listen is not None:
+        print(
+            "warning: --listen is only meaningful with --backend "
+            "distributed; ignoring",
+            file=sys.stderr,
+        )
+    engine = EnumerationEngine(backend, workers=args.workers)
     job_kwargs = {}
     if args.batch_target_ms is not None:
         job_kwargs["batch_target_ms"] = args.batch_target_ms
+    if args.checkpoint_every is not None:
+        job_kwargs["checkpoint_every"] = args.checkpoint_every
     job = EnumerationJob(
         graph,
         triangulator=args.triangulator,
@@ -260,6 +413,7 @@ def _command_enumerate(args: argparse.Namespace) -> int:
     )
     best = None
     count = 0
+    interrupted = False
     start = time.monotonic()
     stream = engine.stream(job)
     try:
@@ -269,9 +423,16 @@ def _command_enumerate(args: argparse.Namespace) -> int:
             line = f"[{elapsed:8.3f}s] #{count} width={t.width} fill={t.fill}"
             if args.show_fill:
                 line += f" edges={list(t.fill_edges)}"
-            print(line)
+            # Flushed per answer: a checkpoint save marks an answer
+            # delivered only after its yield returns, so flushing here
+            # guarantees every delivered answer is observable on stdout
+            # even if the coordinator is SIGKILLed right afterwards.
+            print(line, flush=True)
             if best is None or t.width < best.width:
                 best = t
+            if stop.signum is not None:
+                interrupted = True
+                break
             if args.max_results is not None and count >= args.max_results:
                 print(f"stopping: reached --max-results {args.max_results}")
                 break
@@ -280,19 +441,46 @@ def _command_enumerate(args: argparse.Namespace) -> int:
                 break
         else:
             print("enumeration complete")
+    except KeyboardInterrupt:
+        interrupted = True
     finally:
-        # Releases the worker pool and, when --checkpoint is given,
-        # persists the final enumeration state.
+        # Releases the worker pool (or TCP fleet) and, when
+        # --checkpoint is given, persists the final enumeration state.
         stream.close()
+    if interrupted:
+        where = (
+            f"state saved to {args.checkpoint}; rerun with --resume"
+            if args.checkpoint
+            else "state not checkpointed (pass --checkpoint to resume)"
+        )
+        print(f"\ninterrupted after {count} results; {where}")
     if best is None:
         print("0 minimal triangulations (resumed run already complete?)")
-        return 0
+        return 130 if interrupted else 0
     print(f"{count} minimal triangulations; best width {best.width}")
     if args.td_out is not None:
         decomposition = best.tree_decomposition()
         write_pace_td(decomposition, graph, args.td_out)
         print(f"wrote best tree decomposition to {args.td_out}")
-    return 0
+    return 130 if interrupted else 0
+
+
+def _command_worker(args: argparse.Namespace) -> int:
+    from repro.engine.distributed.protocol import parse_address
+    from repro.engine.distributed.worker import WorkerConfig, run_worker
+
+    _graceful_sigterm()
+    address = parse_address(args.connect)
+    config = WorkerConfig(
+        connect_timeout_s=args.connect_timeout,
+        max_retries=args.max_retries,
+    )
+    try:
+        return run_worker(address, config)
+    except KeyboardInterrupt:
+        print("\n[repro-worker] interrupted; leaving the fleet",
+              file=sys.stderr)
+        return 130
 
 
 def _command_separators(args: argparse.Namespace) -> int:
@@ -409,6 +597,7 @@ def _command_kernels(args: argparse.Namespace) -> int:
 
 _COMMANDS = {
     "enumerate": _command_enumerate,
+    "worker": _command_worker,
     "separators": _command_separators,
     "stats": _command_stats,
     "tpch": _command_tpch,

@@ -18,7 +18,14 @@ registered backend:
   :class:`~repro.sgr.enum_mis.EnumMISStatistics` — stage timers
   included — merge into one aggregate report.
 
-Both backends enumerate exactly the same answer set — ``MaxInd`` of
+* ``distributed`` — the same coordinator discipline over TCP: an
+  asyncio coordinator ships the packed adjacency once per connected
+  host and fans batches out to ``repro worker --connect`` processes on
+  any machine, with elastic membership (workers join/leave mid-job)
+  and exactly-once requeue of batches owned by lost hosts
+  (:mod:`repro.engine.distributed`).
+
+All backends enumerate exactly the same answer set — ``MaxInd`` of
 the separator graph is canonical, and only the execution strategy
 differs.  Long enumerations can checkpoint their (Q, P, V) state and
 resume after interruption (:mod:`repro.engine.checkpoint`); jobs whose
@@ -58,6 +65,7 @@ from repro.engine.result import AnswerRecord, EnumerationResult
 # Importing the backend modules registers them.
 from repro.engine import serial as _serial  # noqa: E402,F401
 from repro.engine import sharded as _sharded  # noqa: E402,F401
+from repro.engine import distributed as _distributed  # noqa: E402,F401
 
 __all__ = [
     "AnswerRecord",

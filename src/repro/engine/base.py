@@ -30,6 +30,7 @@ if TYPE_CHECKING:  # pragma: no cover - import cycle guard for typing only
 
 __all__ = [
     "EngineError",
+    "WireDecodeError",
     "EnumerationBackend",
     "available_backends",
     "get_backend",
@@ -39,6 +40,18 @@ __all__ = [
 
 class EngineError(RuntimeError):
     """An enumeration job could not be executed as specified."""
+
+
+class WireDecodeError(EngineError):
+    """Bytes on the wire do not form a valid message.
+
+    Raised by every decoder that handles untrusted input — the packed
+    batch/result serialisations of :mod:`repro.engine.wire` and the
+    framed TCP protocol of :mod:`repro.engine.distributed.protocol` —
+    instead of leaking IndexError/ValueError from malformed, truncated
+    or adversarial bytes.  Defined here (not in ``wire``) so the
+    numpy-free protocol layer can raise it without importing numpy.
+    """
 
 
 class EnumerationBackend(abc.ABC):

@@ -55,6 +55,7 @@ from __future__ import annotations
 
 import os
 import time
+import warnings
 from concurrent.futures import Future, ProcessPoolExecutor
 from dataclasses import dataclass, replace
 from typing import Hashable
@@ -77,6 +78,7 @@ __all__ = [
     "GraphPayload",
     "InlineRunner",
     "PoolRunner",
+    "WorkerState",
     "default_worker_count",
     "make_payload",
     "triangulator_spec",
@@ -185,6 +187,25 @@ def make_payload(
     )
 
 
+#: One degradation warning per worker process, not one per region.
+_DEGRADATION_WARNED = False
+
+
+def _warn_degraded(requested: str, actual: str) -> None:
+    global _DEGRADATION_WARNED
+    if not _DEGRADATION_WARNED:
+        _DEGRADATION_WARNED = True
+        warnings.warn(
+            f"worker cannot run the {requested!r} graph-kernel tier "
+            f"(compiled extension unavailable in this process); "
+            f"degrading to {actual!r}.  Mixed-tier execution is "
+            "correct but skews per-worker timings — see the "
+            "kernel_tiers breakdown in the merged statistics",
+            RuntimeWarning,
+            stacklevel=2,
+        )
+
+
 def _rebuild_graph(
     payload: GraphPayload,
 ) -> tuple[Graph, "object | None"]:
@@ -221,6 +242,7 @@ def _rebuild_graph(
         )
         if payload.backend == "native" and not core_cls.runtime_available():
             core_cls = _bitset.NumpyGraphCore
+            _warn_degraded(payload.backend, "numpy")
         core = core_cls.from_packed(matrix, payload.alive, payload.num_edges)
     else:
         core = IndexedGraph.__new__(IndexedGraph)
@@ -235,12 +257,27 @@ def _rebuild_graph(
     return Graph._from_parts(core, interner), buffer
 
 
-class _WorkerState:
-    """Per-process state: the graph plus one warm SGR per region."""
+class WorkerState:
+    """Per-worker state: the graph plus one warm SGR per region.
+
+    This is the *single* worker code path — the multiprocessing pool,
+    the in-process inline runner and the socket worker of
+    :mod:`repro.engine.distributed.worker` all execute batches through
+    :meth:`run_batch` on one instance, so transport never changes what
+    a batch computes.  ``kernel_tier`` records which graph-kernel tier
+    this worker actually runs (it may be a degraded tier when the
+    payload named ``native`` but the extension is unavailable here);
+    every batch's statistics delta counts itself under that tier, so a
+    mixed-tier fleet is visible in the merged report.
+    """
 
     def __init__(self, payload: GraphPayload) -> None:
         self.graph, self._buffer = _rebuild_graph(payload)
         self.triangulator = get_triangulator(payload.triangulator)
+        if _bitset is not None:
+            self.kernel_tier = _bitset.core_backend_name(self.graph.core)
+        else:
+            self.kernel_tier = "indexed"
         # region mask → (region graph, SGR, mask → separator cache)
         self._regions: dict[
             int, tuple[Graph, MinimalSeparatorSGR, dict[int, frozenset]]
@@ -313,6 +350,7 @@ class _WorkerState:
         to meter pure IPC.
         """
         stats = EnumMISStatistics()
+        stats.kernel_tiers[self.kernel_tier] = 1
         started = time.perf_counter_ns()
         if _wire is not None and isinstance(batch, _wire.PackedBatch):
             region_mask, answers, directions = _wire.decode_batch(batch)
@@ -329,12 +367,15 @@ class _WorkerState:
         return out, stats, time.perf_counter_ns() - started
 
 
-_WORKER_STATE: _WorkerState | None = None
+#: Back-compat alias (the class predates the socket worker extraction).
+_WorkerState = WorkerState
+
+_WORKER_STATE: WorkerState | None = None
 
 
 def _init_worker(payload: GraphPayload) -> None:
     global _WORKER_STATE
-    _WORKER_STATE = _WorkerState(payload)
+    _WORKER_STATE = WorkerState(payload)
 
 
 def _run_batch(batch):
@@ -353,7 +394,7 @@ class InlineRunner:
     wire_format = "plain"
 
     def __init__(self, payload: GraphPayload) -> None:
-        self._state = _WorkerState(payload)
+        self._state = WorkerState(payload)
 
     def submit(self, batch: TaskBatch) -> "Future[BatchResult]":
         future: Future = Future()

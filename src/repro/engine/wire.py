@@ -36,14 +36,33 @@ The legacy tuple format — ``(region_mask, [(answer_masks,
 direction_masks), ...])`` — remains the in-process representation used
 by the inline runner (nothing is pickled there, so interning would be
 pure overhead) and the fallback when numpy is unavailable.
+
+Untrusted bytes
+---------------
+The multiprocessing pool moves these structures over a pickle channel
+between processes of one user, but the distributed runner reads them
+off a TCP socket — bytes a coordinator must treat as untrusted input.
+Every decoding entry point therefore *validates before it indexes*:
+malformed, truncated or internally inconsistent payloads raise the
+typed :class:`WireDecodeError` (never ``IndexError``/``ValueError``
+from deep inside numpy, and never an attacker-sized allocation — field
+lengths are checked against the actual buffer before anything is
+built).  :func:`batch_to_bytes` / :func:`batch_from_bytes` and
+:func:`result_to_bytes` / :func:`result_from_bytes` are the flat,
+pickle-free serialisations of the two message bodies the socket
+protocol frames (statistics travel as a JSON snapshot, masks as the
+same packed buffers the in-process format uses).
 """
 
 from __future__ import annotations
 
+import json
+import struct
 from typing import TYPE_CHECKING, Iterable, NamedTuple
 
 import numpy as np
 
+from repro.engine.base import WireDecodeError
 from repro.graph.bitset_np import pack_masks, unpack_rows
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
@@ -52,16 +71,27 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
 __all__ = [
     "PackedBatch",
     "PackedResult",
+    "WireDecodeError",
     "encode_batch",
     "decode_batch",
     "encode_result",
     "decode_result",
+    "batch_to_bytes",
+    "batch_from_bytes",
+    "result_to_bytes",
+    "result_from_bytes",
     "reference_batch",
     "legacy_batch",
 ]
 
 _REF_DTYPE = np.dtype("<u4")
 _WORD_DTYPE = np.dtype("<u8")
+
+#: Upper bound on any single length field of a serialised batch or
+#: result.  Frames are bounded again at the transport layer; this cap
+#: stops a corrupt length word from provoking a giant allocation even
+#: when a decoder is fed bytes that never crossed a socket.
+MAX_WIRE_FIELD_BYTES = 1 << 28
 
 
 class PackedBatch(NamedTuple):
@@ -192,10 +222,76 @@ def encode_batch(
     )
 
 
+def _check(condition: bool, message: str) -> None:
+    if not condition:
+        raise WireDecodeError(message)
+
+
+def _validate_refs(
+    refs: bytes, lens: bytes | None, rows: int, what: str
+) -> None:
+    """All invariants that make indexing into the mask table safe."""
+    _check(
+        len(refs) % _REF_DTYPE.itemsize == 0,
+        f"{what} reference stream is not a whole number of uint32 words",
+    )
+    if lens is not None:
+        _check(
+            len(lens) % _REF_DTYPE.itemsize == 0,
+            f"{what} length stream is not a whole number of uint32 words",
+        )
+        lengths = np.frombuffer(lens, dtype=_REF_DTYPE)
+        total = int(lengths.sum(dtype=np.int64))
+        _check(
+            total == len(refs) // _REF_DTYPE.itemsize,
+            f"{what} lengths sum to {total} but the reference stream "
+            f"holds {len(refs) // _REF_DTYPE.itemsize} entries",
+        )
+    if refs:
+        references = np.frombuffer(refs, dtype=_REF_DTYPE)
+        top = int(references.max())
+        _check(
+            top < rows,
+            f"{what} references row {top} of a {rows}-row mask table",
+        )
+
+
+def _validate_table(table: bytes, words: int) -> int:
+    """Return the table's row count; raise if the shape is impossible."""
+    _check(words >= 1, f"words per mask must be >= 1, got {words}")
+    row_bytes = words * _WORD_DTYPE.itemsize
+    _check(
+        len(table) % row_bytes == 0,
+        f"mask table of {len(table)} bytes is not a whole number of "
+        f"{row_bytes}-byte rows",
+    )
+    return len(table) // row_bytes
+
+
+def validate_batch(batch: PackedBatch) -> None:
+    """Raise :class:`WireDecodeError` unless ``batch`` decodes safely."""
+    rows = _validate_table(batch.table, batch.words)
+    _check(batch.region_mask >= 0, "region mask must be non-negative")
+    _validate_refs(batch.answer_refs, batch.answer_lens, rows, "answer")
+    _validate_refs(batch.direction_refs, None, rows, "direction")
+
+
+def validate_result(result: PackedResult) -> None:
+    """Raise :class:`WireDecodeError` unless ``result`` decodes safely."""
+    rows = _validate_table(result.table, result.words)
+    _validate_refs(result.answer_refs, result.answer_lens, rows, "answer")
+
+
 def decode_batch(
     batch: PackedBatch,
 ) -> tuple[int, list[tuple[int, ...]], tuple[int, ...]]:
-    """Invert :func:`encode_batch`: ``(region_mask, answers, directions)``."""
+    """Invert :func:`encode_batch`: ``(region_mask, answers, directions)``.
+
+    Validates the batch first, so malformed input raises
+    :class:`WireDecodeError` rather than an arbitrary numpy/indexing
+    error from half-way through decoding.
+    """
+    validate_batch(batch)
     table = _decode_table(batch.table, batch.words)
     answers = _decode_answer_lists(
         table, batch.answer_refs, batch.answer_lens
@@ -228,10 +324,165 @@ def encode_result(
 
 def decode_result(result: PackedResult) -> list[tuple[int, ...]]:
     """Invert :func:`encode_result` (the mask payload half)."""
+    validate_result(result)
     table = _decode_table(result.table, result.words)
     return _decode_answer_lists(
         table, result.answer_refs, result.answer_lens
     )
+
+
+# ----------------------------------------------------------------------
+# Flat byte serialisation (the socket transport's message bodies)
+# ----------------------------------------------------------------------
+
+_BATCH_HEADER = struct.Struct("!IIIIII")
+_RESULT_HEADER = struct.Struct("!IqIIII")
+
+
+def _split_fields(
+    data: bytes, offset: int, lengths: tuple[int, ...], what: str
+) -> list[bytes]:
+    """Slice consecutive length-prefixed fields, validating first."""
+    total = offset
+    for length in lengths:
+        _check(
+            0 <= length <= MAX_WIRE_FIELD_BYTES,
+            f"{what} field length {length} exceeds the wire cap",
+        )
+        total += length
+    _check(
+        total == len(data),
+        f"{what} of {len(data)} bytes does not match its declared "
+        f"field lengths (expected {total})",
+    )
+    fields = []
+    for length in lengths:
+        fields.append(data[offset : offset + length])
+        offset += length
+    return fields
+
+
+def batch_to_bytes(batch: PackedBatch) -> bytes:
+    """Serialise a :class:`PackedBatch` into one flat byte string."""
+    mask = batch.region_mask
+    region = mask.to_bytes(max(1, (mask.bit_length() + 7) // 8), "little")
+    header = _BATCH_HEADER.pack(
+        batch.words,
+        len(region),
+        len(batch.table),
+        len(batch.answer_refs),
+        len(batch.answer_lens),
+        len(batch.direction_refs),
+    )
+    return b"".join(
+        (
+            header,
+            region,
+            batch.table,
+            batch.answer_refs,
+            batch.answer_lens,
+            batch.direction_refs,
+        )
+    )
+
+
+def batch_from_bytes(data: bytes) -> PackedBatch:
+    """Rebuild a validated :class:`PackedBatch` from untrusted bytes."""
+    _check(
+        len(data) >= _BATCH_HEADER.size,
+        f"batch frame of {len(data)} bytes is shorter than its header",
+    )
+    words, *lengths = _BATCH_HEADER.unpack_from(data)
+    region, table, refs, lens, directions = _split_fields(
+        data, _BATCH_HEADER.size, tuple(lengths), "batch frame"
+    )
+    batch = PackedBatch(
+        region_mask=int.from_bytes(region, "little"),
+        words=words,
+        table=table,
+        answer_refs=refs,
+        answer_lens=lens,
+        direction_refs=directions,
+    )
+    validate_batch(batch)
+    return batch
+
+
+def result_to_bytes(result: PackedResult) -> bytes:
+    """Serialise a :class:`PackedResult` (statistics as JSON snapshot)."""
+    stats_blob = json.dumps(result.stats.snapshot()).encode()
+    header = _RESULT_HEADER.pack(
+        result.words,
+        result.compute_ns,
+        len(result.table),
+        len(result.answer_refs),
+        len(result.answer_lens),
+        len(stats_blob),
+    )
+    return b"".join(
+        (
+            header,
+            result.table,
+            result.answer_refs,
+            result.answer_lens,
+            stats_blob,
+        )
+    )
+
+
+def _stats_from_blob(blob: bytes) -> "EnumMISStatistics":
+    from repro.sgr.enum_mis import EnumMISStatistics
+
+    try:
+        raw = json.loads(blob)
+    except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+        raise WireDecodeError(
+            f"result statistics are not valid JSON: {exc}"
+        ) from exc
+    _check(isinstance(raw, dict), "result statistics must be an object")
+    counters: dict = {}
+    for key, value in raw.items():
+        if isinstance(value, dict):
+            _check(
+                all(
+                    isinstance(k, str) and isinstance(v, int)
+                    for k, v in value.items()
+                ),
+                f"statistics map {key!r} must hold integer counters",
+            )
+            counters[str(key)] = {str(k): int(v) for k, v in value.items()}
+        elif isinstance(value, int):
+            counters[str(key)] = value
+        else:
+            raise WireDecodeError(
+                f"statistics counter {key!r} must be an integer"
+            )
+    stats = EnumMISStatistics()
+    stats.restore(counters)
+    return stats
+
+
+def result_from_bytes(data: bytes) -> PackedResult:
+    """Rebuild a validated :class:`PackedResult` from untrusted bytes."""
+    _check(
+        len(data) >= _RESULT_HEADER.size,
+        f"result frame of {len(data)} bytes is shorter than its header",
+    )
+    words, compute_ns, *lengths = _RESULT_HEADER.unpack_from(data)
+    table, refs, lens, stats_blob = _split_fields(
+        data, _RESULT_HEADER.size, tuple(lengths), "result frame"
+    )
+    _check(compute_ns >= 0, "result compute time must be non-negative")
+    result = PackedResult(
+        words=words,
+        table=table,
+        answer_refs=refs,
+        answer_lens=lens,
+        compute_ns=compute_ns,
+        stats=_stats_from_blob(stats_blob),
+    )
+    validate_result(result)
+    return result
 
 
 # ----------------------------------------------------------------------

@@ -93,7 +93,18 @@ class EnumMISStatistics:
     ipc_payload_bytes: int = 0
     batches_dispatched: int = 0
     batch_roundtrip_ns: int = 0
+    # Runner-level fleet accounting (the distributed transport): how
+    # many workers joined and were lost over the run, and how many
+    # dispatched batches had to be requeued off a dead/timed-out host.
+    worker_joins: int = 0
+    worker_losses: int = 0
+    batches_requeued: int = 0
     redundant_extensions: dict[str, int] = field(default_factory=dict)
+    # Graph-kernel tier → batches executed on that tier, filled by the
+    # workers (process-pool and socket alike).  A mixed-tier fleet —
+    # e.g. one host whose native extension failed to build degrading to
+    # numpy — is visible here instead of silently skewing timings.
+    kernel_tiers: dict[str, int] = field(default_factory=dict)
 
     #: Every scalar counter, in snapshot order.  snapshot/add/restore
     #: iterate this single list so a newly added counter cannot be
@@ -113,16 +124,27 @@ class EnumMISStatistics:
         "ipc_payload_bytes",
         "batches_dispatched",
         "batch_roundtrip_ns",
+        "worker_joins",
+        "worker_losses",
+        "batches_requeued",
+    )
+
+    #: Map-valued counters ({str: int}), handled alongside the scalars
+    #: by snapshot/add/restore (merged key-wise rather than summed).
+    _MAP_FIELDS = (
+        "redundant_extensions",
+        "kernel_tiers",
     )
 
     def snapshot(self) -> dict:
         """Return the counters as a plain (JSON-safe) dict.
 
-        ``redundant_extensions`` is copied, so mutating the live object
+        Map-valued counters are copied, so mutating the live object
         after snapshotting does not corrupt a saved checkpoint.
         """
         counters = {name: getattr(self, name) for name in self._SCALAR_FIELDS}
-        counters["redundant_extensions"] = dict(self.redundant_extensions)
+        for name in self._MAP_FIELDS:
+            counters[name] = dict(getattr(self, name))
         return counters
 
     def add(self, other: "EnumMISStatistics") -> None:
@@ -136,10 +158,10 @@ class EnumMISStatistics:
         """
         for name in self._SCALAR_FIELDS:
             setattr(self, name, getattr(self, name) + getattr(other, name))
-        for key, value in other.redundant_extensions.items():
-            self.redundant_extensions[key] = (
-                self.redundant_extensions.get(key, 0) + value
-            )
+        for name in self._MAP_FIELDS:
+            mine = getattr(self, name)
+            for key, value in getattr(other, name).items():
+                mine[key] = mine.get(key, 0) + value
 
     def restore(self, counters: dict) -> None:
         """Overwrite the counters from a :meth:`snapshot` dict.
@@ -147,16 +169,18 @@ class EnumMISStatistics:
         Unknown keys are ignored and missing keys leave the current
         value untouched, so old checkpoints stay loadable after new
         counters are added (and new checkpoints degrade gracefully on
-        old code).  ``redundant_extensions`` — a map, not a scalar — is
-        round-tripped too; it used to be silently dropped here, which
-        lost it across engine checkpoint/resume.
+        old code).  The map-valued counters (``redundant_extensions``,
+        ``kernel_tiers``) round-trip too; ``redundant_extensions`` used
+        to be silently dropped here, which lost it across engine
+        checkpoint/resume.
         """
         for key in self._SCALAR_FIELDS:
             if key in counters:
                 setattr(self, key, counters[key])
-        redundant = counters.get("redundant_extensions")
-        if redundant is not None:
-            self.redundant_extensions = dict(redundant)
+        for key in self._MAP_FIELDS:
+            value = counters.get(key)
+            if value is not None:
+                setattr(self, key, dict(value))
 
 
 def merge_statistics(parts: Iterable[EnumMISStatistics]) -> EnumMISStatistics:
