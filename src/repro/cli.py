@@ -174,6 +174,52 @@ def build_parser() -> argparse.ArgumentParser:
         "for this many seconds (default: wait indefinitely)",
     )
     enum.add_argument(
+        "--heartbeat-interval",
+        type=float,
+        default=None,
+        metavar="S",
+        help="with --backend distributed: worker heartbeat cadence in "
+        "seconds (default: 2).  Liveness and pending-timeout sweeps "
+        "tick at this interval, so --pending-timeout must exceed it",
+    )
+    enum.add_argument(
+        "--heartbeat-misses",
+        type=float,
+        default=None,
+        metavar="N",
+        help="with --backend distributed: heartbeat windows a worker "
+        "may miss before it is declared dead and its batches are "
+        "requeued (default: 3)",
+    )
+    enum.add_argument(
+        "--max-batch-retries",
+        type=int,
+        default=None,
+        metavar="N",
+        help="times one failed batch may be redispatched (worker "
+        "death, watchdog abort) before the coordinator splits it in "
+        "half and finally quarantines it — re-driving the pairs "
+        "serially under a hard budget (default: 3)",
+    )
+    enum.add_argument(
+        "--batch-deadline",
+        type=float,
+        default=None,
+        metavar="S",
+        help="per-batch wall-clock ceiling enforced inside each "
+        "sharded worker by the cooperative resource watchdog; a "
+        "breached batch fails typed (the worker survives) and enters "
+        "the retry/split/quarantine ladder (default: unlimited)",
+    )
+    enum.add_argument(
+        "--batch-rss-mb",
+        type=float,
+        default=None,
+        metavar="MB",
+        help="per-batch worker RSS ceiling in MiB, enforced like "
+        "--batch-deadline (default: unlimited)",
+    )
+    enum.add_argument(
         "--wait-workers",
         type=float,
         default=60.0,
@@ -261,6 +307,34 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="S",
         help="per-attempt connection/handshake timeout in seconds "
         "(default: 5)",
+    )
+    work.add_argument(
+        "--batch-deadline",
+        type=float,
+        default=None,
+        metavar="S",
+        help="per-batch wall-clock ceiling enforced by this worker's "
+        "resource watchdog; a breached batch is aborted cooperatively "
+        "and reported to the coordinator as BATCH_FAILED — the worker "
+        "stays in the fleet (default: unlimited)",
+    )
+    work.add_argument(
+        "--max-rss-mb",
+        type=float,
+        default=None,
+        metavar="MB",
+        help="per-batch RSS ceiling in MiB, enforced like "
+        "--batch-deadline (default: unlimited)",
+    )
+    work.add_argument(
+        "--chaos-spec",
+        default=None,
+        metavar="SPEC",
+        help="fault injection (testing only): perturb this worker's "
+        "connection with a deterministic schedule of frame drops, "
+        "delays, duplicates, resets and corruption, e.g. "
+        "'seed=7,drop=0.05'.  Also honoured from the REPRO_CHAOS_SPEC "
+        "/ REPRO_CHAOS_SEED environment variables",
     )
 
     seps = sub.add_parser("separators", help="enumerate minimal separators")
@@ -368,6 +442,7 @@ def _graceful_sigterm() -> None:
 
 def _command_enumerate(args: argparse.Namespace) -> int:
     from repro.engine import EnumerationEngine, EnumerationJob
+    from repro.sgr.enum_mis import EnumMISStatistics
 
     graph = load_graph(args.graph, args.format)
     print(f"{graph.summary()}; chordal: {is_chordal(graph)}")
@@ -377,6 +452,13 @@ def _command_enumerate(args: argparse.Namespace) -> int:
     if backend == "distributed":
         from repro.engine.distributed import DistributedBackend
 
+        distributed_kwargs = {}
+        if args.heartbeat_interval is not None:
+            distributed_kwargs["heartbeat_s"] = args.heartbeat_interval
+        if args.heartbeat_misses is not None:
+            distributed_kwargs["liveness_windows"] = args.heartbeat_misses
+        if args.max_batch_retries is not None:
+            distributed_kwargs["max_batch_retries"] = args.max_batch_retries
         backend = DistributedBackend(
             listen=args.listen,
             expected_workers=args.expected_workers or 1,
@@ -384,6 +466,7 @@ def _command_enumerate(args: argparse.Namespace) -> int:
             wait_for_workers_s=(
                 args.wait_workers if args.wait_workers > 0 else None
             ),
+            **distributed_kwargs,
             on_listening=lambda addr: print(
                 f"coordinator listening on {addr[0]}:{addr[1]} — start "
                 f"workers with: repro worker --connect {addr[0]}:{addr[1]}",
@@ -402,6 +485,12 @@ def _command_enumerate(args: argparse.Namespace) -> int:
         job_kwargs["batch_target_ms"] = args.batch_target_ms
     if args.checkpoint_every is not None:
         job_kwargs["checkpoint_every"] = args.checkpoint_every
+    if args.max_batch_retries is not None:
+        job_kwargs["max_batch_retries"] = args.max_batch_retries
+    if args.batch_deadline is not None:
+        job_kwargs["batch_deadline_s"] = args.batch_deadline
+    if args.batch_rss_mb is not None:
+        job_kwargs["batch_rss_limit_mb"] = args.batch_rss_mb
     job = EnumerationJob(
         graph,
         triangulator=args.triangulator,
@@ -415,7 +504,8 @@ def _command_enumerate(args: argparse.Namespace) -> int:
     count = 0
     interrupted = False
     start = time.monotonic()
-    stream = engine.stream(job)
+    stats = EnumMISStatistics()
+    stream = engine.stream(job, stats)
     try:
         for t in stream:
             count += 1
@@ -458,6 +548,22 @@ def _command_enumerate(args: argparse.Namespace) -> int:
         print("0 minimal triangulations (resumed run already complete?)")
         return 130 if interrupted else 0
     print(f"{count} minimal triangulations; best width {best.width}")
+    supervision = []
+    if stats.batch_retries:
+        supervision.append(f"{stats.batch_retries} batch retries")
+    if stats.batches_quarantined:
+        supervision.append(
+            f"{stats.batches_quarantined} quarantined "
+            f"({stats.poison_answers} answers salvaged serially)"
+        )
+    if stats.protocol_rejections:
+        supervision.append(
+            f"{stats.protocol_rejections} protocol rejections"
+        )
+    if supervision:
+        # A correct answer set that needed salvage is worth knowing
+        # about — mirror result.summary()'s supervision clause here.
+        print("supervision: " + ", ".join(supervision))
     if args.td_out is not None:
         decomposition = best.tree_decomposition()
         write_pace_td(decomposition, graph, args.td_out)
@@ -466,14 +572,28 @@ def _command_enumerate(args: argparse.Namespace) -> int:
 
 
 def _command_worker(args: argparse.Namespace) -> int:
+    import os
+
+    from repro.engine.distributed.chaos import ChaosInjector, ChaosSpec
     from repro.engine.distributed.protocol import parse_address
     from repro.engine.distributed.worker import WorkerConfig, run_worker
+    from repro.engine.pool import poison_from_env
+    from repro.engine.watchdog import BatchLimits
 
     _graceful_sigterm()
     address = parse_address(args.connect)
+    if args.chaos_spec is not None:
+        chaos_spec = ChaosSpec.parse(args.chaos_spec)
+    else:
+        chaos_spec = ChaosSpec.from_env(os.environ)
     config = WorkerConfig(
         connect_timeout_s=args.connect_timeout,
         max_retries=args.max_retries,
+        limits=BatchLimits.from_cli(args.batch_deadline, args.max_rss_mb),
+        poison=poison_from_env(),
+        chaos=(
+            ChaosInjector(chaos_spec) if chaos_spec is not None else None
+        ),
     )
     try:
         return run_worker(address, config)

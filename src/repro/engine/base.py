@@ -31,6 +31,7 @@ if TYPE_CHECKING:  # pragma: no cover - import cycle guard for typing only
 __all__ = [
     "EngineError",
     "WireDecodeError",
+    "BatchFailedError",
     "EnumerationBackend",
     "available_backends",
     "get_backend",
@@ -52,6 +53,35 @@ class WireDecodeError(EngineError):
     or adversarial bytes.  Defined here (not in ``wire``) so the
     numpy-free protocol layer can raise it without importing numpy.
     """
+
+
+class BatchFailedError(EngineError):
+    """One dispatched batch could not be executed by any worker.
+
+    Raised through the batch's ``Future`` by a transport (the
+    distributed runner) once a batch has burned its retry budget —
+    every requeue caused by a *failure* (owner death, batch timeout, or
+    a typed BATCH_FAILED cooperative abort) counts against
+    ``max_batch_retries``.  The coordinator catches it and applies the
+    quarantine policy (split-in-half once, then serial fallback)
+    instead of letting one poison batch kill the run.
+    """
+
+    def __init__(
+        self,
+        message: str,
+        *,
+        reason: str = "failed",
+        exhausted: bool = False,
+    ) -> None:
+        super().__init__(message)
+        #: Machine-readable failure class (``"worker lost"``,
+        #: ``"deadline"``, ``"rss"``, ``"poison"``, …).
+        self.reason = reason
+        #: True when the transport already retried this batch
+        #: ``max_batch_retries`` times; the coordinator must not
+        #: redispatch it as-is.
+        self.exhausted = exhausted
 
 
 class EnumerationBackend(abc.ABC):

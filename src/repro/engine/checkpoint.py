@@ -59,6 +59,8 @@ from __future__ import annotations
 import hashlib
 import json
 import os
+import warnings
+import zlib
 from dataclasses import dataclass, field
 from pathlib import Path
 
@@ -67,6 +69,7 @@ from repro.graph.graph import Graph
 
 __all__ = [
     "CheckpointError",
+    "CheckpointIntegrityError",
     "CheckpointManager",
     "CheckpointState",
     "CheckpointDocument",
@@ -74,13 +77,40 @@ __all__ = [
     "region_fingerprint",
 ]
 
-_FORMAT_VERSION = 2
+#: Version 3 added the document CRC-32 and two-generation rotation
+#: (``ckpt`` → ``ckpt.1`` on every save).  Version-1/2 files load
+#: unchanged — they simply carry no CRC to verify.
+_FORMAT_VERSION = 3
 
 Answer = frozenset[int]
 
 
 class CheckpointError(EngineError):
     """A checkpoint file is unreadable or belongs to a different job."""
+
+
+class CheckpointIntegrityError(CheckpointError):
+    """A checkpoint file is damaged (truncated, corrupt, unreadable).
+
+    Integrity failures are the *recoverable* kind: the data on disk is
+    not what was written, so falling back to the previous generation
+    is safe and right.  Semantic mismatches (wrong job fingerprint,
+    unsupported version) stay plain :class:`CheckpointError` — those
+    mean the *caller* is wrong, and silently resuming an older file of
+    the same wrong job would compound the mistake.
+    """
+
+
+def _document_crc(payload: dict) -> int:
+    """CRC-32 over the canonical JSON encoding of ``payload``.
+
+    The payload must not contain the ``crc32`` key itself; canonical
+    form (sorted keys, no whitespace) makes the digest independent of
+    dict ordering and formatting, so load can recompute it from the
+    parsed document.
+    """
+    body = json.dumps(payload, sort_keys=True, separators=(",", ":"))
+    return zlib.crc32(body.encode())
 
 
 def job_fingerprint(
@@ -207,27 +237,86 @@ class CheckpointManager:
         self.fingerprint = fingerprint
         self.every = every
 
+    @property
+    def previous_path(self) -> Path:
+        """The older checkpoint generation (rotated on every save)."""
+        return self.path.with_name(self.path.name + ".1")
+
     def load_document(self) -> CheckpointDocument:
-        """Read and validate the checkpoint; raises on any mismatch."""
+        """Read and validate the newest *intact* checkpoint generation.
+
+        Integrity damage on the newest file (truncation mid-write,
+        bit-rot caught by the CRC, unreadable file) falls back to the
+        previous generation with a warning — every generation on disk
+        was a complete, delivered-answer-consistent snapshot when it
+        was written, so resuming from the older one repeats work but
+        never re-yields or loses answers.  Semantic mismatches (wrong
+        job, unsupported version) raise immediately on any generation.
+        """
+        failures: list[str] = []
+        for path in (self.path, self.previous_path):
+            if not path.exists():
+                failures.append(f"{path}: missing")
+                continue
+            try:
+                document = self._read_document(path)
+            except CheckpointIntegrityError as exc:
+                failures.append(str(exc))
+                continue
+            if failures:
+                warnings.warn(
+                    "newest checkpoint generation is damaged "
+                    f"({'; '.join(failures)}); resuming from the intact "
+                    f"previous generation {path}",
+                    RuntimeWarning,
+                    stacklevel=2,
+                )
+            return document
+        raise CheckpointIntegrityError(
+            "no intact checkpoint generation: " + "; ".join(failures)
+        )
+
+    def _read_document(self, path: Path) -> CheckpointDocument:
+        """Parse and validate one checkpoint file (no fallback here)."""
         try:
-            data = json.loads(self.path.read_text())
+            data = json.loads(path.read_text())
         except OSError as exc:
-            raise CheckpointError(
-                f"cannot read checkpoint {self.path}: {exc}"
+            raise CheckpointIntegrityError(
+                f"cannot read checkpoint {path}: {exc}"
             ) from exc
         except json.JSONDecodeError as exc:
-            raise CheckpointError(
-                f"checkpoint {self.path} is not valid JSON: {exc}"
+            raise CheckpointIntegrityError(
+                f"checkpoint {path} is not valid JSON: {exc}"
             ) from exc
+        if not isinstance(data, dict):
+            raise CheckpointIntegrityError(
+                f"checkpoint {path} is not a JSON object"
+            )
         version = data.get("version")
-        if version not in (1, _FORMAT_VERSION):
+        if version not in (1, 2, _FORMAT_VERSION):
             raise CheckpointError(
-                f"checkpoint {self.path} has unsupported version "
+                f"checkpoint {path} has unsupported version "
                 f"{version!r} (expected {_FORMAT_VERSION})"
             )
+        if version == _FORMAT_VERSION:
+            # Bit-level integrity: a version-3 document always carries
+            # its CRC.  A syntactically valid file whose CRC is absent
+            # or wrong is damaged, not merely old.
+            try:
+                stored = int(data.pop("crc32"))
+            except (KeyError, TypeError, ValueError):
+                raise CheckpointIntegrityError(
+                    f"checkpoint {path} is missing its crc32 field"
+                ) from None
+            actual = _document_crc(data)
+            if stored != actual:
+                raise CheckpointIntegrityError(
+                    f"checkpoint {path} failed its CRC-32 check "
+                    f"(stored {stored:#010x}, computed {actual:#010x})"
+                )
         if data.get("fingerprint") != self.fingerprint:
             raise CheckpointError(
-                f"checkpoint {self.path} belongs to a different job "
+                f"checkpoint {path} belongs to a different job "
                 "(graph, mode, triangulator or decompose changed)"
             )
         stats = _decode_stats(data.get("stats", {}))
@@ -255,14 +344,22 @@ class CheckpointManager:
         """
         if not resume:
             return None
-        if not self.path.exists():
+        if not self.path.exists() and not self.previous_path.exists():
             raise CheckpointError(
                 f"cannot resume: checkpoint {self.path} does not exist"
             )
         return self.load_document()
 
     def save_document(self, document: CheckpointDocument) -> None:
-        """Atomically persist ``document`` (write temp file, rename)."""
+        """Atomically persist ``document`` (write temp, rotate, rename).
+
+        The CRC-32 over the canonical payload is stored in the file, so
+        load can prove bit-level integrity; the previous file rotates
+        to the ``.1`` generation *before* the rename, so at every
+        instant at least one complete generation exists on disk — an
+        interrupt between the two renames leaves the old snapshot as
+        ``.1`` and load falls back to it.
+        """
         payload = {
             "version": _FORMAT_VERSION,
             "fingerprint": self.fingerprint,
@@ -273,8 +370,11 @@ class CheckpointManager:
             "delivered": document.delivered,
             "stats": document.stats,
         }
+        payload["crc32"] = _document_crc(payload)
         tmp = self.path.with_name(self.path.name + ".tmp")
         tmp.write_text(json.dumps(payload))
+        if self.path.exists():
+            os.replace(self.path, self.previous_path)
         os.replace(tmp, self.path)
 
     # -- single-state convenience (tests, tooling) ---------------------

@@ -51,16 +51,29 @@ from __future__ import annotations
 
 import itertools
 import time
+import warnings
 from collections.abc import Callable, Iterator
 from concurrent.futures import FIRST_COMPLETED, Future, wait
+from concurrent.futures.process import BrokenProcessPool
 from typing import NamedTuple
 
 from repro.chordal.minimal_separators import minimal_separator_masks
 from repro.chordal.triangulate import Triangulator
 from repro.core.extend import extend_parallel_set
+from repro.engine.base import BatchFailedError, EngineError
 from repro.engine.batching import AdaptiveBatcher
 from repro.engine.checkpoint import CheckpointError, CheckpointState
-from repro.engine.pool import InlineRunner, PoolRunner
+from repro.engine.pool import (
+    InlineRunner,
+    PoolRunner,
+    WorkerState,
+    make_payload,
+)
+from repro.engine.watchdog import (
+    BatchAbortedError,
+    BatchFailure,
+    BatchLimits,
+)
 from repro.graph.graph import Graph
 from repro.sgr.enum_mis import EnumMISStatistics, _AnswerQueue
 
@@ -82,6 +95,14 @@ class _Inflight(NamedTuple):
     submitted_ns: int
     sent_bytes: int
     pairs: int
+    #: The direction masks the batch was dispatched against — needed
+    #: to rebuild the exact same work on a retry, split or salvage.
+    directions: tuple[int, ...]
+    #: Coordinator-level redispatch count for this batch's lineage.
+    retries: int
+    #: True once the batch is a half of a split batch: it may be
+    #: retried but never split again (the split happens exactly once).
+    from_split: bool
 
 
 class MISCoordinator:
@@ -113,7 +134,13 @@ class MISCoordinator:
         restore_state: CheckpointState | None = None,
         region_fingerprint: str = "",
         batcher: AdaptiveBatcher | None = None,
+        max_batch_retries: int = 3,
+        quarantine_budget_s: float = 60.0,
     ) -> None:
+        if max_batch_retries < 0:
+            raise EngineError("max_batch_retries must be >= 0")
+        if quarantine_budget_s <= 0:
+            raise EngineError("quarantine_budget_s must be positive")
         self._region = region
         self._region_mask = region_mask
         self._runner = runner
@@ -122,6 +149,12 @@ class MISCoordinator:
         self._priority = priority
         self._stats = stats if stats is not None else EnumMISStatistics()
         self._checkpoint = checkpoint
+        self._max_batch_retries = max_batch_retries
+        self._quarantine_budget_s = quarantine_budget_s
+        # Lazily-built serial fallback for quarantined batches.  Never
+        # shares state with the runner's workers (and never has fault
+        # injection applied), which is what makes salvage converge.
+        self._salvage_state: WorkerState | None = None
         self._region_fingerprint = region_fingerprint
         self._batcher = (
             batcher
@@ -165,6 +198,9 @@ class MISCoordinator:
         kind: str,
         answers: list[Answer],
         directions: tuple[int, ...],
+        *,
+        retries: int = 0,
+        from_split: bool = False,
     ) -> None:
         """Encode and submit one batch; register it as in flight."""
         answer_masks = [tuple(sorted(answer)) for answer in answers]
@@ -183,13 +219,27 @@ class MISCoordinator:
         # whole batch synchronously inside submit(), and its compute
         # must land in the round-trip or the cost model sees zeros.
         submitted = self._batcher.now()
-        future = self._runner.submit(batch)
+        try:
+            future = self._runner.submit(batch)
+        except BrokenProcessPool:
+            # A worker died between our last collect and this submit;
+            # recover the pool and resubmit.  The dead worker's own
+            # batches fail through their futures and take the
+            # retry/split/quarantine ladder as usual.
+            restart = getattr(self._runner, "restart", None)
+            if restart is None:  # pragma: no cover - no recovery path
+                raise
+            restart()
+            future = self._runner.submit(batch)
         self._inflight[future] = _Inflight(
             kind=kind,
             answers=tuple(answers),
             submitted_ns=submitted,
             sent_bytes=sent,
             pairs=len(answers) * len(directions),
+            directions=tuple(directions),
+            retries=retries,
+            from_split=from_split,
         )
 
     def _collect(
@@ -197,13 +247,38 @@ class MISCoordinator:
     ) -> list[Answer]:
         """Decode one completed batch, meter it, absorb its answers.
 
-        May raise (a broken pool surfaces through ``future.result()``);
-        the caller keeps ``entry`` registered in ``_inflight`` until
-        this returns, so a crash-time checkpoint still sees the batch
-        as in flight and requeues its answers instead of recording
-        them — result lost — as processed.
+        May raise (an unsalvageable failure surfaces here); the caller
+        keeps ``entry`` registered in ``_inflight`` until this returns,
+        so a crash-time checkpoint still sees the batch as in flight
+        and requeues its answers instead of recording them — result
+        lost — as processed.
+
+        Batch *failures* — a typed :class:`BatchFailedError` from the
+        distributed transport, a :class:`BatchFailure` value from a
+        pool worker's cooperative abort, or a hard worker death
+        breaking the pool — do not raise: they are routed through the
+        retry → split → quarantine ladder, which either redispatches
+        the work (returning ``[]`` now) or salvages it serially and
+        returns the recovered answers.
         """
-        result = future.result()
+        try:
+            result = future.result()
+        except BatchFailedError as exc:
+            return self._handle_failure(
+                entry, exc.reason, exhausted=exc.exhausted
+            )
+        except BrokenProcessPool:
+            restart = getattr(self._runner, "restart", None)
+            if restart is None:  # pragma: no cover - no recovery path
+                raise
+            restart()
+            return self._handle_failure(
+                entry, "worker process died", exhausted=False
+            )
+        if isinstance(result, BatchFailure):
+            return self._handle_failure(
+                entry, result.reason, exhausted=False
+            )
         if _wire is not None and isinstance(result, _wire.PackedResult):
             candidates = _wire.decode_result(result)
             delta = result.stats
@@ -229,6 +304,99 @@ class MISCoordinator:
         stats.batch_roundtrip_ns += roundtrip
         self._batcher.observe(entry.pairs, compute_ns)
         return self._absorb(candidates, delta)
+
+    # ------------------------------------------------------------------
+    # Poison-batch quarantine (retry → split → serial salvage)
+    # ------------------------------------------------------------------
+
+    def _handle_failure(
+        self, entry: _Inflight, reason: str, *, exhausted: bool
+    ) -> list[Answer]:
+        """Route one failed batch through the quarantine ladder.
+
+        1. *Retry* the batch as-is while its lineage has budget left —
+           unless the transport already exhausted its own retry budget
+           on it (``exhausted``), in which case resubmitting the same
+           batch would just burn another full transport budget.
+        2. *Split in half* once: a single poison answer condemns every
+           batch it rides in, and halving isolates it so the healthy
+           answers rejoin the normal path.
+        3. *Quarantine*: re-drive the remaining (answer, direction)
+           pairs serially in this process under a hard budget.
+
+        Returns the answers recovered now (salvage) or ``[]`` when the
+        work was redispatched.
+        """
+        stats = self._stats
+        if not exhausted and entry.retries < self._max_batch_retries:
+            stats.batch_retries += 1
+            self._dispatch(
+                entry.kind,
+                list(entry.answers),
+                entry.directions,
+                retries=entry.retries + 1,
+                from_split=entry.from_split,
+            )
+            return []
+        if len(entry.answers) > 1 and not entry.from_split:
+            stats.batch_retries += 1
+            half = len(entry.answers) // 2
+            for part in (entry.answers[:half], entry.answers[half:]):
+                # The split is the last pre-quarantine attempt: halves
+                # carry a spent retry budget, so a half that fails
+                # again goes straight to salvage.
+                self._dispatch(
+                    entry.kind,
+                    list(part),
+                    entry.directions,
+                    retries=self._max_batch_retries,
+                    from_split=True,
+                )
+            return []
+        return self._quarantine(entry, reason)
+
+    def _quarantine(self, entry: _Inflight, reason: str) -> list[Answer]:
+        """Serially re-drive a poison batch in the coordinator process.
+
+        The salvage :class:`WorkerState` is built lazily from this
+        region's own graph — it shares nothing with the runner's
+        workers (no fault injection, no pool, no socket), so whatever
+        killed the batch out there cannot recur here; what *can* recur
+        is a genuinely unprocessable pair, which the hard deadline
+        turns into a typed error instead of a hang.
+        """
+        stats = self._stats
+        stats.batches_quarantined += 1
+        stats.poison_answers += len(entry.answers)
+        warnings.warn(
+            f"quarantining a batch of {len(entry.answers)} answer(s) "
+            f"after repeated failures (last: {reason}); re-driving it "
+            "serially in the coordinator process",
+            RuntimeWarning,
+            stacklevel=2,
+        )
+        state = self._salvage_state
+        if state is None:
+            state = WorkerState(
+                make_payload(self._region, self._triangulator),
+                limits=BatchLimits(deadline_s=self._quarantine_budget_s),
+            )
+            self._salvage_state = state
+        jobs = [
+            (tuple(sorted(answer)), entry.directions)
+            for answer in entry.answers
+        ]
+        try:
+            out, delta, __ = state.run_batch((self._region_mask, jobs))
+        except BatchAbortedError as exc:
+            raise EngineError(
+                "quarantined batch could not be salvaged within its "
+                f"{self._quarantine_budget_s:.0f}s serial budget "
+                f"({exc.reason}); an (answer, direction) pair of this "
+                "input is genuinely unprocessable under the configured "
+                "limits"
+            ) from exc
+        return self._absorb(out, delta)
 
     # ------------------------------------------------------------------
     # Checkpointing

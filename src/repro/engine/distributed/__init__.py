@@ -30,7 +30,11 @@ installs, and the backend raises a typed error only when actually used.
 from __future__ import annotations
 
 from repro.engine.base import EngineError, EnumerationBackend, register_backend
-from repro.engine.distributed.protocol import parse_address
+from repro.engine.distributed.protocol import (
+    DEFAULT_LIVENESS_WINDOWS,
+    parse_address,
+    validate_liveness_config,
+)
 
 __all__ = ["DistributedBackend", "parse_address"]
 
@@ -57,9 +61,19 @@ class DistributedBackend(EnumerationBackend):
         pending_timeout_s: float | None = None,
         wait_for_workers_s: float | None = None,
         on_listening=None,
+        max_batch_retries: int = 3,
+        liveness_windows: float | None = None,
     ) -> None:
         if isinstance(listen, str):
             listen = parse_address(listen)
+        # Validate liveness knobs eagerly: a pending timeout shorter
+        # than the heartbeat can never fire and should fail at
+        # configuration time, not minutes into a run.
+        if liveness_windows is None:
+            liveness_windows = DEFAULT_LIVENESS_WINDOWS
+        validate_liveness_config(
+            heartbeat_s, pending_timeout_s, liveness_windows
+        )
         self._listen = listen
         self._expected_workers = expected_workers
         self._heartbeat_s = heartbeat_s
@@ -67,6 +81,8 @@ class DistributedBackend(EnumerationBackend):
         self._pending_timeout_s = pending_timeout_s
         self._wait_for_workers_s = wait_for_workers_s
         self._on_listening = on_listening
+        self._max_batch_retries = max_batch_retries
+        self._liveness_windows = liveness_windows
 
     def stream(self, job, stats, workers):
         if self._listen is None:
@@ -99,6 +115,8 @@ class DistributedBackend(EnumerationBackend):
                 stats=stats,
                 on_listening=self._on_listening,
                 wait_for_workers_s=self._wait_for_workers_s,
+                max_batch_retries=self._max_batch_retries,
+                liveness_windows=self._liveness_windows,
             )
 
         return coordinated_stream(job, stats, factory)

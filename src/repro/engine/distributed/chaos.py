@@ -1,0 +1,241 @@
+"""Deterministic chaos injection for the distributed transport.
+
+The fault-injection suite (and the CI chaos soak) needs to drive the
+full coordinator/worker stack through *reproducible* schedules of
+network faults — dropped frames, delays, duplicated results, mid-frame
+connection resets and byte corruption — and assert that the answer set
+still equals the serial enumeration every single time.  Hand-scripted
+kill tests cover single faults; this module covers the combinatorial
+space.
+
+:class:`ChaosInjector` wraps the **worker's** blocking socket (the
+plain-socket flavour of :mod:`~repro.engine.distributed.protocol`)
+after the handshake completes.  Wrapping worker-side keeps the asyncio
+coordinator untouched and is sufficient: every steady-state frame
+crosses this socket in one direction or the other, so both the
+worker→coordinator path (results, heartbeats) and the
+coordinator→worker path (batches, pings) are perturbed.  The handshake
+itself is deliberately left clean — a corrupted HELLO/WELCOME is a
+*protocol rejection* (fatal by design, so a genuinely mismatched build
+fails loudly), not transient churn, and chaos must only inject faults
+the stack is specified to survive.
+
+Determinism: faults are drawn from per-frame-type ``random.Random``
+streams derived from the seed, so the schedule for RESULT frames does
+not depend on how many heartbeats the side thread happened to send
+first — the send-side schedule is exactly reproducible per type.  The
+receive side draws from its own seeded stream per ``recv`` call; chunk
+boundaries depend on kernel buffering, so its schedule is seeded but
+not bit-exact across machines.  Correctness assertions never depend on
+the schedule — only on answer-set equality.
+
+Enable via ``repro worker --chaos-spec "seed=7,drop=0.05"`` or the
+``REPRO_CHAOS_SEED`` / ``REPRO_CHAOS_SPEC`` environment variables
+(picked up by the worker CLI, so a whole fleet can be perturbed
+without touching the command line).
+"""
+
+from __future__ import annotations
+
+import random
+import socket
+import time
+import zlib
+from dataclasses import dataclass, fields
+
+from repro.engine.base import EngineError
+
+__all__ = ["ChaosSpec", "ChaosInjector"]
+
+
+@dataclass(frozen=True)
+class ChaosSpec:
+    """One reproducible fault schedule: a seed plus per-fault rates.
+
+    Rates are per-frame (send side) / per-read (receive side)
+    probabilities in [0, 1].  The defaults are modest — a soak run
+    completes, slowly — and any field can be pinned via the spec
+    string, e.g. ``"seed=7,drop=0.2,delay_ms=2"``.
+    """
+
+    seed: int = 0
+    #: Send: swallow the frame entirely (a lost result/heartbeat).
+    drop: float = 0.02
+    #: Send: transmit the frame twice (a duplicated result).
+    dup: float = 0.02
+    #: Send/recv: flip one byte (wire corruption).
+    corrupt: float = 0.02
+    #: Send/recv: close the socket after a partial frame (mid-frame reset).
+    reset: float = 0.01
+    #: Send/recv: stall before the operation.
+    delay: float = 0.05
+    delay_ms: float = 5.0
+
+    def __post_init__(self) -> None:
+        for name in ("drop", "dup", "corrupt", "reset", "delay"):
+            value = getattr(self, name)
+            if not 0.0 <= value <= 1.0:
+                raise EngineError(
+                    f"chaos rate {name} must be in [0, 1], got {value!r}"
+                )
+        if self.delay_ms < 0:
+            raise EngineError("chaos delay_ms must be >= 0")
+
+    @classmethod
+    def parse(cls, text: str) -> "ChaosSpec":
+        """Parse ``"seed=7,drop=0.1,..."`` into a spec (typed errors)."""
+        known = {f.name: f.type for f in fields(cls)}
+        values: dict = {}
+        for part in text.split(","):
+            part = part.strip()
+            if not part:
+                continue
+            key, sep, raw = part.partition("=")
+            key = key.strip()
+            if not sep or key not in known:
+                raise EngineError(
+                    f"chaos spec entry {part!r} is not one of "
+                    f"{sorted(known)} (format: key=value,...)"
+                )
+            try:
+                values[key] = int(raw) if key == "seed" else float(raw)
+            except ValueError:
+                raise EngineError(
+                    f"chaos spec entry {part!r} has a non-numeric value"
+                ) from None
+        return cls(**values)
+
+    @classmethod
+    def from_env(cls, environ) -> "ChaosSpec | None":
+        """Spec from ``REPRO_CHAOS_SPEC``/``REPRO_CHAOS_SEED`` (or None)."""
+        spec = environ.get("REPRO_CHAOS_SPEC")
+        if spec:
+            return cls.parse(spec)
+        seed = environ.get("REPRO_CHAOS_SEED")
+        if seed:
+            try:
+                return cls(seed=int(seed, 0))
+            except ValueError:
+                raise EngineError(
+                    f"REPRO_CHAOS_SEED={seed!r} is not an integer"
+                ) from None
+        return None
+
+
+def _derive_stream(seed: int, key: str) -> random.Random:
+    """A named deterministic sub-stream of the seed (no hash salting)."""
+    return random.Random((seed << 32) ^ zlib.crc32(key.encode()))
+
+
+class _ChaosSocket:
+    """The worker's socket with a fault schedule spliced into it.
+
+    Exposes exactly the surface the worker loop and the protocol's
+    plain-socket codec use (``sendall``/``recv``/``settimeout``/
+    ``close``); everything is forwarded to the real socket around the
+    injected faults.
+    """
+
+    def __init__(self, sock: socket.socket, injector: "ChaosInjector"):
+        self._sock = sock
+        self._injector = injector
+
+    # -- the faulty paths ----------------------------------------------
+
+    def sendall(self, data: bytes) -> None:
+        # send_frame writes one whole frame per sendall, so faults here
+        # are frame-aligned: data[0] is the message type.
+        injector = self._injector
+        spec = injector.spec
+        rng = injector.send_stream(data[0] if data else 0)
+        if rng.random() < spec.delay:
+            time.sleep(spec.delay_ms / 1000.0)
+        draw = rng.random()
+        if draw < spec.drop:
+            return  # swallowed: the peer never sees this frame
+        draw -= spec.drop
+        if draw < spec.reset:
+            cut = rng.randrange(1, len(data)) if len(data) > 1 else 0
+            try:
+                if cut:
+                    self._sock.sendall(data[:cut])
+            finally:
+                self._hard_close()
+            raise ConnectionResetError("chaos: connection reset mid-frame")
+        draw -= spec.reset
+        if draw < spec.corrupt:
+            index = rng.randrange(len(data))
+            flipped = data[index] ^ (1 << rng.randrange(8))
+            data = data[:index] + bytes((flipped,)) + data[index + 1 :]
+            self._sock.sendall(data)
+            return
+        draw -= spec.corrupt
+        self._sock.sendall(data)
+        if draw < spec.dup:
+            self._sock.sendall(data)
+
+    def recv(self, bufsize: int) -> bytes:
+        injector = self._injector
+        spec = injector.spec
+        rng = injector.recv_stream()
+        if rng.random() < spec.delay:
+            time.sleep(spec.delay_ms / 1000.0)
+        draw = rng.random()
+        if draw < spec.reset:
+            self._hard_close()
+            raise ConnectionResetError("chaos: connection reset on read")
+        chunk = self._sock.recv(bufsize)
+        draw -= spec.reset
+        if chunk and draw < spec.corrupt:
+            index = rng.randrange(len(chunk))
+            flipped = chunk[index] ^ (1 << rng.randrange(8))
+            chunk = chunk[:index] + bytes((flipped,)) + chunk[index + 1 :]
+        return chunk
+
+    def _hard_close(self) -> None:
+        try:
+            self._sock.shutdown(socket.SHUT_RDWR)
+        except OSError:
+            pass
+        try:
+            self._sock.close()
+        except OSError:
+            pass
+
+    # -- transparent forwarding ----------------------------------------
+
+    def settimeout(self, value) -> None:
+        self._sock.settimeout(value)
+
+    def close(self) -> None:
+        self._sock.close()
+
+
+class ChaosInjector:
+    """Fault schedules for one worker process, stable across reconnects.
+
+    One injector lives for the worker's lifetime: its streams are *not*
+    reset when the connection is re-established, so a run's fault
+    schedule is a single deterministic sequence per frame type rather
+    than restarting from the seed after every chaos-induced reconnect
+    (which could live-lock a schedule whose first draw is a reset).
+    """
+
+    def __init__(self, spec: ChaosSpec) -> None:
+        self.spec = spec
+        self._send_streams: dict[int, random.Random] = {}
+        self._recv = _derive_stream(spec.seed, "recv")
+
+    def send_stream(self, msg_type: int) -> random.Random:
+        stream = self._send_streams.get(msg_type)
+        if stream is None:
+            stream = _derive_stream(self.spec.seed, f"send:{msg_type}")
+            self._send_streams[msg_type] = stream
+        return stream
+
+    def recv_stream(self) -> random.Random:
+        return self._recv
+
+    def wrap(self, sock: socket.socket) -> _ChaosSocket:
+        """Splice this injector into a freshly-handshaken socket."""
+        return _ChaosSocket(sock, self)

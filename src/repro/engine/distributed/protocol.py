@@ -34,8 +34,16 @@ forever against a coordinator it cannot serve.
 Steady state
 ------------
 ``BATCH`` (coordinator → worker) and ``RESULT`` (worker → coordinator)
-carry an ``!Q`` batch id plus the flat byte serialisations of
-:mod:`repro.engine.wire`.  ``HEARTBEAT`` frames flow worker →
+carry an ``!QI`` batch id + CRC-32 of the body, then the flat byte
+serialisations of :mod:`repro.engine.wire` — the checksum means a
+bit-flipped batch or result is always *detected* (the connection is
+dropped and the batch requeued) instead of decoding into wrong masks.
+``BATCH_FAILED`` (worker → coordinator) is the typed cooperative-abort
+reply: the worker hit its per-batch resource watchdog (wall-clock
+deadline or RSS ceiling), freed its scratch state and *stayed alive*;
+the body is the batch id + a JSON ``{reason, elapsed_s, peak_rss}``
+document the coordinator feeds into its retry/quarantine policy.
+``HEARTBEAT`` frames flow worker →
 coordinator on a fixed cadence (from a side thread, so a worker deep
 in a long ``Extend`` still proves liveness); ``PING`` flows coordinator
 → worker so an idle worker can distinguish a quiet coordinator from a
@@ -49,6 +57,7 @@ import hashlib
 import json
 import socket
 import struct
+import zlib
 from dataclasses import dataclass
 from typing import Hashable
 
@@ -68,6 +77,7 @@ __all__ = [
     "MSG_GOODBYE",
     "MSG_SHUTDOWN",
     "MSG_ERROR",
+    "MSG_BATCH_FAILED",
     "Frame",
     "encode_frame",
     "read_frame_async",
@@ -80,10 +90,52 @@ __all__ = [
     "payload_fingerprint",
     "pack_tagged",
     "unpack_tagged",
+    "encode_batch_failed",
+    "decode_batch_failed",
     "parse_address",
+    "DEFAULT_LIVENESS_WINDOWS",
+    "validate_liveness_config",
 ]
 
-PROTOCOL_VERSION = 1
+#: Heartbeat windows a connection may miss before it is declared dead
+#: (default; CLI-configurable via --heartbeat-misses).  Lives here —
+#: the numpy-free module both transport ends import — so backend
+#: construction can validate liveness settings without importing the
+#: runner (which needs numpy for the packed wire format).
+DEFAULT_LIVENESS_WINDOWS = 3.0
+
+
+def validate_liveness_config(
+    heartbeat_s: float,
+    pending_timeout_s: float | None,
+    liveness_windows: float = DEFAULT_LIVENESS_WINDOWS,
+) -> None:
+    """Reject liveness settings that cannot work, at startup.
+
+    The pending-timeout is enforced by the sweeper, which ticks once
+    per heartbeat interval — a ``pending_timeout_s`` at or below
+    ``heartbeat_s`` would fire late (or confusingly, on its first
+    tick), so it is rejected up front with an actionable error rather
+    than surfacing as a mysterious late timeout mid-run.
+    """
+    if heartbeat_s <= 0:
+        raise EngineError("heartbeat interval must be positive")
+    if liveness_windows <= 0:
+        raise EngineError("heartbeat miss threshold must be positive")
+    if pending_timeout_s is not None and pending_timeout_s <= heartbeat_s:
+        raise EngineError(
+            f"pending_timeout_s ({pending_timeout_s:g}s) must exceed the "
+            f"heartbeat interval ({heartbeat_s:g}s): the liveness sweep "
+            "that enforces it only ticks once per heartbeat — raise "
+            "--pending-timeout or lower --heartbeat-interval"
+        )
+
+#: Version 2 added the per-body CRC-32 in tagged frames and the
+#: BATCH_FAILED cooperative-abort frame.  The handshake itself (HELLO/
+#: WELCOME/ERROR JSON bodies) is unchanged, so a version-1 worker
+#: knocking on a version-2 coordinator — or vice versa — is still
+#: answered with a clean fatal ERROR frame rather than garbage.
+PROTOCOL_VERSION = 2
 MAGIC = "repro-enum"
 
 #: Per-frame body cap.  The largest legitimate frame is the graph
@@ -102,8 +154,9 @@ MSG_PING = 7
 MSG_GOODBYE = 8
 MSG_SHUTDOWN = 9
 MSG_ERROR = 10
+MSG_BATCH_FAILED = 11
 
-_KNOWN_TYPES = frozenset(range(MSG_HELLO, MSG_ERROR + 1))
+_KNOWN_TYPES = frozenset(range(MSG_HELLO, MSG_BATCH_FAILED + 1))
 
 _HEADER = struct.Struct("!BI")
 _BATCH_ID = struct.Struct("!Q")
@@ -211,19 +264,62 @@ def decode_json(payload: bytes) -> dict:
 # ----------------------------------------------------------------------
 
 
+_TAGGED = struct.Struct("!QI")
+
+
 def pack_tagged(batch_id: int, body: bytes) -> bytes:
-    """Prefix ``body`` with its ``!Q`` batch id."""
-    return _BATCH_ID.pack(batch_id) + body
+    """Prefix ``body`` with its ``!Q`` batch id and CRC-32."""
+    return _TAGGED.pack(batch_id, zlib.crc32(body)) + body
 
 
 def unpack_tagged(payload: bytes) -> tuple[int, bytes]:
-    """Split a batch/result body into ``(batch_id, wire bytes)``."""
-    if len(payload) < _BATCH_ID.size:
+    """Split a tagged body into ``(batch_id, body bytes)``, CRC-checked.
+
+    The checksum turns silent wire corruption of a batch or result into
+    a typed decode failure — the connection is dropped and the batch
+    requeued, so a flipped bit costs a retry, never a wrong answer.
+    """
+    if len(payload) < _TAGGED.size:
         raise WireDecodeError(
-            f"tagged frame of {len(payload)} bytes is shorter than its id"
+            f"tagged frame of {len(payload)} bytes is shorter than its "
+            "id + checksum"
         )
-    (batch_id,) = _BATCH_ID.unpack_from(payload)
-    return batch_id, payload[_BATCH_ID.size :]
+    batch_id, crc = _TAGGED.unpack_from(payload)
+    body = payload[_TAGGED.size :]
+    if zlib.crc32(body) != crc:
+        raise WireDecodeError(
+            f"tagged frame for batch {batch_id} failed its CRC-32 check"
+        )
+    return batch_id, body
+
+
+def encode_batch_failed(
+    batch_id: int, reason: str, elapsed_s: float, peak_rss: int
+) -> bytes:
+    """Body of a BATCH_FAILED frame (cooperative worker-side abort)."""
+    return pack_tagged(
+        batch_id,
+        encode_json(
+            {
+                "reason": reason,
+                "elapsed_s": float(elapsed_s),
+                "peak_rss": int(peak_rss),
+            }
+        ),
+    )
+
+
+def decode_batch_failed(payload: bytes) -> tuple[int, str, float, int]:
+    """Decode a BATCH_FAILED body → (batch_id, reason, elapsed, peak_rss)."""
+    batch_id, body = unpack_tagged(payload)
+    detail = decode_json(body)
+    try:
+        reason = str(detail["reason"])
+        elapsed_s = float(detail["elapsed_s"])
+        peak_rss = int(detail["peak_rss"])
+    except (KeyError, TypeError, ValueError) as exc:
+        raise WireDecodeError(f"malformed BATCH_FAILED body: {exc}") from exc
+    return batch_id, reason, elapsed_s, peak_rss
 
 
 # ----------------------------------------------------------------------

@@ -21,28 +21,40 @@ worker at job start: batches simply wait in the pending queue until a
 host joins (``pending_timeout_s`` bounds that wait when set, failing
 the in-flight futures with a typed error instead of hanging forever).
 
-Fault-tolerant requeue (exactly-once)
--------------------------------------
+Fault-tolerant requeue (exactly-once), bounded by a retry budget
+----------------------------------------------------------------
 Each dispatched batch is owned by exactly one connection.  When a
 connection dies — EOF/reset from a SIGKILLed worker, a missed
 heartbeat window, or a per-batch timeout — every unresolved batch it
 owned is requeued at the *front* of the pending queue and re-dispatched
-to a surviving (or future) worker; its ``Future`` never surfaces the
-failure.  Exactly-once delivery to the coordinator is enforced by batch
-id: the first result to arrive resolves the future and retires the id,
-and any late duplicate — a result already in the read buffer when its
-batch was requeued for timeout, say — is dropped on the floor.  This is
-the transport-level generalisation of the checkpoint-v2 discipline the
-in-process coordinator already applies (in-flight answers are requeued,
-never recorded as processed), so a worker loss costs recomputation,
-never answers.  Coordinator restart is the checkpoint document's job:
-a resumed job builds a fresh runner, reconnecting workers re-handshake
+to a surviving (or future) worker.  Exactly-once delivery to the
+coordinator is enforced by batch id: the first result to arrive
+resolves the future and retires the id, and any late duplicate — a
+result already in the read buffer when its batch was requeued for
+timeout, say — is dropped on the floor.  This is the transport-level
+generalisation of the checkpoint-v2 discipline the in-process
+coordinator already applies (in-flight answers are requeued, never
+recorded as processed), so a worker loss costs recomputation, never
+answers.  Coordinator restart is the checkpoint document's job: a
+resumed job builds a fresh runner, reconnecting workers re-handshake
 against the same graph fingerprint, and the (Q, P, V) restore requeues
 whatever was in flight when the coordinator died.
 
+Unbounded requeue turns a *poison* batch — one that deterministically
+OOMs or wedges every worker it touches — into a fleet-killing loop:
+dispatch, death, requeue-to-front, repeat.  Every failure-driven
+requeue therefore counts against the batch's ``max_batch_retries``
+budget (owner death and typed ``BATCH_FAILED`` cooperative aborts
+alike); a batch that exhausts it has its future failed with a typed
+:class:`~repro.engine.base.BatchFailedError` instead of being requeued
+again, and the coordinator's quarantine policy (split in half once,
+then re-drive serially in-process) takes over — one bad batch degrades
+gracefully instead of taking the fleet down.
+
 Fleet events are folded into the run statistics (``worker_joins``,
-``worker_losses``, ``batches_requeued``), so a run report shows the
-membership churn next to the timings it explains.
+``worker_losses``, ``batches_requeued``, ``batch_retries``,
+``protocol_rejections``), so a run report shows the membership churn
+next to the timings it explains.
 """
 
 from __future__ import annotations
@@ -57,18 +69,21 @@ from collections import deque
 from concurrent.futures import Future
 
 from repro.engine import wire
-from repro.engine.base import EngineError
+from repro.engine.base import BatchFailedError, EngineError
 from repro.engine.distributed import protocol
 from repro.sgr.enum_mis import EnumMISStatistics
 
-__all__ = ["DistributedRunner"]
+__all__ = ["DistributedRunner", "validate_liveness_config"]
 
 #: Batches one connection may own at once (one running, one queued
 #: behind it, one in transit — the pool runner's pipelining depth).
 _PER_CONNECTION = 3
 
 #: Heartbeat windows a connection may miss before it is declared dead.
-_LIVENESS_WINDOWS = 3.0
+#: Canonically defined in the (numpy-free) protocol module so backend
+#: construction can validate liveness settings without importing this
+#: module; re-exported here for the runner's own callers.
+_LIVENESS_WINDOWS = protocol.DEFAULT_LIVENESS_WINDOWS
 
 _HANDSHAKE_TIMEOUT_S = 10.0
 
@@ -82,6 +97,13 @@ _DEBUG = bool(os.environ.get("REPRO_DIST_DEBUG"))
 def _dbg(msg: str) -> None:
     if _DEBUG:
         print(f"[coord {time.monotonic():.4f}] {msg}", file=sys.stderr, flush=True)
+
+
+def _log(msg: str) -> None:
+    print(f"[repro-coordinator] {msg}", file=sys.stderr, flush=True)
+
+
+validate_liveness_config = protocol.validate_liveness_config
 
 
 class _Connection:
@@ -110,7 +132,15 @@ class _Connection:
 class _Batch:
     """One submitted batch: its encoded frame and its future."""
 
-    __slots__ = ("batch_id", "data", "future", "conn", "dispatched_at", "attempts")
+    __slots__ = (
+        "batch_id",
+        "data",
+        "future",
+        "conn",
+        "dispatched_at",
+        "attempts",
+        "failures",
+    )
 
     def __init__(self, batch_id: int, data: bytes, future: Future):
         self.batch_id = batch_id
@@ -119,6 +149,9 @@ class _Batch:
         self.conn: _Connection | None = None
         self.dispatched_at = 0.0
         self.attempts = 0
+        #: Failure-driven requeues burned so far (owner death, batch
+        #: timeout, BATCH_FAILED); capped by max_batch_retries.
+        self.failures = 0
 
 
 class DistributedRunner:
@@ -142,7 +175,17 @@ class DistributedRunner:
     pending_timeout_s:
         When set, how long batches may sit pending with *no* worker
         connected before the run fails with :class:`EngineError`
-        (``None`` waits indefinitely — fully elastic).
+        (``None`` waits indefinitely — fully elastic).  Must exceed
+        ``heartbeat_s`` — the sweeper that enforces it ticks once per
+        heartbeat.
+    max_batch_retries:
+        Failure-driven requeues one batch may burn (owner death, batch
+        timeout, typed BATCH_FAILED abort) before its future is failed
+        with :class:`~repro.engine.base.BatchFailedError` and the
+        coordinator's quarantine policy takes over.
+    liveness_windows:
+        Heartbeat intervals a connection may go silent before it is
+        declared dead (the miss threshold).
     stats:
         The run's statistics; fleet events are counted on it.
     on_listening:
@@ -167,6 +210,8 @@ class DistributedRunner:
         heartbeat_s: float = 2.0,
         batch_timeout_s: float = 300.0,
         pending_timeout_s: float | None = None,
+        max_batch_retries: int = 3,
+        liveness_windows: float = _LIVENESS_WINDOWS,
         stats: EnumMISStatistics | None = None,
         on_listening=None,
         wait_for_workers_s: float | None = None,
@@ -175,8 +220,13 @@ class DistributedRunner:
             raise EngineError(
                 f"expected_workers must be >= 1, got {expected_workers}"
             )
-        if heartbeat_s <= 0 or batch_timeout_s <= 0:
-            raise EngineError("heartbeat_s and batch_timeout_s must be positive")
+        if batch_timeout_s <= 0:
+            raise EngineError("batch_timeout_s must be positive")
+        if max_batch_retries < 0:
+            raise EngineError("max_batch_retries must be >= 0")
+        validate_liveness_config(
+            heartbeat_s, pending_timeout_s, liveness_windows
+        )
         # Validates payload shape (packed, registry triangulator) and
         # label encodability before any socket exists.
         self._graph_frame = protocol.encode_graph_payload(payload)
@@ -185,8 +235,13 @@ class DistributedRunner:
         self._heartbeat_s = heartbeat_s
         self._batch_timeout_s = batch_timeout_s
         self._pending_timeout_s = pending_timeout_s
+        self._max_batch_retries = max_batch_retries
+        self._liveness_windows = liveness_windows
         self._stats = stats if stats is not None else EnumMISStatistics()
         self._payload_tier = payload.backend
+        # Hosts whose handshake was rejected — each is logged once, so
+        # a mismatched build retrying does not flood the coordinator.
+        self._rejected_hosts: set[str] = set()
 
         self._ids = itertools.count(1)
         self._closed = False
@@ -381,17 +436,53 @@ class DistributedRunner:
         else:
             self._no_worker_since = None
 
-    def _requeue(self, conn: _Connection) -> None:
-        """Move a dead connection's unresolved batches back to pending."""
+    def _requeue(self, conn: _Connection, reason: str) -> None:
+        """Move a dead connection's unresolved batches back to pending.
+
+        Every one of these requeues is failure-driven (the owner died
+        under the batch), so each counts against the batch's retry
+        budget; a batch over budget is failed typed instead — the
+        poison-loop breaker.
+        """
         entries = sorted(
             conn.inflight.values(), key=lambda e: e.dispatched_at
         )
         conn.inflight.clear()
+        requeued = 0
         for entry in reversed(entries):
             entry.conn = None
+            if entry.batch_id not in self._live:
+                continue
+            entry.failures += 1
+            if entry.failures > self._max_batch_retries:
+                self._fail_batch(entry, reason)
+                continue
             self._pending.appendleft(entry)
-        if entries:
-            self._stats.batches_requeued += len(entries)
+            requeued += 1
+        if requeued:
+            self._stats.batches_requeued += requeued
+            self._stats.batch_retries += requeued
+
+    def _fail_batch(self, entry: _Batch, reason: str) -> None:
+        """Retire a batch whose retry budget is exhausted, typed."""
+        _dbg(
+            f"batch {entry.batch_id} exhausted its retry budget "
+            f"({entry.failures - 1} retries); failing typed ({reason})"
+        )
+        self._live.pop(entry.batch_id, None)
+        self._done.add(entry.batch_id)
+        if entry in self._pending:
+            self._pending.remove(entry)
+        if not entry.future.done():
+            entry.future.set_exception(
+                BatchFailedError(
+                    f"batch failed {entry.failures} times "
+                    f"(last: {reason}) and exhausted its "
+                    f"{self._max_batch_retries}-retry budget",
+                    reason=reason,
+                    exhausted=True,
+                )
+            )
 
     async def _close_connection(self, conn: _Connection) -> None:
         conn.closed = True
@@ -422,7 +513,7 @@ class DistributedRunner:
             return
         self._connections.remove(conn)
         self._stats.worker_losses += 1
-        self._requeue(conn)
+        self._requeue(conn, reason)
         asyncio.ensure_future(self._close_connection(conn))
         self._pump()
 
@@ -454,6 +545,32 @@ class DistributedRunner:
             entry.future.set_result(result)
         self._pump()
 
+    def _on_batch_failed(self, conn: _Connection, payload: bytes) -> None:
+        """A worker cooperatively aborted a batch (watchdog/poison).
+
+        The worker is *alive and healthy* — only the batch is suspect.
+        The failure counts against the batch's retry budget exactly
+        like an owner death, but the connection stays in the fleet.
+        """
+        batch_id, reason, elapsed_s, peak_rss = (
+            protocol.decode_batch_failed(payload)
+        )
+        entry = conn.inflight.pop(batch_id, None)
+        if entry is None or batch_id not in self._live:
+            return  # late duplicate of an already-settled batch
+        _dbg(
+            f"batch {batch_id} failed on {conn.name}: {reason} "
+            f"({elapsed_s:.1f}s, peak RSS {peak_rss})"
+        )
+        entry.conn = None
+        entry.failures += 1
+        if entry.failures > self._max_batch_retries:
+            self._fail_batch(entry, reason)
+        else:
+            self._stats.batch_retries += 1
+            self._pending.appendleft(entry)
+        self._pump()
+
     # ------------------------------------------------------------------
     # Connection serving (loop thread)
     # ------------------------------------------------------------------
@@ -467,6 +584,14 @@ class DistributedRunner:
             )
             tier = self._handshake(hello)
         except (wire.WireDecodeError, EngineError) as exc:
+            # A bad or mismatched worker build knocking: count it and
+            # log the peer once, so the problem is diagnosable from the
+            # coordinator side instead of only as the worker's exit 2.
+            self._stats.protocol_rejections += 1
+            host = peer[0] if peer else "?"
+            if host not in self._rejected_hosts:
+                self._rejected_hosts.add(host)
+                _log(f"rejected worker handshake from {name}: {exc}")
             try:
                 writer.write(
                     protocol.encode_frame(
@@ -520,6 +645,8 @@ class DistributedRunner:
                 conn.last_seen = self._loop.time()
                 if frame.msg_type == protocol.MSG_RESULT:
                     self._on_result(conn, frame.payload)
+                elif frame.msg_type == protocol.MSG_BATCH_FAILED:
+                    self._on_batch_failed(conn, frame.payload)
                 elif frame.msg_type == protocol.MSG_HEARTBEAT:
                     continue
                 elif frame.msg_type == protocol.MSG_GOODBYE:
@@ -565,7 +692,7 @@ class DistributedRunner:
     # ------------------------------------------------------------------
 
     async def _sweep(self) -> None:
-        liveness = self._heartbeat_s * _LIVENESS_WINDOWS
+        liveness = self._heartbeat_s * self._liveness_windows
         ping = protocol.encode_frame(protocol.MSG_PING)
         while True:
             await asyncio.sleep(self._heartbeat_s)

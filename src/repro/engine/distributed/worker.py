@@ -41,7 +41,9 @@ from dataclasses import dataclass
 from repro.engine import wire
 from repro.engine.base import EngineError
 from repro.engine.distributed import protocol
+from repro.engine.distributed.chaos import ChaosInjector
 from repro.engine.pool import GraphPayload, WorkerState
+from repro.engine.watchdog import BatchAbortedError, BatchLimits
 
 __all__ = ["WorkerConfig", "run_worker"]
 
@@ -60,6 +62,16 @@ class WorkerConfig:
     #: Idle receive window (multiples of heartbeat_s) before the
     #: coordinator is presumed dead and the worker reconnects.
     idle_windows: float = 6.0
+    #: Per-batch resource watchdog (wall-clock deadline / RSS ceiling);
+    #: ``None`` disables supervision.  On breach the batch is aborted
+    #: cooperatively and reported with a BATCH_FAILED frame — the
+    #: worker stays alive and keeps serving.
+    limits: BatchLimits | None = None
+    #: Fault injection: ``(separator_mask, mode)`` poison spec applied
+    #: to the worker state (see ``WorkerState.set_poison``), and the
+    #: chaos injector spliced into the socket after each handshake.
+    poison: tuple[int, str] | None = None
+    chaos: ChaosInjector | None = None
 
 
 class _FatalHandshake(EngineError):
@@ -152,6 +164,8 @@ def _handshake(sock: socket.socket, config: WorkerConfig) -> dict:
 
 def _receive_graph(
     sock: socket.socket,
+    config: WorkerConfig,
+    welcome: dict,
     state: WorkerState | None,
     fingerprint: str | None,
 ) -> tuple[WorkerState, str]:
@@ -162,10 +176,23 @@ def _receive_graph(
             f"expected GRAPH, got frame type {frame.msg_type}"
         )
     incoming = protocol.payload_fingerprint(frame.payload)
+    expected = welcome.get("fingerprint")
+    if isinstance(expected, str) and expected and incoming != expected:
+        # The WELCOME names the digest of the exact frame the
+        # coordinator ships; a mismatch means the frame was corrupted
+        # in transit.  Reconnecting re-ships it — never rebuild a graph
+        # from bytes that failed their integrity check.
+        raise wire.WireDecodeError(
+            f"graph frame digest {incoming[:12]} does not match the "
+            f"announced fingerprint {expected[:12]}"
+        )
     if state is not None and incoming == fingerprint:
         return state, fingerprint
     payload: GraphPayload = protocol.decode_graph_payload(frame.payload)
-    return WorkerState(payload), incoming
+    state = WorkerState(payload, limits=config.limits)
+    if config.poison is not None:
+        state.set_poison(*config.poison)
+    return state, incoming
 
 
 def _serve(
@@ -183,7 +210,9 @@ def _serve(
     sock.settimeout(config.connect_timeout_s)
     try:
         welcome = _handshake(sock, config)
-        state, fingerprint = _receive_graph(sock, state, fingerprint)
+        state, fingerprint = _receive_graph(
+            sock, config, welcome, state, fingerprint
+        )
     except (ConnectionError, OSError, wire.WireDecodeError) as exc:
         # A coordinator tearing down (job already finished) resets
         # connections that are still mid-handshake; that is transient
@@ -199,6 +228,11 @@ def _serve(
     heartbeat_s = welcome.get("heartbeat_s")
     if not isinstance(heartbeat_s, (int, float)) or heartbeat_s <= 0:
         heartbeat_s = config.heartbeat_s
+    if config.chaos is not None:
+        # Splice the fault schedule in only now: the handshake must
+        # stay clean (a corrupted HELLO/WELCOME is a *fatal* protocol
+        # rejection by design — chaos injects only survivable faults).
+        sock = config.chaos.wrap(sock)
     write_lock = threading.Lock()
     heartbeat = _Heartbeat(sock, write_lock, float(heartbeat_s))
     heartbeat.start()
@@ -214,7 +248,25 @@ def _serve(
             if frame.msg_type == protocol.MSG_BATCH:
                 batch_id, body = protocol.unpack_tagged(frame.payload)
                 batch = wire.batch_from_bytes(body)
-                result = state.run_batch(batch)
+                try:
+                    result = state.run_batch(batch)
+                except BatchAbortedError as exc:
+                    # Watchdog breach (or injected poison): the batch
+                    # is reported failed with a typed frame and this
+                    # worker keeps serving — no process death, no
+                    # reconnect burned, scratch state already freed.
+                    _log(
+                        f"batch {batch_id} aborted ({exc.reason}) after "
+                        f"{exc.elapsed_s:.1f}s; staying alive"
+                    )
+                    data = protocol.encode_batch_failed(
+                        batch_id, exc.reason, exc.elapsed_s, exc.peak_rss
+                    )
+                    with write_lock:
+                        protocol.send_frame(
+                            sock, protocol.MSG_BATCH_FAILED, data
+                        )
+                    continue
                 data = protocol.pack_tagged(
                     batch_id, wire.result_to_bytes(result)
                 )

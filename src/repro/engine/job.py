@@ -84,6 +84,19 @@ class EnumerationJob:
         mean finer-grained work stealing, cheaper interrupts and
         fresher V-snapshots; higher values amortise more per-batch IPC
         overhead.  Any value enumerates the same answer set.
+    max_batch_retries:
+        How many times one failed extend batch may be redispatched
+        (worker death, cooperative watchdog abort) before the
+        coordinator splits it in half and finally quarantines it —
+        re-driving the surviving (answer, direction) pairs serially
+        under a hard budget.  The distributed transport uses the same
+        budget for its connection-level requeues.
+    batch_deadline_s / batch_rss_limit_mb:
+        Per-batch resource ceilings enforced *inside* each worker by
+        the cooperative resource watchdog (wall-clock seconds / RSS in
+        MiB).  ``None`` disables the corresponding check; when both are
+        unset no watchdog is armed.  A breached batch fails typed — the
+        worker survives — and enters the retry/split/quarantine ladder.
     graph_backend:
         Graph-core representation: ``"indexed"`` (single-int bitmasks),
         ``"numpy"`` (packed uint64 word matrices for batch sweeps),
@@ -110,6 +123,9 @@ class EnumerationJob:
     workers: int | None = field(default=None)
     batch_target_ms: float = DEFAULT_BATCH_TARGET_MS
     graph_backend: str = "auto"
+    max_batch_retries: int = 3
+    batch_deadline_s: float | None = None
+    batch_rss_limit_mb: float | None = None
 
     def validate(self) -> None:
         """Raise :class:`EngineError` on an inconsistent spec."""
@@ -134,6 +150,15 @@ class EnumerationJob:
             raise EngineError("batch_target_ms must be positive")
         if self.resume and self.checkpoint_path is None:
             raise EngineError("resume=True requires checkpoint_path")
+        if self.max_batch_retries < 0:
+            raise EngineError("max_batch_retries must be >= 0")
+        if self.batch_deadline_s is not None and self.batch_deadline_s <= 0:
+            raise EngineError("batch_deadline_s must be positive")
+        if (
+            self.batch_rss_limit_mb is not None
+            and self.batch_rss_limit_mb <= 0
+        ):
+            raise EngineError("batch_rss_limit_mb must be positive")
         if self.graph_backend not in _GRAPH_BACKENDS:
             raise EngineError(
                 f"graph_backend must be one of {sorted(_GRAPH_BACKENDS)}, "

@@ -62,6 +62,13 @@ from typing import Hashable
 
 from repro.chordal.triangulate import Triangulator, get_triangulator
 from repro.engine.base import EngineError
+from repro.engine.watchdog import (
+    BatchAbortedError,
+    BatchFailure,
+    BatchLimits,
+    ResourceWatchdog,
+    current_rss_bytes,
+)
 from repro.graph.core import IndexedGraph, NodeInterner, iter_bits
 from repro.graph.graph import Graph
 from repro.sgr.enum_mis import EnumMISStatistics
@@ -81,6 +88,7 @@ __all__ = [
     "WorkerState",
     "default_worker_count",
     "make_payload",
+    "poison_from_env",
     "triangulator_spec",
 ]
 
@@ -271,17 +279,44 @@ class WorkerState:
     mixed-tier fleet is visible in the merged report.
     """
 
-    def __init__(self, payload: GraphPayload) -> None:
+    def __init__(
+        self, payload: GraphPayload, limits: BatchLimits | None = None
+    ) -> None:
         self.graph, self._buffer = _rebuild_graph(payload)
         self.triangulator = get_triangulator(payload.triangulator)
         if _bitset is not None:
             self.kernel_tier = _bitset.core_backend_name(self.graph.core)
         else:
             self.kernel_tier = "indexed"
+        self._watchdog = (
+            ResourceWatchdog(limits)
+            if limits is not None and limits.enabled
+            else None
+        )
+        # Fault injection (tests, chaos soak): a separator mask whose
+        # presence in any answer of a batch makes this worker fail it.
+        self._poison_mask = 0
+        self._poison_mode = "fail"
         # region mask → (region graph, SGR, mask → separator cache)
         self._regions: dict[
             int, tuple[Graph, MinimalSeparatorSGR, dict[int, frozenset]]
         ] = {}
+
+    def set_poison(self, mask: int, mode: str = "fail") -> None:
+        """Inject a deterministic poison batch (fault-injection only).
+
+        Any batch containing ``mask`` in one of its answers is failed:
+        ``mode="fail"`` aborts it cooperatively (the worker stays alive
+        and reports a typed failure — the watchdog-breach path),
+        ``mode="kill"`` terminates the whole process abruptly, like the
+        OOM killer would.  Never set in production; the coordinator's
+        serial quarantine fallback uses a fresh WorkerState on which
+        this is never called, which is what makes salvage converge.
+        """
+        if mode not in ("fail", "kill"):
+            raise EngineError(f"poison mode must be fail|kill, got {mode!r}")
+        self._poison_mask = mask
+        self._poison_mode = mode
 
     def _region(
         self, region_mask: int
@@ -311,6 +346,7 @@ class WorkerState:
         label_set = region.label_set
         mask_of = region.mask_of
         clock = time.perf_counter_ns
+        watchdog = self._watchdog
         out: list[tuple[int, ...]] = []
         for answer_masks, direction_masks in jobs:
             answer = []
@@ -321,6 +357,12 @@ class WorkerState:
                     separator_of[mask] = separator
                 answer.append(separator)
             for v_mask in direction_masks:
+                # Cooperative abort point: the watchdog bounds a batch
+                # at (answer, direction)-pair granularity — one pair
+                # that never returns is the transport batch-timeout's
+                # problem, a batch that is too big/leaky is caught here.
+                if watchdog is not None:
+                    watchdog.check()
                 v = separator_of.get(v_mask)
                 if v is None:
                     v = label_set(v_mask)
@@ -352,19 +394,50 @@ class WorkerState:
         stats = EnumMISStatistics()
         stats.kernel_tiers[self.kernel_tier] = 1
         started = time.perf_counter_ns()
-        if _wire is not None and isinstance(batch, _wire.PackedBatch):
-            region_mask, answers, directions = _wire.decode_batch(batch)
-            jobs = [(answer, directions) for answer in answers]
+        watchdog = self._watchdog
+        if watchdog is not None:
+            watchdog.arm()
+        try:
+            if _wire is not None and isinstance(batch, _wire.PackedBatch):
+                region_mask, answers, directions = _wire.decode_batch(batch)
+                jobs = [(answer, directions) for answer in answers]
+            else:
+                region_mask, jobs = batch
+                answers = [answer_masks for answer_masks, __ in jobs]
+            self._check_poison(answers, started)
             out = self._execute(region_mask, jobs, stats)
-            return _wire.encode_result(
-                out,
-                batch.words,
-                time.perf_counter_ns() - started,
-                stats,
-            )
-        region_mask, jobs = batch
-        out = self._execute(region_mask, jobs, stats)
-        return out, stats, time.perf_counter_ns() - started
+            if _wire is not None and isinstance(batch, _wire.PackedBatch):
+                return _wire.encode_result(
+                    out,
+                    batch.words,
+                    time.perf_counter_ns() - started,
+                    stats,
+                )
+            return out, stats, time.perf_counter_ns() - started
+        except BatchAbortedError:
+            # Free the scratch state the runaway batch grew (separator
+            # interns, crossing caches): the worker survives the abort
+            # and must return to a small footprint before its next
+            # batch, or an RSS breach would recur on healthy work.
+            self._regions.clear()
+            raise
+        finally:
+            if watchdog is not None:
+                watchdog.disarm()
+
+    def _check_poison(self, answers, started_ns: int) -> None:
+        mask = self._poison_mask
+        if not mask or not any(mask in answer for answer in answers):
+            return
+        if self._poison_mode == "kill":
+            # Simulate the OOM killer: no unwind, no goodbye — the
+            # transport sees a dead process/connection.
+            os._exit(137)
+        raise BatchAbortedError(
+            "poison",
+            (time.perf_counter_ns() - started_ns) / 1e9,
+            current_rss_bytes(),
+        )
 
 
 #: Back-compat alias (the class predates the socket worker extraction).
@@ -373,14 +446,44 @@ _WorkerState = WorkerState
 _WORKER_STATE: WorkerState | None = None
 
 
-def _init_worker(payload: GraphPayload) -> None:
+def poison_from_env() -> tuple[int, str] | None:
+    """Read the fault-injection poison spec from the environment.
+
+    ``REPRO_CHAOS_POISON`` is a separator mask (any int literal);
+    ``REPRO_CHAOS_POISON_MODE`` is ``fail`` (cooperative abort, the
+    default) or ``kill`` (abrupt process death).  Returns ``None`` when
+    unset/unparseable — fault injection must never break a real run.
+    """
+    raw = os.environ.get("REPRO_CHAOS_POISON")
+    if not raw:
+        return None
+    try:
+        mask = int(raw, 0)
+    except ValueError:
+        return None
+    mode = os.environ.get("REPRO_CHAOS_POISON_MODE", "fail")
+    return mask, (mode if mode in ("fail", "kill") else "fail")
+
+
+def _init_worker(
+    payload: GraphPayload, limits: BatchLimits | None = None
+) -> None:
     global _WORKER_STATE
-    _WORKER_STATE = WorkerState(payload)
+    _WORKER_STATE = WorkerState(payload, limits=limits)
+    poison = poison_from_env()
+    if poison is not None:
+        _WORKER_STATE.set_poison(*poison)
 
 
 def _run_batch(batch):
     assert _WORKER_STATE is not None, "worker initializer did not run"
-    return _WORKER_STATE.run_batch(batch)
+    try:
+        return _WORKER_STATE.run_batch(batch)
+    except BatchAbortedError as exc:
+        # A cooperative abort travels as a *value*: the worker process
+        # stays warm in the pool and the failure path pickles the same
+        # report a socket worker sends in its BATCH_FAILED frame.
+        return BatchFailure(exc.reason, exc.elapsed_s, exc.peak_rss)
 
 
 class InlineRunner:
@@ -422,10 +525,16 @@ class PoolRunner:
 
     wire_format = "plain"
 
-    def __init__(self, payload: GraphPayload, workers: int) -> None:
+    def __init__(
+        self,
+        payload: GraphPayload,
+        workers: int,
+        limits: BatchLimits | None = None,
+    ) -> None:
         if workers < 1:
             raise EngineError("sharded execution needs at least 1 worker")
         self.workers = workers
+        self._limits = limits
         self._buffer = None
         if _bitset is not None and payload.packed is not None:
             import numpy as np
@@ -438,18 +547,44 @@ class PoolRunner:
                 payload, packed=None, shm_name=self._buffer.name
             )
             self.wire_format = "packed"
+        self._payload = payload
         try:
-            self._executor = ProcessPoolExecutor(
-                max_workers=workers,
-                initializer=_init_worker,
-                initargs=(payload,),
-            )
+            self._executor = self._spawn()
         except Exception as exc:  # pragma: no cover - platform-specific
             self._release_buffer()
             raise EngineError(
                 f"could not start worker pool ({exc}); custom "
                 "triangulators must be picklable to shard"
             ) from exc
+
+    def _spawn(self) -> ProcessPoolExecutor:
+        return ProcessPoolExecutor(
+            max_workers=self.workers,
+            initializer=_init_worker,
+            initargs=(self._payload, self._limits),
+        )
+
+    def restart(self) -> None:
+        """Replace a broken executor after a hard worker death.
+
+        ``BrokenProcessPool`` condemns the whole executor even though
+        only one process died; the coordinator's quarantine policy
+        calls this, then re-drives the in-flight batches through its
+        retry/split/quarantine ladder.  The shared-memory graph
+        segment is untouched — the fresh workers re-attach to it.
+
+        Idempotent per break: one dead worker fails *every* in-flight
+        future with ``BrokenProcessPool`` at once, and each failure
+        triggers a recovery attempt — only the first may respawn, or
+        one death would fork ``inflight`` fresh pools.
+        """
+        if not getattr(self._executor, "_broken", True):
+            return  # already replaced by an earlier failure of this wave
+        try:
+            self._executor.shutdown(wait=False, cancel_futures=True)
+        except Exception:  # pragma: no cover - best-effort teardown
+            pass
+        self._executor = self._spawn()
 
     def _release_buffer(self) -> None:
         buffer, self._buffer = self._buffer, None

@@ -87,11 +87,33 @@ class EnumerationResult:
         raise ValueError(f"measure must be 'width' or 'fill', got {measure!r}")
 
     def summary(self) -> str:
-        """One-line human-readable report."""
+        """One-line human-readable report.
+
+        Clean runs stay one clause; runs that exercised the supervision
+        machinery (batch retries, quarantines, rejected workers) say
+        so, because a correct answer set that needed salvage is worth
+        knowing about.
+        """
         state = "complete" if self.completed else "stopped"
-        return (
+        line = (
             f"{self.count} triangulations via {self.backend!r}"
             f" ({self.workers} worker{'s' if self.workers != 1 else ''},"
             f" {state}) in {self.elapsed:.3f}s;"
             f" best width {self.min_width}, best fill {self.min_fill}"
         )
+        stats = self.stats
+        supervision = []
+        if stats.batch_retries:
+            supervision.append(f"{stats.batch_retries} batch retries")
+        if stats.batches_quarantined:
+            supervision.append(
+                f"{stats.batches_quarantined} quarantined "
+                f"({stats.poison_answers} answers salvaged serially)"
+            )
+        if stats.protocol_rejections:
+            supervision.append(
+                f"{stats.protocol_rejections} protocol rejections"
+            )
+        if supervision:
+            line += "; supervision: " + ", ".join(supervision)
+        return line

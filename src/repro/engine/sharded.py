@@ -45,6 +45,7 @@ from repro.engine.pool import (
     default_worker_count,
     make_payload,
 )
+from repro.engine.watchdog import BatchLimits
 from repro.graph.components import connected_components
 from repro.graph.graph import Graph, Node
 from repro.sgr.enum_mis import EnumMISStatistics
@@ -202,6 +203,7 @@ def coordinated_stream(
                 restore_state=restore,
                 region_fingerprint=fingerprint,
                 batcher=batcher,
+                max_batch_retries=job.max_batch_retries,
             )
             if sink is not None:
                 sink.attach(coordinator)
@@ -249,6 +251,7 @@ def coordinated_stream(
                 restore_state=restores[index],
                 region_fingerprint=fingerprints[index],
                 batcher=batcher,
+                max_batch_retries=job.max_batch_retries,
             )
             for index, region in enumerate(region_graphs)
         ]
@@ -421,8 +424,13 @@ class ShardedBackend(EnumerationBackend):
             raise EngineError(
                 f"sharded backend needs workers >= 1, got {count}"
             )
+        limits = BatchLimits.from_cli(
+            job.batch_deadline_s, job.batch_rss_limit_mb
+        )
         return coordinated_stream(
-            job, stats, lambda payload: PoolRunner(payload, count)
+            job,
+            stats,
+            lambda payload: PoolRunner(payload, count, limits=limits),
         )
 
 

@@ -99,6 +99,16 @@ class EnumMISStatistics:
     worker_joins: int = 0
     worker_losses: int = 0
     batches_requeued: int = 0
+    # Supervised-execution accounting: batches re-dispatched after a
+    # failure (owner death or a typed BATCH_FAILED abort), batches that
+    # exhausted their retry budget and were quarantined to the serial
+    # in-process fallback, the answers those quarantined batches
+    # carried, and handshakes the coordinator rejected (malformed HELLO
+    # or a version/format mismatch — a bad worker build knocking).
+    batch_retries: int = 0
+    batches_quarantined: int = 0
+    poison_answers: int = 0
+    protocol_rejections: int = 0
     redundant_extensions: dict[str, int] = field(default_factory=dict)
     # Graph-kernel tier → batches executed on that tier, filled by the
     # workers (process-pool and socket alike).  A mixed-tier fleet —
@@ -127,6 +137,10 @@ class EnumMISStatistics:
         "worker_joins",
         "worker_losses",
         "batches_requeued",
+        "batch_retries",
+        "batches_quarantined",
+        "poison_answers",
+        "protocol_rejections",
     )
 
     #: Map-valued counters ({str: int}), handled alongside the scalars

@@ -344,6 +344,44 @@ class TestSharedMemoryLifecycle:
         runner.close()
         assert self._segments() <= before
 
+    def test_cooperative_abort_leaves_no_segment(self, monkeypatch):
+        # A batch aborted mid-saturate by the worker watchdog / poison
+        # injection must not leak the graph segment: the worker frees
+        # its scratch state and survives, the run completes through
+        # quarantine salvage, and close() unlinks as usual.
+        from repro.chordal.minimal_separators import minimal_separator_masks
+
+        g = gnp_random_graph(12, 0.35, seed=11)
+        poison = next(iter(minimal_separator_masks(g)))
+        monkeypatch.setenv("REPRO_CHAOS_POISON", str(poison))
+        monkeypatch.setenv("REPRO_CHAOS_POISON_MODE", "fail")
+        before = self._segments()
+        with pytest.warns(RuntimeWarning, match="quarantin"):
+            result = EnumerationEngine("sharded", workers=2).run(
+                EnumerationJob(g, max_batch_retries=0)
+            )
+        assert result.stats.batches_quarantined >= 1
+        assert self._segments() <= before
+
+    def test_worker_kill_and_restart_leave_no_segment(self, monkeypatch):
+        # The hard-death flavour: the poisoned batch SIGKILLs its
+        # worker (os._exit), the pool breaks, the coordinator restarts
+        # it and quarantines the batch — across all of which exactly
+        # one segment may exist, and none after close.
+        from repro.chordal.minimal_separators import minimal_separator_masks
+
+        g = gnp_random_graph(12, 0.35, seed=11)
+        poison = next(iter(minimal_separator_masks(g)))
+        monkeypatch.setenv("REPRO_CHAOS_POISON", str(poison))
+        monkeypatch.setenv("REPRO_CHAOS_POISON_MODE", "kill")
+        before = self._segments()
+        with pytest.warns(RuntimeWarning, match="quarantin"):
+            result = EnumerationEngine("sharded", workers=2).run(
+                EnumerationJob(g, max_batch_retries=0)
+            )
+        assert result.stats.batches_quarantined >= 1
+        assert self._segments() <= before
+
 
 def serial_seed_family(graph):
     """Extend(∅) of ``graph`` — a convenient valid answer for tests."""

@@ -20,6 +20,7 @@ from repro.engine import (
 from repro.engine.checkpoint import (
     CheckpointError as CheckpointErrorDirect,  # noqa: F401 - re-export check
     CheckpointManager,
+    _document_crc,
     job_fingerprint,
     region_fingerprint,
 )
@@ -35,6 +36,19 @@ def answer_set(triangulations) -> set[frozenset]:
 
 def serial_answers(graph, **kwargs) -> set[frozenset]:
     return answer_set(enumerate_minimal_triangulations(graph, **kwargs))
+
+
+def resign(data: dict) -> dict:
+    """Recompute the CRC of a hand-tampered checkpoint document.
+
+    Tests that assert *semantic* rejection (wrong shape, inconsistent
+    product state) must present a document with a valid CRC — an
+    unsigned tamper is indistinguishable from disk corruption and
+    triggers generation fallback instead of the targeted error.
+    """
+    data.pop("crc32", None)
+    data["crc32"] = _document_crc(data)
+    return data
 
 
 class TestEngineBasics:
@@ -365,7 +379,7 @@ class TestCheckpointResume:
         data = json.loads(path.read_text())
         assert len(data["regions"]) == 3
         data["regions"] = data["regions"][:2]
-        path.write_text(json.dumps(data))
+        path.write_text(json.dumps(resign(data)))
         with pytest.raises(
             CheckpointError, match=r"2 region section\(s\)"
         ):
@@ -382,13 +396,13 @@ class TestCheckpointResume:
 
         data = json.loads(pristine)
         data["arrivals"][0] = -1
-        path.write_text(json.dumps(data))
+        path.write_text(json.dumps(resign(data)))
         with pytest.raises(CheckpointError, match="inconsistent"):
             engine.run(EnumerationJob(g, checkpoint_path=path, resume=True))
 
         data = json.loads(pristine)
         data["delivered"] = 10_000
-        path.write_text(json.dumps(data))
+        path.write_text(json.dumps(resign(data)))
         with pytest.raises(CheckpointError, match="delivered"):
             engine.run(EnumerationJob(g, checkpoint_path=path, resume=True))
 
