@@ -50,7 +50,6 @@ import argparse
 import json
 import os
 import pickle
-import random
 import statistics
 import subprocess
 import sys

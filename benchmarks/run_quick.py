@@ -17,9 +17,8 @@ from __future__ import annotations
 import argparse
 import time
 
+from repro.analysis import ANALYZER_VERSION, all_rules
 from repro.chordal.cliques import mcs_clique_forest
-from repro.graph import bitset_np
-from repro.graph._native import native
 from repro.chordal.minimal_separators import (
     all_minimal_separators,
     are_crossing,
@@ -27,6 +26,8 @@ from repro.chordal.minimal_separators import (
 from repro.chordal.triangulate import lb_triang, mcs_m
 from repro.core.enumerate import enumerate_minimal_triangulations
 from repro.core.extend import minimal_triangulation_via
+from repro.graph import bitset_np
+from repro.graph._native import native
 from repro.graph.components import connected_components
 from repro.graph.generators import gnp_random_graph
 from repro.sgr.enum_mis import EnumMISStatistics
@@ -60,6 +61,12 @@ def main() -> None:
         f"kernel tier: {bitset_np.core_backend_name(graph.core)} core "
         f"active for this graph; packed tier above "
         f"n={bitset_np.NUMPY_THRESHOLD}: {packed_tier}"
+    )
+    # Recorded next to the kernel tier so a perf measurement states
+    # which invariant battery the tree passed when it was taken.
+    print(
+        f"analyzer: repro analyze {ANALYZER_VERSION} "
+        f"({len(all_rules())} rules)"
     )
     print("per-stage timings (average of repeats):")
 

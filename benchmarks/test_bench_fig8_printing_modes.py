@@ -12,7 +12,6 @@ same result set.
 
 from __future__ import annotations
 
-from conftest import MAX_RESULTS
 from repro.experiments.figures import fig8_printing_modes
 from repro.experiments.render import ascii_table, sparkline
 from repro.workloads.tpch import tpch_query

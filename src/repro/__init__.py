@@ -18,6 +18,7 @@ decomposition view, and the subpackages for the individual substrates
 experiment harnesses).
 """
 
+from repro.chordal.atoms import atoms, clique_minimal_separators
 from repro.chordal.minimal_separators import (
     all_minimal_separators,
     are_crossing,
@@ -46,8 +47,6 @@ from repro.core.ranked import (
     best_triangulation,
     enumerate_minimal_triangulations_prioritized,
 )
-from repro.chordal.atoms import atoms, clique_minimal_separators
-from repro.hypergraph.hypergraph import Hypergraph
 from repro.core.treewidth import min_fill_in_exact, treewidth_exact
 from repro.core.triangulation import Triangulation
 from repro.decomposition.proper import (
@@ -55,8 +54,15 @@ from repro.decomposition.proper import (
     tree_decompositions_of_triangulation,
 )
 from repro.decomposition.tree_decomposition import TreeDecomposition
+from repro.engine import (
+    EnumerationEngine,
+    EnumerationJob,
+    EnumerationResult,
+    available_backends,
+)
 from repro.graph import resolve_graph_backend
 from repro.graph.graph import Graph
+from repro.hypergraph.hypergraph import Hypergraph
 from repro.sgr.base import ExplicitSGR, SuccinctGraphRepresentation
 from repro.sgr.enum_mis import (
     EnumMISStatistics,
@@ -64,12 +70,6 @@ from repro.sgr.enum_mis import (
     merge_statistics,
 )
 from repro.sgr.separator_graph import MinimalSeparatorSGR
-from repro.engine import (
-    EnumerationEngine,
-    EnumerationJob,
-    EnumerationResult,
-    available_backends,
-)
 
 __version__ = "1.0.0"
 

@@ -1,0 +1,33 @@
+"""Repo-aware static invariant checks (``repro analyze``).
+
+The checker battery lives in :mod:`repro.analysis.rules`; the framework
+(rule registry, suppression comments, project snapshots) in
+:mod:`repro.analysis.core`; reporters in :mod:`repro.analysis.report`.
+"""
+
+from repro.analysis.core import (
+    ANALYZER_VERSION,
+    Finding,
+    Project,
+    Rule,
+    SourceFile,
+    all_rules,
+    get_rule,
+    register,
+    run_analysis,
+)
+from repro.analysis.report import render_json, render_text
+
+__all__ = [
+    "ANALYZER_VERSION",
+    "Finding",
+    "Project",
+    "Rule",
+    "SourceFile",
+    "all_rules",
+    "get_rule",
+    "register",
+    "render_json",
+    "render_text",
+    "run_analysis",
+]

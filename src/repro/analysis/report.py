@@ -1,0 +1,40 @@
+"""Reporters for ``repro analyze``: human text and machine JSON."""
+
+from __future__ import annotations
+
+import json
+from collections.abc import Sequence
+
+from repro.analysis.core import ANALYZER_VERSION, Finding, all_rules
+
+__all__ = ["render_text", "render_json"]
+
+
+def render_text(findings: Sequence[Finding], verbose: bool = False) -> str:
+    """One ``path:line: [rule] message`` line per finding + a summary."""
+    lines = [finding.format() for finding in findings]
+    rules = all_rules()
+    if verbose or not findings:
+        lines.append(
+            f"repro analyze {ANALYZER_VERSION}: "
+            f"{len(findings)} finding(s) from {len(rules)} rule(s)"
+        )
+    else:
+        lines.append(f"{len(findings)} finding(s)")
+    return "\n".join(lines)
+
+
+def render_json(findings: Sequence[Finding]) -> str:
+    """A stable JSON document for CI and tooling."""
+    rules = all_rules()
+    payload = {
+        "analyzer": {
+            "version": ANALYZER_VERSION,
+            "rules": [
+                {"id": rule.id, "summary": rule.summary} for rule in rules
+            ],
+        },
+        "findings": [finding.to_dict() for finding in findings],
+        "count": len(findings),
+    }
+    return json.dumps(payload, indent=2, sort_keys=True)

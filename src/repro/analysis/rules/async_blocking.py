@@ -1,0 +1,123 @@
+"""Rule ``async-blocking``: no blocking calls inside ``async def``.
+
+The distributed coordinator is a single asyncio event loop; one
+``time.sleep`` or blocking socket read in a coroutine stalls heartbeat
+processing for every connected worker at once.  This rule flags, inside
+``async def`` bodies (nested ``def``s excluded — they run only when
+called):
+
+- ``time.sleep(...)``
+- ``subprocess.run/call/check_call/check_output/Popen`` and
+  ``os.system`` / ``os.popen``
+- the builtin ``open(...)`` (file I/O)
+- blocking socket construction (``socket.create_connection``,
+  ``socket.socket``) and raw blocking socket ops
+  (``.recv``/``.recv_into``/``.sendall``/``.accept``)
+- ``.acquire()`` calls that are not awaited (a ``threading.Lock``
+  acquire where an ``asyncio`` primitive was intended)
+"""
+
+from __future__ import annotations
+
+import ast
+from collections.abc import Iterable
+
+from repro.analysis.core import Finding, Rule, SourceFile, register
+
+_SUBPROCESS_ATTRS = {"run", "call", "check_call", "check_output", "Popen"}
+_SOCKET_METHOD_ATTRS = {"recv", "recv_into", "sendall", "accept"}
+
+
+def _dotted(node: ast.expr) -> str | None:
+    """``a.b.c`` for a pure Name/Attribute chain, else None."""
+    parts: list[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+        return ".".join(reversed(parts))
+    return None
+
+
+def _blocking_reason(call: ast.Call, awaited: bool) -> str | None:
+    func = call.func
+    dotted = _dotted(func)
+    if dotted == "time.sleep":
+        return "time.sleep blocks the event loop (use await asyncio.sleep)"
+    if dotted in ("os.system", "os.popen"):
+        return f"{dotted} blocks the event loop"
+    if dotted in ("socket.create_connection", "socket.socket"):
+        return (
+            f"{dotted} opens a blocking socket inside a coroutine "
+            f"(use asyncio streams)"
+        )
+    if isinstance(func, ast.Attribute):
+        if (
+            isinstance(func.value, ast.Name)
+            and func.value.id == "subprocess"
+            and func.attr in _SUBPROCESS_ATTRS
+        ):
+            return (
+                f"subprocess.{func.attr} blocks the event loop "
+                f"(use asyncio.create_subprocess_*)"
+            )
+        if func.attr in _SOCKET_METHOD_ATTRS and not awaited:
+            return (
+                f".{func.attr}() is a blocking socket operation "
+                f"(use the asyncio reader/writer)"
+            )
+        if func.attr == "acquire" and not awaited:
+            return (
+                ".acquire() without await blocks the event loop "
+                "(use an asyncio lock and await it)"
+            )
+    if isinstance(func, ast.Name) and func.id == "open":
+        return "open() is blocking file I/O inside a coroutine"
+    return None
+
+
+def _walk_async_body(
+    node: ast.AST, awaited_calls: set[int]
+) -> Iterable[ast.Call]:
+    """Calls in a coroutine body, skipping nested function scopes."""
+    for child in ast.iter_child_nodes(node):
+        if isinstance(
+            child, (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda)
+        ):
+            continue
+        if isinstance(child, ast.Await) and isinstance(
+            child.value, ast.Call
+        ):
+            awaited_calls.add(id(child.value))
+        if isinstance(child, ast.Call):
+            yield child
+        yield from _walk_async_body(child, awaited_calls)
+
+
+@register
+class AsyncBlockingRule(Rule):
+    id = "async-blocking"
+    summary = (
+        "no blocking calls (time.sleep, sockets, subprocess, file I/O, "
+        "un-awaited lock acquisition) inside async def bodies"
+    )
+    scope = "file"
+
+    def check_file(self, src: SourceFile) -> Iterable[Finding]:
+        assert src.tree is not None
+        for node in ast.walk(src.tree):
+            if not isinstance(node, ast.AsyncFunctionDef):
+                continue
+            awaited_calls: set[int] = set()
+            calls = list(_walk_async_body(node, awaited_calls))
+            for call in calls:
+                reason = _blocking_reason(
+                    call, id(call) in awaited_calls
+                )
+                if reason is not None:
+                    yield src.finding(
+                        self.id,
+                        call.lineno,
+                        f"in async def {node.name}: {reason}",
+                    )

@@ -1,0 +1,106 @@
+"""Rule ``job-threading``: every public job field reaches the CLI.
+
+:class:`~repro.engine.job.EnumerationJob` is the one spec every
+backend consumes; a field that exists on the dataclass but is not
+reachable from ``repro enumerate`` is dead configuration surface — it
+looks tunable in the docs but no operator can set it.  Every public
+field must either be *wired* in ``cli.py`` (an ``args.<field>``
+access, a ``<field>=`` keyword on an ``EnumerationJob(...)`` call, or
+a ``"<field>"`` key into a job-kwargs dict) or carry an explicit
+``# internal`` marker on its declaration line in ``job.py``.
+"""
+
+from __future__ import annotations
+
+import ast
+from collections.abc import Iterable
+
+from repro.analysis.core import Finding, Project, Rule, register
+
+JOB_FILE = "engine/job.py"
+CLI_FILE = "cli.py"
+JOB_CLASS = "EnumerationJob"
+INTERNAL_MARKER = "# internal"
+
+
+def _job_fields(tree: ast.AST) -> dict[str, int]:
+    for node in ast.walk(tree):
+        if isinstance(node, ast.ClassDef) and node.name == JOB_CLASS:
+            return {
+                stmt.target.id: stmt.lineno
+                for stmt in node.body
+                if isinstance(stmt, ast.AnnAssign)
+                and isinstance(stmt.target, ast.Name)
+                and not stmt.target.id.startswith("_")
+            }
+    return {}
+
+
+def _wired_names(tree: ast.AST) -> set[str]:
+    """Field names the CLI plausibly threads through."""
+    wired: set[str] = set()
+    for node in ast.walk(tree):
+        if (
+            isinstance(node, ast.Attribute)
+            and isinstance(node.value, ast.Name)
+            and node.value.id == "args"
+        ):
+            wired.add(node.attr)
+        elif isinstance(node, ast.Call):
+            func = node.func
+            func_name = (
+                func.id
+                if isinstance(func, ast.Name)
+                else func.attr
+                if isinstance(func, ast.Attribute)
+                else None
+            )
+            if func_name == JOB_CLASS:
+                wired.update(
+                    keyword.arg
+                    for keyword in node.keywords
+                    if keyword.arg is not None
+                )
+        elif isinstance(node, ast.Constant) and isinstance(
+            node.value, str
+        ):
+            # job_kwargs["batch_deadline_s"] = ... style threading.
+            wired.add(node.value)
+    return wired
+
+
+@register
+class JobThreadingRule(Rule):
+    id = "job-threading"
+    summary = (
+        "every public EnumerationJob field is wired to the CLI or "
+        "marked # internal"
+    )
+
+    def check(self, project: Project) -> Iterable[Finding]:
+        job = project.find(JOB_FILE)
+        cli = project.find(CLI_FILE)
+        if job is None or job.tree is None:
+            return
+        if cli is None or cli.tree is None:
+            return
+        fields = _job_fields(job.tree)
+        if not fields:
+            return
+        wired = _wired_names(cli.tree)
+        for name, lineno in sorted(fields.items()):
+            if name in wired:
+                continue
+            declaration = (
+                job.lines[lineno - 1] if lineno <= len(job.lines) else ""
+            )
+            if INTERNAL_MARKER in declaration:
+                continue
+            yield job.finding(
+                self.id,
+                lineno,
+                f"{JOB_CLASS}.{name} is not reachable from the CLI "
+                f"(no args.{name} / {name}= / \"{name}\" in "
+                f"{CLI_FILE}) and carries no '{INTERNAL_MARKER}' "
+                f"marker",
+            )

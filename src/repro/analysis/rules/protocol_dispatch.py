@@ -1,0 +1,150 @@
+"""Rule ``protocol-dispatch``: every ``MSG_*`` frame type is handled.
+
+A frame constant added to ``engine/distributed/protocol.py`` must be
+(1) exported via ``__all__``, (2) dispatched — or deliberately sent —
+somewhere in the coordinator (``runner.py``), (3) likewise in the
+worker (``worker.py``), and (4) reachable by the chaos injector's
+per-frame-type schedules, so a new frame type cannot silently bypass
+either side of the conversation or the chaos soaks.
+
+The chaos check is structural: an injector that derives streams
+generically from the frame-type byte (a ``send_stream(msg_type)``-style
+keyed factory) covers every type by construction; an injector that
+instead enumerates specific ``MSG_*`` constants must enumerate all of
+them.
+"""
+
+from __future__ import annotations
+
+import ast
+from collections.abc import Iterable
+
+from repro.analysis.core import Finding, Project, Rule, SourceFile, register
+
+PROTOCOL_FILE = "engine/distributed/protocol.py"
+DISPATCH_FILES = (
+    "engine/distributed/runner.py",
+    "engine/distributed/worker.py",
+)
+CHAOS_FILE = "engine/distributed/chaos.py"
+
+#: Parameter names that mark a stream factory as keyed by frame type.
+_GENERIC_PARAMS = {"msg_type", "frame_type", "message_type"}
+
+
+def _msg_constants(tree: ast.AST) -> dict[str, int]:
+    """Module-level ``MSG_* = <int>`` assignments → name: lineno."""
+    constants: dict[str, int] = {}
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Assign):
+            for target in node.targets:
+                if isinstance(target, ast.Name) and target.id.startswith(
+                    "MSG_"
+                ):
+                    constants[target.id] = node.lineno
+        elif isinstance(node, ast.AnnAssign) and isinstance(
+            node.target, ast.Name
+        ):
+            if node.target.id.startswith("MSG_"):
+                constants[node.target.id] = node.lineno
+    return constants
+
+
+def _dunder_all(tree: ast.AST) -> list[str]:
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Assign):
+            for target in node.targets:
+                if isinstance(target, ast.Name) and target.id == "__all__":
+                    if isinstance(node.value, (ast.List, ast.Tuple)):
+                        return [
+                            element.value
+                            for element in node.value.elts
+                            if isinstance(element, ast.Constant)
+                            and isinstance(element.value, str)
+                        ]
+    return []
+
+
+def _referenced_names(tree: ast.AST) -> set[str]:
+    """Every Name id and Attribute attr in the module."""
+    names: set[str] = set()
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Name):
+            names.add(node.id)
+        elif isinstance(node, ast.Attribute):
+            names.add(node.attr)
+    return names
+
+
+def _chaos_is_generic(tree: ast.AST) -> bool:
+    for node in ast.walk(tree):
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            params = {arg.arg for arg in node.args.args}
+            params.update(arg.arg for arg in node.args.kwonlyargs)
+            if params & _GENERIC_PARAMS:
+                return True
+    return False
+
+
+@register
+class ProtocolDispatchRule(Rule):
+    id = "protocol-dispatch"
+    summary = (
+        "every MSG_* frame constant is exported, handled by both the "
+        "coordinator and the worker, and covered by chaos schedules"
+    )
+
+    def check(self, project: Project) -> Iterable[Finding]:
+        protocol = project.find(PROTOCOL_FILE)
+        if protocol is None or protocol.tree is None:
+            return
+        constants = _msg_constants(protocol.tree)
+        if not constants:
+            return
+        exported = set(_dunder_all(protocol.tree))
+        for name, lineno in sorted(constants.items()):
+            if name not in exported:
+                yield protocol.finding(
+                    self.id,
+                    lineno,
+                    f"{name} is not exported via __all__ in "
+                    f"{PROTOCOL_FILE}",
+                )
+        for rel in DISPATCH_FILES:
+            peer = project.find(rel)
+            if peer is None or peer.tree is None:
+                continue
+            referenced = _referenced_names(peer.tree)
+            for name, lineno in sorted(constants.items()):
+                if name not in referenced:
+                    yield protocol.finding(
+                        self.id,
+                        lineno,
+                        f"{name} has no dispatch arm (no reference at "
+                        f"all) in {rel}",
+                    )
+        yield from self._check_chaos(project, protocol, constants)
+
+    def _check_chaos(
+        self,
+        project: Project,
+        protocol: SourceFile,
+        constants: dict[str, int],
+    ) -> Iterable[Finding]:
+        chaos = project.find(CHAOS_FILE)
+        if chaos is None or chaos.tree is None:
+            return
+        referenced = _referenced_names(chaos.tree)
+        explicit = {name for name in constants if name in referenced}
+        if not explicit and _chaos_is_generic(chaos.tree):
+            # Streams are derived per frame-type byte: every current
+            # and future MSG_* is reachable by construction.
+            return
+        for name, lineno in sorted(constants.items()):
+            if name not in explicit:
+                yield protocol.finding(
+                    self.id,
+                    lineno,
+                    f"{name} is not reachable by the chaos injector's "
+                    f"per-frame-type schedules in {CHAOS_FILE}",
+                )

@@ -1,0 +1,132 @@
+"""Rule ``shm-ownership``: every shared-memory segment has one owner.
+
+``SharedPackedBuffer.create`` allocates a POSIX shared-memory segment
+that outlives the process unless exactly one owner eventually calls
+``unlink()``.  Leaks exhaust ``/dev/shm`` across runs; double-unlinks
+race attached workers.  Every ``SharedPackedBuffer.create(...)`` call
+site must therefore either:
+
+(a) sit inside a ``try`` whose ``finally`` reaches an ``.unlink()`` (or
+    a release helper) — a scoped owner; or
+(b) be assigned to ``self.<attr>`` inside a class that defines an
+    unlink path (some method calling ``.unlink()``) — an object owner
+    whose ``close()``/release method is the single unlink site.
+"""
+
+from __future__ import annotations
+
+import ast
+from collections.abc import Iterable
+
+from repro.analysis.core import Finding, Rule, SourceFile, register
+
+FACTORY_CLASS = "SharedPackedBuffer"
+FACTORY_METHOD = "create"
+
+
+def _is_create_call(node: ast.Call) -> bool:
+    func = node.func
+    if not (
+        isinstance(func, ast.Attribute) and func.attr == FACTORY_METHOD
+    ):
+        return False
+    owner = func.value
+    if isinstance(owner, ast.Name):
+        return owner.id == FACTORY_CLASS
+    if isinstance(owner, ast.Attribute):
+        return owner.attr == FACTORY_CLASS
+    return False
+
+
+def _calls_unlink(node: ast.AST) -> bool:
+    for child in ast.walk(node):
+        if (
+            isinstance(child, ast.Call)
+            and isinstance(child.func, ast.Attribute)
+            and child.func.attr == "unlink"
+        ):
+            return True
+    return False
+
+
+def _parent_map(tree: ast.AST) -> dict[int, ast.AST]:
+    parents: dict[int, ast.AST] = {}
+    for node in ast.walk(tree):
+        for child in ast.iter_child_nodes(node):
+            parents[id(child)] = node
+    return parents
+
+
+def _ancestors(
+    node: ast.AST, parents: dict[int, ast.AST]
+) -> Iterable[ast.AST]:
+    current = parents.get(id(node))
+    while current is not None:
+        yield current
+        current = parents.get(id(current))
+
+
+def _owned_by_try_finally(
+    call: ast.Call, parents: dict[int, ast.AST]
+) -> bool:
+    for ancestor in _ancestors(call, parents):
+        if isinstance(ancestor, ast.Try) and ancestor.finalbody:
+            if any(_calls_unlink(stmt) for stmt in ancestor.finalbody):
+                return True
+            # A finally that delegates to a release helper method of
+            # the same object (e.g. self._release_buffer()) also
+            # counts when that helper unlinks; the class-owner check
+            # below covers the common case, so here only a direct
+            # unlink qualifies.
+    return False
+
+
+def _owned_by_class(
+    call: ast.Call, parents: dict[int, ast.AST]
+) -> bool:
+    assigned_to_self = False
+    for ancestor in _ancestors(call, parents):
+        if isinstance(ancestor, (ast.Assign, ast.AnnAssign)):
+            targets = (
+                ancestor.targets
+                if isinstance(ancestor, ast.Assign)
+                else [ancestor.target]
+            )
+            for target in targets:
+                if (
+                    isinstance(target, ast.Attribute)
+                    and isinstance(target.value, ast.Name)
+                    and target.value.id == "self"
+                ):
+                    assigned_to_self = True
+        if isinstance(ancestor, ast.ClassDef):
+            return assigned_to_self and _calls_unlink(ancestor)
+    return False
+
+
+@register
+class ShmOwnershipRule(Rule):
+    id = "shm-ownership"
+    summary = (
+        "every SharedPackedBuffer.create site is owned: try/finally "
+        "unlink, or assigned to self on a class with an unlink path"
+    )
+    scope = "file"
+
+    def check_file(self, src: SourceFile) -> Iterable[Finding]:
+        assert src.tree is not None
+        parents = _parent_map(src.tree)
+        for node in ast.walk(src.tree):
+            if not (isinstance(node, ast.Call) and _is_create_call(node)):
+                continue
+            if _owned_by_try_finally(node, parents):
+                continue
+            if _owned_by_class(node, parents):
+                continue
+            yield src.finding(
+                self.id,
+                node.lineno,
+                f"{FACTORY_CLASS}.{FACTORY_METHOD}(...) has no owner: "
+                f"wrap it in try/finally reaching .unlink(), or assign "
+                f"it to self in a class that defines the unlink path",
+            )

@@ -1,0 +1,122 @@
+"""Rule ``stats-registry``: EnumMISStatistics registries are complete.
+
+``snapshot``/``add``/``restore`` iterate ``_SCALAR_FIELDS`` and
+``_MAP_FIELDS`` instead of touching counters by name, so a counter
+missing from its registry is *silently* dropped from checkpoints and
+merged worker stats.  This rule re-derives the registries from the
+dataclass fields: every ``int``-annotated public field must appear in
+``_SCALAR_FIELDS``, every ``dict``-annotated one in ``_MAP_FIELDS``,
+and neither registry may name a field that no longer exists.
+"""
+
+from __future__ import annotations
+
+import ast
+from collections.abc import Iterable
+
+from repro.analysis.core import Finding, Project, Rule, register
+
+STATS_FILE = "sgr/enum_mis.py"
+STATS_CLASS = "EnumMISStatistics"
+
+
+def _registry_entries(node: ast.stmt) -> tuple[str, list[str], int] | None:
+    """``(name, entries, lineno)`` for a ``_*_FIELDS = (...)`` assign."""
+    if isinstance(node, ast.Assign) and len(node.targets) == 1:
+        target, value = node.targets[0], node.value
+    elif isinstance(node, ast.AnnAssign) and node.value is not None:
+        target, value = node.target, node.value
+    else:
+        return None
+    if not isinstance(target, ast.Name):
+        return None
+    if target.id not in ("_SCALAR_FIELDS", "_MAP_FIELDS"):
+        return None
+    entries = []
+    if isinstance(value, (ast.Tuple, ast.List)):
+        for element in value.elts:
+            if isinstance(element, ast.Constant) and isinstance(
+                element.value, str
+            ):
+                entries.append(element.value)
+    return target.id, entries, node.lineno
+
+
+def _annotation_kind(annotation: ast.expr) -> str | None:
+    """``"scalar"`` for int fields, ``"map"`` for dict fields."""
+    text = ast.unparse(annotation)
+    base = text.split("[", 1)[0].strip()
+    if base in ("int", "float"):
+        return "scalar"
+    if base in ("dict", "Dict", "defaultdict", "Counter"):
+        return "map"
+    return None
+
+
+@register
+class StatsRegistryRule(Rule):
+    id = "stats-registry"
+    summary = (
+        "every EnumMISStatistics counter appears in _SCALAR_FIELDS/"
+        "_MAP_FIELDS (and the registries name only real fields)"
+    )
+
+    def check(self, project: Project) -> Iterable[Finding]:
+        src = project.find(STATS_FILE)
+        if src is None or src.tree is None:
+            return
+        for node in ast.walk(src.tree):
+            if isinstance(node, ast.ClassDef) and node.name == STATS_CLASS:
+                yield from self._check_class(src, node)
+                return
+
+    def _check_class(self, src, node: ast.ClassDef) -> Iterable[Finding]:
+        fields: dict[str, tuple[str, int]] = {}
+        registries: dict[str, tuple[list[str], int]] = {}
+        for stmt in node.body:
+            entry = _registry_entries(stmt)
+            if entry is not None:
+                name, entries, lineno = entry
+                registries[name] = (entries, lineno)
+                continue
+            if isinstance(stmt, ast.AnnAssign) and isinstance(
+                stmt.target, ast.Name
+            ):
+                field_name = stmt.target.id
+                if field_name.startswith("_"):
+                    continue
+                kind = _annotation_kind(stmt.annotation)
+                if kind is not None:
+                    fields[field_name] = (kind, stmt.lineno)
+        registry_of = {"scalar": "_SCALAR_FIELDS", "map": "_MAP_FIELDS"}
+        for field_name, (kind, lineno) in fields.items():
+            registry = registry_of[kind]
+            entries, _ = registries.get(registry, ([], node.lineno))
+            if field_name not in entries:
+                yield src.finding(
+                    self.id,
+                    lineno,
+                    f"counter {field_name!r} is missing from "
+                    f"{STATS_CLASS}.{registry} — snapshot/add/restore "
+                    f"will silently drop it",
+                )
+        for registry, (entries, lineno) in registries.items():
+            expected_kind = (
+                "scalar" if registry == "_SCALAR_FIELDS" else "map"
+            )
+            for entry in entries:
+                kind_line = fields.get(entry)
+                if kind_line is None:
+                    yield src.finding(
+                        self.id,
+                        lineno,
+                        f"{registry} names {entry!r} which is not a "
+                        f"field of {STATS_CLASS}",
+                    )
+                elif kind_line[0] != expected_kind:
+                    yield src.finding(
+                        self.id,
+                        lineno,
+                        f"{registry} names {entry!r} but the field is "
+                        f"{kind_line[0]}-valued",
+                    )

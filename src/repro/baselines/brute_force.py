@@ -19,11 +19,11 @@ from __future__ import annotations
 
 import itertools
 
+from repro.chordal.minimal_separators import are_crossing
+from repro.chordal.peo import is_chordal
 from repro.errors import EnumerationBudgetExceeded
 from repro.graph.components import full_components
 from repro.graph.graph import Graph, Node
-from repro.chordal.minimal_separators import are_crossing
-from repro.chordal.peo import is_chordal
 
 __all__ = [
     "brute_force_minimal_separators",

@@ -2,8 +2,12 @@
 
 from repro.chordal.atoms import atoms, clique_minimal_separators
 from repro.chordal.chordal_separators import minimal_separators_of_chordal
+from repro.chordal.cliques import (
+    CliqueForest,
+    maximal_cliques,
+    mcs_clique_forest,
+)
 from repro.chordal.lexm import lex_m
-from repro.chordal.cliques import CliqueForest, maximal_cliques, mcs_clique_forest
 from repro.chordal.minimal_separators import (
     all_minimal_separators,
     are_crossing,

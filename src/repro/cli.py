@@ -126,6 +126,20 @@ def build_parser() -> argparse.ArgumentParser:
         help="split the input before enumerating (default: components)",
     )
     enum.add_argument(
+        "--mode",
+        default="UG",
+        choices=("UG", "UP"),
+        help="EnumMIS printing discipline: yield upon generation (UG, "
+        "default) or upon pop (UP); ranked runs always use UP",
+    )
+    enum.add_argument(
+        "--rank",
+        default=None,
+        choices=("width", "fill"),
+        help="drain the answer queue best-first by this cost "
+        "(default: unranked generation order)",
+    )
+    enum.add_argument(
         "--show-fill",
         action="store_true",
         help="print the fill edges of every triangulation",
@@ -392,6 +406,43 @@ def build_parser() -> argparse.ArgumentParser:
         help="diagnose the graph-kernel tiers (compiler, native build, "
         "which tier serves each kernel)",
     )
+
+    ana = sub.add_parser(
+        "analyze",
+        help="run the repo-specific static invariant checks "
+        "(registry completeness, protocol dispatch, kernel parity, ...)",
+    )
+    ana.add_argument(
+        "paths",
+        nargs="*",
+        default=None,
+        help="source roots to analyze (default: the installed repro "
+        "package)",
+    )
+    ana.add_argument(
+        "--strict",
+        action="store_true",
+        help="exit non-zero when any finding survives suppressions",
+    )
+    ana.add_argument(
+        "--format",
+        dest="output_format",
+        default="text",
+        choices=("text", "json"),
+        help="report format (default: text)",
+    )
+    ana.add_argument(
+        "--rule",
+        action="append",
+        default=None,
+        metavar="RULE-ID",
+        help="run only this rule (repeatable; default: all rules)",
+    )
+    ana.add_argument(
+        "--list-rules",
+        action="store_true",
+        help="print the rule catalogue and exit",
+    )
     return parser
 
 
@@ -493,8 +544,12 @@ def _command_enumerate(args: argparse.Namespace) -> int:
         job_kwargs["batch_rss_limit_mb"] = args.batch_rss_mb
     job = EnumerationJob(
         graph,
+        mode=args.mode,
         triangulator=args.triangulator,
         decompose=args.decompose,
+        cost=args.rank,
+        max_results=args.max_results,
+        time_budget=args.budget,
         checkpoint_path=args.checkpoint,
         resume=args.resume,
         graph_backend=args.graph_backend,
@@ -715,6 +770,36 @@ def _command_kernels(args: argparse.Namespace) -> int:
     return 0
 
 
+def _command_analyze(args: argparse.Namespace) -> int:
+    """Run the static invariant battery; exit 1 on findings in --strict."""
+    from repro.analysis import (
+        all_rules,
+        render_json,
+        render_text,
+        run_analysis,
+    )
+
+    if args.list_rules:
+        for rule in all_rules():
+            print(f"{rule.id:20s} {rule.summary}")
+        return 0
+    paths = args.paths
+    if not paths:
+        import repro
+
+        paths = [Path(repro.__file__).resolve().parent]
+    try:
+        findings = run_analysis(paths, rule_ids=args.rule)
+    except (KeyError, NotADirectoryError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    if args.output_format == "json":
+        print(render_json(findings))
+    else:
+        print(render_text(findings, verbose=True))
+    return 1 if (findings and args.strict) else 0
+
+
 _COMMANDS = {
     "enumerate": _command_enumerate,
     "worker": _command_worker,
@@ -724,6 +809,7 @@ _COMMANDS = {
     "treewidth": _command_treewidth,
     "report": _command_report,
     "kernels": _command_kernels,
+    "analyze": _command_analyze,
 }
 
 

@@ -1,11 +1,5 @@
 """The paper's primary contribution: minimal-triangulation enumeration."""
 
-from repro.core.enumerate import (
-    count_minimal_triangulations,
-    enumerate_minimal_triangulations,
-    minimal_triangulation,
-)
-from repro.core.extend import extend_parallel_set, minimal_triangulation_via
 from repro.core.bounds import (
     clique_lower_bound,
     degeneracy_lower_bound,
@@ -13,6 +7,12 @@ from repro.core.bounds import (
     mmd_plus_lower_bound,
     treewidth_lower_bound,
 )
+from repro.core.enumerate import (
+    count_minimal_triangulations,
+    enumerate_minimal_triangulations,
+    minimal_triangulation,
+)
+from repro.core.extend import extend_parallel_set, minimal_triangulation_via
 from repro.core.ranked import (
     anytime_min_fill,
     anytime_treewidth,

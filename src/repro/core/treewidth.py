@@ -24,7 +24,7 @@ from __future__ import annotations
 from collections import deque
 from functools import lru_cache
 
-from repro.graph.graph import Graph, Node
+from repro.graph.graph import Graph
 
 __all__ = ["treewidth_exact", "min_fill_in_exact"]
 

@@ -14,7 +14,6 @@ names are the query variables (matching
 
 from __future__ import annotations
 
-import itertools
 import random
 from collections.abc import Callable, Iterable, Mapping, Sequence
 

@@ -45,6 +45,7 @@ Quickstart::
 """
 
 from repro.engine.base import (
+    BatchFailedError,
     EngineError,
     EnumerationBackend,
     available_backends,
@@ -54,6 +55,7 @@ from repro.engine.base import (
 from repro.engine.checkpoint import (
     CheckpointDocument,
     CheckpointError,
+    CheckpointIntegrityError,
     CheckpointManager,
     CheckpointState,
     region_fingerprint,
@@ -61,6 +63,7 @@ from repro.engine.checkpoint import (
 from repro.engine.engine import EnumerationEngine
 from repro.engine.job import EnumerationJob
 from repro.engine.result import AnswerRecord, EnumerationResult
+from repro.engine.wire import WireDecodeError
 
 # Importing the backend modules registers them.
 from repro.engine import serial as _serial  # noqa: E402,F401
@@ -69,8 +72,10 @@ from repro.engine import distributed as _distributed  # noqa: E402,F401
 
 __all__ = [
     "AnswerRecord",
+    "BatchFailedError",
     "CheckpointDocument",
     "CheckpointError",
+    "CheckpointIntegrityError",
     "CheckpointManager",
     "CheckpointState",
     "region_fingerprint",
@@ -79,6 +84,7 @@ __all__ = [
     "EnumerationEngine",
     "EnumerationJob",
     "EnumerationResult",
+    "WireDecodeError",
     "available_backends",
     "get_backend",
     "register_backend",

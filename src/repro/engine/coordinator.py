@@ -64,8 +64,6 @@ from repro.engine.base import BatchFailedError, EngineError
 from repro.engine.batching import AdaptiveBatcher
 from repro.engine.checkpoint import CheckpointError, CheckpointState
 from repro.engine.pool import (
-    InlineRunner,
-    PoolRunner,
     WorkerState,
     make_payload,
 )

@@ -59,9 +59,15 @@ import socket
 import struct
 import zlib
 from dataclasses import dataclass
-from typing import Hashable
+from typing import TYPE_CHECKING, Hashable
 
 from repro.engine.base import EngineError, WireDecodeError
+
+if TYPE_CHECKING:  # typed-core annotations only — no runtime import
+    import asyncio
+    import threading
+
+    from repro.engine.pool import GraphPayload
 
 __all__ = [
     "PROTOCOL_VERSION",
@@ -190,7 +196,7 @@ def encode_frame(msg_type: int, payload: bytes = b"") -> bytes:
 # ----------------------------------------------------------------------
 
 
-async def read_frame_async(reader) -> Frame:
+async def read_frame_async(reader: asyncio.StreamReader) -> Frame:
     """Read one frame from an ``asyncio.StreamReader``.
 
     Raises ``asyncio.IncompleteReadError`` on EOF and
@@ -229,7 +235,10 @@ def recv_frame(sock: socket.socket) -> Frame:
 
 
 def send_frame(
-    sock: socket.socket, msg_type: int, payload: bytes = b"", lock=None
+    sock: socket.socket,
+    msg_type: int,
+    payload: bytes = b"",
+    lock: threading.Lock | None = None,
 ) -> None:
     """Write one frame; ``lock`` serialises writers (heartbeat thread)."""
     data = encode_frame(msg_type, payload)
@@ -329,7 +338,7 @@ def decode_batch_failed(payload: bytes) -> tuple[int, str, float, int]:
 _LABEL_TYPES = {int: "i", str: "s", float: "f", bool: "b"}
 
 
-def _encode_label(label: Hashable):
+def _encode_label(label: Hashable) -> list[object]:
     """JSON-safe label encoding (type-tagged so ``1`` ≠ ``"1"``)."""
     kind = _LABEL_TYPES.get(type(label))
     if kind is not None:
@@ -345,7 +354,7 @@ def _encode_label(label: Hashable):
     )
 
 
-def _decode_label(encoded) -> Hashable:
+def _decode_label(encoded: object) -> Hashable:
     if not isinstance(encoded, list) or not encoded:
         raise WireDecodeError("malformed label encoding")
     kind = encoded[0]
@@ -369,7 +378,7 @@ def _decode_label(encoded) -> Hashable:
 _GRAPH_HEADER_LEN = struct.Struct("!I")
 
 
-def encode_graph_payload(payload) -> bytes:
+def encode_graph_payload(payload: GraphPayload) -> bytes:
     """Serialise a :class:`~repro.engine.pool.GraphPayload` for the wire.
 
     Only packed payloads ship (the distributed backend requires numpy
@@ -401,7 +410,7 @@ def encode_graph_payload(payload) -> bytes:
     return _GRAPH_HEADER_LEN.pack(len(header)) + header + payload.packed
 
 
-def decode_graph_payload(data: bytes):
+def decode_graph_payload(data: bytes) -> "GraphPayload":
     """Rebuild a validated :class:`~repro.engine.pool.GraphPayload`."""
     from repro.engine.pool import GraphPayload
 

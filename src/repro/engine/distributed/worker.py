@@ -329,6 +329,15 @@ def run_worker(
             except _FatalHandshake as exc:
                 _log(str(exc))
                 return 2
+            except KeyboardInterrupt:
+                # Operator-initiated departure: announce it so the
+                # coordinator requeues our batches immediately instead
+                # of waiting out the heartbeat-miss window.
+                try:
+                    protocol.send_frame(sock, protocol.MSG_GOODBYE)
+                except OSError:
+                    pass
+                raise
         finally:
             try:
                 sock.close()

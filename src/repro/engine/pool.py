@@ -69,7 +69,7 @@ from repro.engine.watchdog import (
     ResourceWatchdog,
     current_rss_bytes,
 )
-from repro.graph.core import IndexedGraph, NodeInterner, iter_bits
+from repro.graph.core import IndexedGraph, NodeInterner
 from repro.graph.graph import Graph
 from repro.sgr.enum_mis import EnumMISStatistics
 from repro.sgr.separator_graph import MinimalSeparatorSGR

@@ -40,7 +40,6 @@ from repro.engine.checkpoint import (
 from repro.engine.coordinator import Answer, MISCoordinator
 from repro.engine.job import EnumerationJob
 from repro.engine.pool import (
-    InlineRunner,
     PoolRunner,
     default_worker_count,
     make_payload,

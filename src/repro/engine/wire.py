@@ -519,7 +519,7 @@ def legacy_batch(
     answers: list[tuple[int, ...]],
     directions: tuple[int, ...],
     words: int,
-):
+) -> tuple[int, list[tuple[tuple[int, ...], tuple[int, ...]]]]:
     """The pre-packed-wire batch structure, sized as it really pickled.
 
     Every answer member is rebuilt as a *fresh* int object — pickle

@@ -2,11 +2,11 @@
 
 from repro.experiments.figures import (
     DelayPoint,
+    fig10_quality_over_time,
     fig6_delay_by_edges,
     fig7_delay_by_size,
     fig8_printing_modes,
     fig9_cumulative_results,
-    fig10_quality_over_time,
 )
 from repro.experiments.render import ascii_table, sparkline
 from repro.experiments.report import full_report

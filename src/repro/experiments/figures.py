@@ -8,10 +8,8 @@ plotting is left to the reader).
 
 from __future__ import annotations
 
-import time
 from dataclasses import dataclass
 
-from repro.core.enumerate import enumerate_minimal_triangulations
 from repro.experiments.runner import EnumerationTrace, run_enumeration
 from repro.graph.graph import Graph
 

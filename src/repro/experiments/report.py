@@ -15,9 +15,8 @@ import io
 import time
 
 from repro.experiments.figures import (
-    fig8_printing_modes,
-    fig9_cumulative_results,
     fig10_quality_over_time,
+    fig9_cumulative_results,
 )
 from repro.experiments.render import ascii_table
 from repro.experiments.runner import run_enumeration

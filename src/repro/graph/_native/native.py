@@ -48,7 +48,7 @@ import numpy as np
 
 from repro.graph import bitset_np as _np_kernels
 from repro.graph.bitset_np import (
-    BATCH_MIN,
+    BATCH_MIN,  # noqa: F401  (kernel-namespace surface: callers read ns.BATCH_MIN)
     WORD_BITS,
     NumpyGraphCore,
     PackedMCSQueue as _NumpyMCSQueue,

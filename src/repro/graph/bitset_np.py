@@ -76,6 +76,7 @@ __all__ = [
     "unpack_rows",
     "popcount",
     "crossing_batch",
+    "crossing_batch_gather",
     "mask_to_indices",
     "indices_to_mask",
     "union_rows",
@@ -214,6 +215,23 @@ def crossing_batch(
         if check_exit and touched.min() >= 2:
             break
     return touched >= 2
+
+
+def crossing_batch_gather(
+    components: np.ndarray, matrix: np.ndarray, ids, v_id: int
+) -> list[bool]:
+    """Gathered crossing sweep: ``matrix[ids] & ~matrix[v_id]`` vs components.
+
+    The numpy twin of the fused native kernel of the same name: it
+    materialises the remainder matrix (the native tier streams it row
+    by row in C) and reuses :func:`crossing_batch`, so every kernel
+    tier answers the SGR's batched edge oracle through one signature.
+    """
+    ids_arr = np.asarray(ids, dtype=np.int64)
+    if not ids_arr.shape[0]:
+        return []
+    remainders = matrix[ids_arr] & ~matrix[v_id]
+    return crossing_batch(components, remainders).tolist()
 
 
 # ----------------------------------------------------------------------

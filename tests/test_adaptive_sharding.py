@@ -20,7 +20,7 @@ import pytest
 
 from helpers import small_random_graphs
 from repro.core.enumerate import enumerate_minimal_triangulations
-from repro.engine import EngineError, EnumerationEngine, EnumerationJob
+from repro.engine import EngineError, EnumerationEngine, EnumerationJob, wire
 from repro.engine.batching import AdaptiveBatcher
 from repro.engine.pool import (
     GraphPayload,
@@ -28,7 +28,6 @@ from repro.engine.pool import (
     PoolRunner,
     make_payload,
 )
-from repro.engine import wire
 from repro.graph.bitset_np import SharedPackedBuffer, word_count
 from repro.graph.generators import gnp_random_graph
 from repro.sgr.enum_mis import EnumMISStatistics

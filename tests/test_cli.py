@@ -6,8 +6,8 @@ import pytest
 
 from repro.cli import build_parser, load_graph, main
 from repro.decomposition.io import read_pace_td
-from repro.graph.io import write_edge_list, write_pace_graph
 from repro.graph.generators import cycle_graph
+from repro.graph.io import write_edge_list, write_pace_graph
 
 
 @pytest.fixture

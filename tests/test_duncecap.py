@@ -9,7 +9,7 @@ from repro.baselines.duncecap import (
     duncecap_tree_decompositions,
 )
 from repro.errors import EnumerationBudgetExceeded
-from repro.graph.generators import cycle_graph, path_graph, complete_graph
+from repro.graph.generators import complete_graph, cycle_graph, path_graph
 from repro.graph.graph import Graph
 
 

@@ -4,8 +4,6 @@ from __future__ import annotations
 
 import math
 
-import pytest
-
 from helpers import small_random_graphs
 from repro.baselines.brute_force import brute_force_minimal_triangulations
 from repro.chordal.peo import is_chordal

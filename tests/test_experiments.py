@@ -3,11 +3,11 @@
 from __future__ import annotations
 
 from repro.experiments.figures import (
+    fig10_quality_over_time,
     fig6_delay_by_edges,
     fig7_delay_by_size,
     fig8_printing_modes,
     fig9_cumulative_results,
-    fig10_quality_over_time,
 )
 from repro.experiments.render import ascii_table, sparkline
 from repro.experiments.runner import EnumerationTrace, ResultRecord, run_enumeration

@@ -12,7 +12,7 @@ from repro.db import EvaluationStatistics, Relation, evaluate_naive, evaluate_wi
 from repro.decomposition.metrics import log_table_volume
 from repro.decomposition.nice import max_weight_independent_set
 from repro.graph.generators import grid_graph
-from repro.hypergraph import Hypergraph, enumerate_ghds, ghw_upper_bound
+from repro.hypergraph import enumerate_ghds, ghw_upper_bound
 from repro.inference import BayesianNetwork, MarkovNetwork, calibrate
 from repro.workloads.pgm import object_detection_like
 from repro.workloads.tpch import tpch_hypergraph, tpch_query

@@ -8,7 +8,6 @@ import pytest
 
 from repro.decomposition.clique_tree import clique_tree
 from repro.decomposition.io import parse_pace_td, read_pace_td, write_pace_td
-from repro.decomposition.tree_decomposition import TreeDecomposition
 from repro.errors import ParseError
 from repro.graph.generators import cycle_graph, grid_graph, path_graph
 from repro.graph.io import parse_pace_graph, write_pace_graph

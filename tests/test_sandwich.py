@@ -5,7 +5,6 @@ from __future__ import annotations
 import pytest
 
 from helpers import small_random_graphs
-from repro.chordal.peo import is_chordal
 from repro.chordal.sandwich import (
     is_minimal_triangulation,
     minimal_triangulation_sandwich,

@@ -12,8 +12,8 @@ from repro.chordal.minimal_separators import (
     are_crossing,
     is_pairwise_parallel,
 )
-from repro.core.extend import extend_parallel_set, minimal_triangulation_via
 from repro.chordal.sandwich import is_minimal_triangulation
+from repro.core.extend import extend_parallel_set, minimal_triangulation_via
 from repro.graph.generators import cycle_graph, grid_graph, path_graph
 from repro.sgr.enum_mis import enumerate_maximal_independent_sets
 from repro.sgr.separator_graph import MinimalSeparatorSGR

@@ -5,7 +5,6 @@ from __future__ import annotations
 from repro.chordal.chordal_separators import minimal_separators_of_chordal
 from repro.core.triangulation import Triangulation
 from repro.graph.generators import cycle_graph, path_graph
-from repro.graph.graph import Graph
 
 
 class TestConstruction:
